@@ -1,0 +1,76 @@
+// Ablation: run coalescing (paper §5).
+//
+// "our system attempts to group consecutive array elements into a single
+//  tag ... It also considerably reduces the time necessary to create tags
+//  as fewer calls to sprintf() are required."
+//
+// Measures the unlock send side (diff -> index -> tag -> pack) with
+// coalescing on vs off over dense and strided write patterns, and reports
+// tags generated + payload bytes as counters.
+#include <benchmark/benchmark.h>
+
+#include "dsm/global_space.hpp"
+#include "dsm/sync_engine.hpp"
+
+namespace dsm = hdsm::dsm;
+namespace tags = hdsm::tags;
+namespace plat = hdsm::plat;
+
+namespace {
+
+tags::TypePtr gthv(std::uint64_t n) {
+  return tags::TypeDesc::struct_of(
+      "G", {{"A", tags::TypeDesc::array(tags::t_int(), n)}});
+}
+
+void write_pattern(dsm::GlobalSpace& g, std::uint64_t n, bool strided) {
+  auto a = g.view<std::int32_t>("A");
+  if (strided) {
+    for (std::uint64_t i = 0; i < n; i += 2) {
+      a.set(i, static_cast<std::int32_t>(i + 1));
+    }
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      a.set(i, static_cast<std::int32_t>(i + 1));
+    }
+  }
+}
+
+void run(benchmark::State& state, bool coalesce, bool strided) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  dsm::DsdOptions opts;
+  opts.coalesce_runs = coalesce;
+  dsm::GlobalSpace g(gthv(n), plat::linux_ia32());
+  dsm::ShareStats stats;
+  dsm::SyncEngine engine(g, opts, stats);
+  g.region().begin_tracking();
+  std::uint64_t tags_generated = 0, bytes = 0, blocks = 0;
+  for (auto _ : state) {
+    write_pattern(g, n, strided);
+    const auto out = engine.collect_updates();
+    blocks += out.size();
+    for (const auto& b : out) bytes += b.data.size() + b.tag.size();
+    tags_generated = stats.tags_generated;
+  }
+  g.region().end_tracking();
+  state.counters["tags"] = static_cast<double>(tags_generated) /
+                           static_cast<double>(state.iterations());
+  state.counters["wire_bytes"] =
+      static_cast<double>(bytes) / static_cast<double>(state.iterations());
+  state.counters["blocks"] =
+      static_cast<double>(blocks) / static_cast<double>(state.iterations());
+}
+
+void BM_DenseCoalesced(benchmark::State& s) { run(s, true, false); }
+void BM_DenseSplit(benchmark::State& s) { run(s, false, false); }
+void BM_StridedCoalesced(benchmark::State& s) { run(s, true, true); }
+void BM_StridedSplit(benchmark::State& s) { run(s, false, true); }
+
+}  // namespace
+
+BENCHMARK(BM_DenseCoalesced)->Arg(1 << 12)->Arg(1 << 15);
+BENCHMARK(BM_DenseSplit)->Arg(1 << 12)->Arg(1 << 15);
+BENCHMARK(BM_StridedCoalesced)->Arg(1 << 12)->Arg(1 << 15);
+BENCHMARK(BM_StridedSplit)->Arg(1 << 12)->Arg(1 << 15);
+
+BENCHMARK_MAIN();

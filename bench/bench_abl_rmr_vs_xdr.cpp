@@ -1,0 +1,95 @@
+// Ablation: CGT-RMR ("receiver makes right") vs the XDR canonical
+// intermediate format (paper §3.2: CGT-RMR "eventually generat[es] a
+// lighter workload compared to existing standards", §2: Tui "applies an
+// intermediate data format, just as in XDR").
+//
+// XDR always converts twice (sender -> canonical -> receiver) and widens
+// every item to 4/8 canonical bytes; RMR ships native bytes and converts
+// at most once.  The homogeneous case is the starkest: RMR is a memcpy,
+// XDR still pays both conversions.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "convert/converter.hpp"
+#include "convert/xdr.hpp"
+#include "tags/layout.hpp"
+
+namespace conv = hdsm::conv;
+namespace tags = hdsm::tags;
+namespace plat = hdsm::plat;
+
+namespace {
+
+tags::TypePtr payload_type(std::uint64_t n) {
+  return tags::TypeDesc::struct_of(
+      "P", {{"ints", tags::TypeDesc::array(tags::t_int(), n)},
+            {"doubles", tags::TypeDesc::array(tags::t_double(), n / 4)},
+            {"shorts", tags::TypeDesc::array(tags::t_short(), n / 2)}});
+}
+
+void BM_RmrTransfer(benchmark::State& state, const plat::PlatformDesc& sp,
+                    const plat::PlatformDesc& dp) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const tags::TypePtr t = payload_type(n);
+  const tags::Layout sl = tags::compute_layout(t, sp);
+  const tags::Layout dl = tags::compute_layout(t, dp);
+  std::vector<std::byte> src(sl.size), wire, dst(dl.size);
+  std::uint64_t wire_bytes = 0;
+  for (auto _ : state) {
+    // RMR: the wire carries the sender's native bytes verbatim.
+    wire.assign(src.begin(), src.end());
+    benchmark::DoNotOptimize(wire.data());
+    // Receiver makes right: at most one conversion.
+    conv::convert_image(wire.data(), sl, dst.data(), dl);
+    benchmark::DoNotOptimize(dst.data());
+    wire_bytes = wire.size();
+  }
+  state.counters["wire_bytes"] = static_cast<double>(wire_bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sl.size));
+}
+
+void BM_XdrTransfer(benchmark::State& state, const plat::PlatformDesc& sp,
+                    const plat::PlatformDesc& dp) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const tags::TypePtr t = payload_type(n);
+  const tags::Layout sl = tags::compute_layout(t, sp);
+  const tags::Layout dl = tags::compute_layout(t, dp);
+  std::vector<std::byte> src(sl.size), dst(dl.size);
+  std::uint64_t wire_bytes = 0;
+  for (auto _ : state) {
+    // Sender converts into the canonical form...
+    const std::vector<std::byte> wire = conv::xdr_encode_image(src.data(), sl);
+    benchmark::DoNotOptimize(wire.data());
+    // ...and the receiver converts again, even when homogeneous.
+    conv::xdr_decode_image(wire, dst.data(), dl);
+    benchmark::DoNotOptimize(dst.data());
+    wire_bytes = wire.size();
+  }
+  state.counters["wire_bytes"] = static_cast<double>(wire_bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sl.size));
+}
+
+void BM_RmrHomogeneous(benchmark::State& s) {
+  BM_RmrTransfer(s, plat::linux_ia32(), plat::linux_ia32());
+}
+void BM_XdrHomogeneous(benchmark::State& s) {
+  BM_XdrTransfer(s, plat::linux_ia32(), plat::linux_ia32());
+}
+void BM_RmrHeterogeneous(benchmark::State& s) {
+  BM_RmrTransfer(s, plat::solaris_sparc32(), plat::linux_ia32());
+}
+void BM_XdrHeterogeneous(benchmark::State& s) {
+  BM_XdrTransfer(s, plat::solaris_sparc32(), plat::linux_ia32());
+}
+
+}  // namespace
+
+BENCHMARK(BM_RmrHomogeneous)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_XdrHomogeneous)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_RmrHeterogeneous)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_XdrHeterogeneous)->Arg(1 << 12)->Arg(1 << 16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Reproduces Figure 10: "Data conversion for matrix multiplication"
+// (t_conv) vs matrix size for the Solaris/Linux, Solaris/Solaris, and
+// Linux/Linux pairs.
+//
+// Paper shape: the homogeneous pairs stay near zero (tag check + memcpy);
+// the heterogeneous pair grows steeply with matrix size because every byte
+// must be transformed (byte swapping, sign handling, tag interaction).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using hdsm::bench::ms;
+
+int main() {
+  const auto sizes = hdsm::bench::sweep_sizes();
+  const auto sweep = hdsm::bench::run_matmul_sweep();
+
+  std::printf(
+      "=== Figure 10: data conversion (t_conv), matrix multiplication "
+      "===\n\n");
+  std::printf("%6s %18s %18s %18s\n", "size", "Solaris/Linux_ms",
+              "Solaris/Solaris_ms", "Linux/Linux_ms");
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    std::printf("%6u %18.3f %18.3f %18.3f\n", sizes[s],
+                ms(sweep[2][s].total.conv_ns), ms(sweep[1][s].total.conv_ns),
+                ms(sweep[0][s].total.conv_ns));
+  }
+
+  const double sl = ms(sweep[2].back().total.conv_ns);
+  const double ss = ms(sweep[1].back().total.conv_ns);
+  const double ll = ms(sweep[0].back().total.conv_ns);
+  const bool het_dominates = sl > 2.0 * ss && sl > 2.0 * ll;
+  const bool grows =
+      sweep[2].back().total.conv_ns > sweep[2].front().total.conv_ns;
+  std::printf(
+      "\nshape: heterogeneous conversion >2x homogeneous at max size: %s "
+      "(SL=%.3fms SS=%.3fms LL=%.3fms)\n",
+      het_dominates ? "YES" : "NO", sl, ss, ll);
+  std::printf("shape: SL conversion grows with size: %s\n",
+              grows ? "YES" : "NO");
+  return het_dominates && grows ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Reproduces Figure 11: "Data conversion for LU decomposition" (t_conv)
+// vs matrix size for the Solaris/Linux, Solaris/Solaris, and Linux/Linux
+// pairs.
+//
+// Paper shape: like Figure 10 but shifted up — LU transfers more data per
+// update than MM (every elimination step rewrites the remaining
+// submatrix), so the heterogeneous curve sits well above MM's while the
+// homogeneous pairs remain "roughly similar" to their MM timings.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using hdsm::bench::ms;
+
+int main() {
+  const auto sizes = hdsm::bench::sweep_sizes();
+  const auto lu = hdsm::bench::run_lu_sweep();
+  const auto mm = hdsm::bench::run_matmul_sweep();
+
+  std::printf(
+      "=== Figure 11: data conversion (t_conv), LU decomposition ===\n\n");
+  std::printf("%6s %18s %18s %18s\n", "size", "Solaris/Linux_ms",
+              "Solaris/Solaris_ms", "Linux/Linux_ms");
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    std::printf("%6u %18.3f %18.3f %18.3f\n", sizes[s],
+                ms(lu[2][s].total.conv_ns), ms(lu[1][s].total.conv_ns),
+                ms(lu[0][s].total.conv_ns));
+  }
+
+  std::printf("\ncomparison with Figure 10 (paper §5: LU transfers more "
+              "data per update):\n");
+  std::printf("%6s %22s %22s %16s %16s\n", "size", "LU_SL_conv_ms",
+              "MM_SL_conv_ms", "LU_bytes_MB", "MM_bytes_MB");
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    std::printf("%6u %22.3f %22.3f %16.2f %16.2f\n", sizes[s],
+                ms(lu[2][s].total.conv_ns), ms(mm[2][s].total.conv_ns),
+                static_cast<double>(lu[2][s].total.update_bytes_sent) / 1e6,
+                static_cast<double>(mm[2][s].total.update_bytes_sent) / 1e6);
+  }
+
+  const bool lu_above_mm =
+      lu[2].back().total.conv_ns > mm[2].back().total.conv_ns;
+  const bool het_dominates =
+      lu[2].back().total.conv_ns > 2 * lu[0].back().total.conv_ns;
+  const bool homogeneous_similar =
+      lu[0].back().total.conv_ns < 4 * mm[0].back().total.conv_ns ||
+      lu[0].back().total.conv_ns < lu[2].back().total.conv_ns / 2;
+  std::printf("\nshape: LU heterogeneous conversion above MM's: %s\n",
+              lu_above_mm ? "YES" : "NO");
+  std::printf("shape: heterogeneous dominates homogeneous for LU: %s\n",
+              het_dominates ? "YES" : "NO");
+  return lu_above_mm && het_dominates && homogeneous_similar ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 6: "Data sharing overhead breakdown" — the stacked
+// per-pair cost of index discovery, tag generation, packing, unpacking and
+// data conversion (Eq. 1) for the matrix multiplication workload at sizes
+// 99..255 on the LL / SS / SL platform pairs.
+//
+// Paper shape: all components grow with matrix size; conversion dominates
+// the heterogeneous (SL) pair; pack/unpack are comparatively small.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using hdsm::bench::ms;
+
+int main() {
+  const auto sizes = hdsm::bench::sweep_sizes();
+  const auto sweep = hdsm::bench::run_matmul_sweep();
+  hdsm::bench::maybe_write_csv("fig6_matmul_breakdown", sweep);
+
+  std::printf(
+      "=== Figure 6: data sharing overhead breakdown, matrix "
+      "multiplication (times in ms) ===\n\n");
+  std::printf("%6s %5s %12s %10s %8s %10s %10s %12s\n", "size", "pair",
+              "index_disc", "tag_gen", "pack", "unpack", "conversion",
+              "C_share");
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    for (std::size_t p = 0; p < sweep.size(); ++p) {
+      const auto& r = sweep[p][s];
+      std::printf("%6u %5s %12.3f %10.3f %8.3f %10.3f %10.3f %12.3f\n", r.n,
+                  r.pair.c_str(), ms(r.total.index_ns), ms(r.total.tag_ns),
+                  ms(r.total.pack_ns), ms(r.total.unpack_ns),
+                  ms(r.total.conv_ns), ms(r.total.share_ns()));
+    }
+    std::printf("\n");
+  }
+
+  // Shape checks the paper's bars exhibit.
+  const auto& ll = sweep[0];
+  const auto& sl = sweep[2];
+  const bool grows =
+      ll.back().total.share_ns() > ll.front().total.share_ns() &&
+      sl.back().total.share_ns() > sl.front().total.share_ns();
+  const bool sl_conv_dominates_ll =
+      sl.back().total.conv_ns > ll.back().total.conv_ns;
+  std::printf("shape: C_share grows with matrix size: %s\n",
+              grows ? "YES" : "NO");
+  std::printf("shape: SL conversion exceeds LL conversion at max size: %s\n",
+              sl_conv_dominates_ll ? "YES" : "NO");
+  return grows && sl_conv_dominates_ll ? 0 : 1;
+}

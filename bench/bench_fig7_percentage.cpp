@@ -1,0 +1,47 @@
+// Reproduces Figure 7: "Costs as a percentage of total time" — each Eq.-1
+// component of the matrix-multiplication sharing cost as a percentage of
+// the pair's total, per platform pair and matrix size.
+//
+// Paper shape: in the heterogeneous (SL) pair the data-conversion share
+// quickly overtakes every other component as the matrix grows; in the
+// homogeneous pairs the conversion share stays comparatively low.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  const auto sizes = hdsm::bench::sweep_sizes();
+  const auto sweep = hdsm::bench::run_matmul_sweep();
+
+  std::printf(
+      "=== Figure 7: sharing costs as %% of total, matrix multiplication "
+      "===\n\n");
+  std::printf("%5s %6s %12s %9s %7s %8s %11s\n", "pair", "size", "index_disc",
+              "tag_gen", "pack", "unpack", "conversion");
+  for (std::size_t p = 0; p < sweep.size(); ++p) {
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      const auto& r = sweep[p][s];
+      const double total = static_cast<double>(r.total.share_ns());
+      const auto pct = [total](std::uint64_t ns) {
+        return total > 0 ? 100.0 * static_cast<double>(ns) / total : 0.0;
+      };
+      std::printf("%5s %6u %11.1f%% %8.1f%% %6.1f%% %7.1f%% %10.1f%%\n",
+                  r.pair.c_str(), r.n, pct(r.total.index_ns),
+                  pct(r.total.tag_ns), pct(r.total.pack_ns),
+                  pct(r.total.unpack_ns), pct(r.total.conv_ns));
+    }
+    std::printf("\n");
+  }
+
+  const auto conv_pct = [](const hdsm::work::ExperimentResult& r) {
+    return static_cast<double>(r.total.conv_ns) /
+           static_cast<double>(r.total.share_ns());
+  };
+  // Shape: at the largest size, SL's conversion share exceeds both
+  // homogeneous pairs'.
+  const bool sl_highest = conv_pct(sweep[2].back()) > conv_pct(sweep[0].back()) &&
+                          conv_pct(sweep[2].back()) > conv_pct(sweep[1].back());
+  std::printf("shape: SL conversion share is the largest of the pairs: %s\n",
+              sl_highest ? "YES" : "NO");
+  return sl_highest ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "baseline/page_dsm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace hdsm::base {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+PageDsmNode::PageDsmNode(std::size_t image_size, PageDsmOptions opts)
+    : image_size_(image_size), opts_(opts), region_(image_size) {
+  std::memset(region_.data(), 0, region_.length());
+}
+
+std::vector<PageUpdate> PageDsmNode::collect_updates() {
+  const std::uint64_t t0 = now_ns();
+  const std::size_t ps = mem::Region::host_page_size();
+  std::vector<PageUpdate> out;
+
+  region_.end_tracking();
+  for (const std::size_t page : region_.dirty_pages()) {
+    const std::size_t base = page * ps;
+    if (base >= image_size_) continue;
+    const std::size_t len = std::min(ps, image_size_ - base);
+    ++stats_.dirty_pages;
+
+    std::vector<mem::ByteRange> ranges;
+    mem::diff_bytes(region_.data() + base, region_.twin_page(page), len, base,
+                    ranges);
+    const std::size_t changed = mem::total_bytes(ranges);
+    if (opts_.whole_page_optimization &&
+        static_cast<double>(changed) >
+            opts_.whole_page_threshold * static_cast<double>(len)) {
+      PageUpdate u;
+      u.offset = base;
+      u.whole_page = true;
+      u.data.assign(region_.data() + base, region_.data() + base + len);
+      stats_.bytes_sent += u.data.size();
+      ++stats_.whole_pages;
+      ++stats_.updates;
+      out.push_back(std::move(u));
+      continue;
+    }
+    for (const mem::ByteRange& r : ranges) {
+      PageUpdate u;
+      u.offset = r.begin;
+      u.data.assign(region_.data() + r.begin, region_.data() + r.end);
+      stats_.bytes_sent += u.data.size();
+      ++stats_.updates;
+      out.push_back(std::move(u));
+    }
+  }
+  region_.begin_tracking();
+  stats_.diff_ns += now_ns() - t0;
+  return out;
+}
+
+void PageDsmNode::apply_updates(const std::vector<PageUpdate>& updates) {
+  const std::uint64_t t0 = now_ns();
+  for (const PageUpdate& u : updates) {
+    if (u.offset + u.data.size() > image_size_) {
+      throw std::out_of_range("PageDsmNode::apply_updates");
+    }
+    region_.apply_update(u.offset, u.data.data(), u.data.size());
+  }
+  stats_.apply_ns += now_ns() - t0;
+}
+
+}  // namespace hdsm::base

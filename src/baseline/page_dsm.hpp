@@ -1,0 +1,74 @@
+// The traditional homogeneous page-based DSM the paper contrasts itself
+// with (§4): twin/diff at page granularity, updates applied as raw byte
+// ranges with no tags and no conversion — which is exactly why it "is
+// unable to handle changes in page size, endianness, etc."
+//
+// Includes the classic whole-page-send optimization ("when differences
+// exceed a certain threshold ... it is common to send the entire page
+// rather than to continue with the diff") that the heterogeneous system
+// cannot use; the ablation benches quantify both sides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/diff.hpp"
+#include "memory/write_trap.hpp"
+
+namespace hdsm::base {
+
+struct PageDsmOptions {
+  /// Send the whole page when more than this fraction of it changed.
+  double whole_page_threshold = 0.5;
+  bool whole_page_optimization = true;
+};
+
+/// A raw update: bytes at an offset, sender representation (which is also
+/// the receiver representation — homogeneity is assumed).
+struct PageUpdate {
+  std::size_t offset = 0;
+  std::vector<std::byte> data;
+  bool whole_page = false;
+};
+
+struct PageDsmStats {
+  std::uint64_t diff_ns = 0;
+  std::uint64_t apply_ns = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t whole_pages = 0;
+  std::uint64_t dirty_pages = 0;
+};
+
+/// One node of the baseline DSM.
+class PageDsmNode {
+ public:
+  explicit PageDsmNode(std::size_t image_size, PageDsmOptions opts = {});
+
+  mem::TrackedRegion& region() noexcept { return region_; }
+  std::byte* data() noexcept { return region_.data(); }
+  std::size_t image_size() const noexcept { return image_size_; }
+
+  void start_tracking() { region_.begin_tracking(); }
+  void stop_tracking() {
+    if (region_.tracking()) region_.end_tracking();
+  }
+
+  /// Diff dirty pages against twins and emit raw updates; restarts the
+  /// tracking interval.
+  std::vector<PageUpdate> collect_updates();
+
+  /// Apply raw updates by direct memcpy (valid only between homogeneous
+  /// nodes, by construction of this baseline).
+  void apply_updates(const std::vector<PageUpdate>& updates);
+
+  const PageDsmStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::size_t image_size_;
+  PageDsmOptions opts_;
+  mem::TrackedRegion region_;
+  PageDsmStats stats_;
+};
+
+}  // namespace hdsm::base

@@ -1,0 +1,147 @@
+#include "convert/xdr.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "platform/float_codec.hpp"
+#include "platform/int_codec.hpp"
+
+namespace hdsm::conv {
+
+namespace {
+
+using tags::FlatRun;
+
+plat::LongDoubleFormat fmt_of(plat::ScalarKind kind,
+                              const plat::PlatformDesc& p) {
+  return kind == plat::ScalarKind::LongDouble
+             ? p.long_double_format
+             : plat::LongDoubleFormat::Binary64;
+}
+
+}  // namespace
+
+std::uint32_t xdr_elem_size(plat::ScalarKind kind) {
+  using SK = plat::ScalarKind;
+  switch (kind) {
+    case SK::Bool:
+    case SK::Char:
+    case SK::SChar:
+    case SK::UChar:
+    case SK::Short:
+    case SK::UShort:
+    case SK::Int:
+    case SK::UInt:
+      return 4;
+    case SK::Long:
+    case SK::ULong:
+    case SK::LongLong:
+    case SK::ULongLong:
+    case SK::Pointer:
+      return 8;  // XDR hyper / opaque token
+    case SK::Float:
+      return 4;
+    case SK::Double:
+    case SK::LongDouble:
+      return 8;
+  }
+  return 0;
+}
+
+void xdr_encode_run(const std::byte* src, std::uint32_t src_size,
+                    const plat::PlatformDesc& sp, std::uint64_t count,
+                    FlatRun::Cat cat, plat::ScalarKind kind,
+                    std::vector<std::byte>& out) {
+  if (cat == FlatRun::Cat::Padding) return;
+  const std::uint32_t xs = xdr_elem_size(
+      cat == FlatRun::Cat::Pointer ? plat::ScalarKind::Pointer : kind);
+  const std::size_t start = out.size();
+  out.resize(start + xs * count);
+  std::byte* dst = out.data() + start;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::byte* s = src + i * src_size;
+    std::byte* d = dst + i * xs;
+    switch (cat) {
+      case FlatRun::Cat::SignedInt:
+        plat::write_sint(d, xs, plat::Endian::Big,
+                         plat::read_sint(s, src_size, sp.endian));
+        break;
+      case FlatRun::Cat::UnsignedInt:
+      case FlatRun::Cat::Pointer:
+        plat::write_uint(d, xs, plat::Endian::Big,
+                         plat::read_uint(s, src_size, sp.endian));
+        break;
+      case FlatRun::Cat::Float:
+        plat::encode_float(
+            plat::decode_float(s, src_size, sp.endian, fmt_of(kind, sp)), d,
+            xs, plat::Endian::Big, plat::LongDoubleFormat::Binary64);
+        break;
+      case FlatRun::Cat::Padding:
+        break;
+    }
+  }
+}
+
+std::size_t xdr_decode_run(const std::byte* src, std::size_t src_len,
+                           std::byte* dst, std::uint32_t dst_size,
+                           const plat::PlatformDesc& dp, std::uint64_t count,
+                           FlatRun::Cat cat, plat::ScalarKind kind) {
+  if (cat == FlatRun::Cat::Padding) return 0;
+  const std::uint32_t xs = xdr_elem_size(
+      cat == FlatRun::Cat::Pointer ? plat::ScalarKind::Pointer : kind);
+  const std::size_t need = static_cast<std::size_t>(xs) * count;
+  if (src_len < need) {
+    throw std::invalid_argument("xdr_decode_run: canonical data truncated");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::byte* s = src + i * xs;
+    std::byte* d = dst + i * dst_size;
+    switch (cat) {
+      case FlatRun::Cat::SignedInt:
+        plat::write_sint(d, dst_size, dp.endian,
+                         plat::read_sint(s, xs, plat::Endian::Big));
+        break;
+      case FlatRun::Cat::UnsignedInt:
+      case FlatRun::Cat::Pointer:
+        plat::write_uint(d, dst_size, dp.endian,
+                         plat::read_uint(s, xs, plat::Endian::Big));
+        break;
+      case FlatRun::Cat::Float:
+        plat::encode_float(plat::decode_float(s, xs, plat::Endian::Big,
+                                              plat::LongDoubleFormat::Binary64),
+                           d, dst_size, dp.endian, fmt_of(kind, dp));
+        break;
+      case FlatRun::Cat::Padding:
+        break;
+    }
+  }
+  return need;
+}
+
+std::vector<std::byte> xdr_encode_image(const std::byte* src,
+                                        const tags::Layout& layout) {
+  std::vector<std::byte> out;
+  for (const tags::FlatRun& run : layout.runs) {
+    if (run.cat == FlatRun::Cat::Padding) continue;
+    xdr_encode_run(src + run.offset, run.elem_size, *layout.platform,
+                   run.count, run.cat, run.kind, out);
+  }
+  return out;
+}
+
+void xdr_decode_image(const std::vector<std::byte>& canonical, std::byte* dst,
+                      const tags::Layout& layout) {
+  std::memset(dst, 0, layout.size);
+  std::size_t pos = 0;
+  for (const tags::FlatRun& run : layout.runs) {
+    if (run.cat == FlatRun::Cat::Padding) continue;
+    pos += xdr_decode_run(canonical.data() + pos, canonical.size() - pos,
+                          dst + run.offset, run.elem_size, *layout.platform,
+                          run.count, run.cat, run.kind);
+  }
+  if (pos != canonical.size()) {
+    throw std::invalid_argument("xdr_decode_image: trailing canonical bytes");
+  }
+}
+
+}  // namespace hdsm::conv

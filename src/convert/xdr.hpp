@@ -1,0 +1,60 @@
+// XDR (External Data Representation, RFC 4506) codec — the canonical
+// intermediate-format baseline the paper positions CGT-RMR against.
+//
+// XDR converts *twice*: the sender encodes native data into the canonical
+// big-endian 4-byte-aligned form, the receiver decodes it into its own
+// representation — even when the two machines are identical.  CGT-RMR
+// ships the sender's native bytes and converts at most once, on the
+// receiver ("receiver makes right"); the paper (and its companion paper on
+// CGT-RMR) argue this "generates a lighter workload compared to existing
+// standards".  bench_abl_rmr_vs_xdr quantifies the claim.
+//
+// Canonical form implemented here (the subset the DSM needs):
+//   - every item occupies a multiple of 4 bytes, big-endian;
+//   - integral types of size <= 4 widen to 4 bytes (sign-extending),
+//     larger ones to 8 ("hyper");
+//   - float -> 4-byte IEEE binary32, double/long double -> 8-byte binary64;
+//   - pointers travel as 8-byte opaque tokens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "tags/layout.hpp"
+
+namespace hdsm::conv {
+
+/// Bytes one element of this logical kind occupies in canonical XDR form —
+/// a platform-independent function of the declared type, so both sides of
+/// any pair agree (char..int -> 4, long/long long/pointer -> 8, float -> 4,
+/// double/long double -> 8).
+std::uint32_t xdr_elem_size(plat::ScalarKind kind);
+
+/// Encode `count` elements from `src` (native representation per `sp`,
+/// `src_size` bytes each) into canonical XDR, appended to `out`.
+void xdr_encode_run(const std::byte* src, std::uint32_t src_size,
+                    const plat::PlatformDesc& sp, std::uint64_t count,
+                    tags::FlatRun::Cat cat, plat::ScalarKind kind,
+                    std::vector<std::byte>& out);
+
+/// Decode `count` canonical elements from `src` into `dst` (native
+/// representation per `dp`, `dst_size` bytes each).  Returns the number of
+/// canonical bytes consumed.
+std::size_t xdr_decode_run(const std::byte* src, std::size_t src_len,
+                           std::byte* dst, std::uint32_t dst_size,
+                           const plat::PlatformDesc& dp, std::uint64_t count,
+                           tags::FlatRun::Cat cat, plat::ScalarKind kind);
+
+/// Encode a complete image (non-padding runs in layout order).
+std::vector<std::byte> xdr_encode_image(const std::byte* src,
+                                        const tags::Layout& layout);
+
+/// Decode a canonical image produced by xdr_encode_image of a same-shape
+/// type; destination padding is zeroed.  Throws std::invalid_argument on a
+/// length mismatch.
+void xdr_decode_image(const std::vector<std::byte>& canonical, std::byte* dst,
+                      const tags::Layout& layout);
+
+}  // namespace hdsm::conv

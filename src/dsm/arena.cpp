@@ -1,0 +1,115 @@
+#include "dsm/arena.hpp"
+
+#include <stdexcept>
+
+#include "tags/layout.hpp"
+
+namespace hdsm::dsm {
+
+ArenaView::ArenaView(GlobalSpace& space, const std::string& field) {
+  const tags::TypePtr gthv = space.table().layout().type;
+  if (gthv->kind() != tags::TypeDesc::Kind::Struct) {
+    throw std::invalid_argument("ArenaView: GThV is not a struct");
+  }
+  const plat::PlatformDesc& platform = space.platform();
+  endian_ = platform.endian;
+
+  // Locate the field and require array-of-struct shape.
+  const std::vector<tags::Field>& fields = gthv->fields();
+  std::size_t field_index = fields.size();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field) {
+      field_index = i;
+      break;
+    }
+  }
+  if (field_index == fields.size()) {
+    throw std::out_of_range("ArenaView: no field named " + field);
+  }
+  const tags::TypePtr& ftype = fields[field_index].type;
+  if (ftype->kind() != tags::TypeDesc::Kind::Array ||
+      ftype->element()->kind() != tags::TypeDesc::Kind::Struct) {
+    throw std::invalid_argument(
+        "ArenaView: field is not an array of structs");
+  }
+  const tags::TypePtr elem = ftype->element();
+  slots_ = ftype->count();
+  stride_ = tags::size_of(*elem, platform);
+  base_ = space.region().data() +
+          space.table().layout().field_offsets.at(field_index);
+
+  // Flatten the element's members once.
+  const tags::Layout elem_layout = tags::compute_layout(elem, platform);
+  for (std::size_t i = 0; i < elem->fields().size(); ++i) {
+    const tags::Field& f = elem->fields()[i];
+    const std::uint64_t off = elem_layout.field_offsets.at(i);
+    const tags::FlatRun& run = elem_layout.runs[elem_layout.run_at(off)];
+    if (run.cat == tags::FlatRun::Cat::Padding) continue;  // reserved slot
+    Member m;
+    m.name = f.name;
+    m.offset = off;
+    m.elem_size = run.elem_size;
+    m.count = run.count;
+    m.cat = run.cat;
+    m.ldf = run.kind == plat::ScalarKind::LongDouble
+                ? platform.long_double_format
+                : plat::LongDoubleFormat::Binary64;
+    members_.push_back(std::move(m));
+  }
+}
+
+const ArenaView::Member& ArenaView::resolve(std::uint64_t slot,
+                                            const std::string& member,
+                                            std::uint64_t index) const {
+  if (slot >= slots_) throw std::out_of_range("ArenaView: slot");
+  for (const Member& m : members_) {
+    if (m.name == member) {
+      if (index >= m.count) {
+        throw std::out_of_range("ArenaView: member element index");
+      }
+      return m;
+    }
+  }
+  throw std::out_of_range("ArenaView: no member named " + member);
+}
+
+ArenaAllocator::ArenaAllocator(GlobalSpace& space,
+                               const std::string& bitmap_field)
+    : bitmap_(space.view<std::int32_t>(bitmap_field)) {}
+
+std::uint64_t ArenaAllocator::allocate() {
+  for (std::uint64_t slot = 0; slot < bitmap_.size(); ++slot) {
+    if (bitmap_.get(slot) == 0) {
+      bitmap_.set(slot, 1);
+      return arena_token(slot);
+    }
+  }
+  return kArenaNull;
+}
+
+void ArenaAllocator::deallocate(std::uint64_t token) {
+  if (token == kArenaNull || arena_slot(token) >= bitmap_.size()) {
+    throw std::logic_error("ArenaAllocator: bad token");
+  }
+  if (bitmap_.get(arena_slot(token)) == 0) {
+    throw std::logic_error("ArenaAllocator: double free");
+  }
+  bitmap_.set(arena_slot(token), 0);
+}
+
+bool ArenaAllocator::in_use(std::uint64_t token) const {
+  if (token == kArenaNull || arena_slot(token) >= bitmap_.size()) {
+    return false;
+  }
+  return bitmap_.get(arena_slot(token)) != 0;
+}
+
+std::uint64_t ArenaAllocator::used() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t slot = 0; slot < bitmap_.size(); ++slot) {
+    n += bitmap_.get(slot) != 0;
+  }
+  return n;
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,108 @@
+// Shared arenas: linked data structures inside GThV.
+//
+// The paper's GThV begins with `void* GThP` — a pointer to dynamically
+// shared data.  Raw machine addresses cannot cross address spaces, so
+// pointers into shared state travel as portable *slot tokens* (the same
+// rule CGT-RMR applies to every `(m,-n)` tag).  An arena is a top-level
+// GThV field typed as an array of structs; ArenaView addresses
+// `pool[slot].member` through the node's own layout, and ArenaAllocator
+// manages slot lifetimes through a shared int-array bitmap so allocation
+// state itself migrates with the data.
+//
+// Token convention: 0 is null; token = slot + 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsm/global_space.hpp"
+
+namespace hdsm::dsm {
+
+inline constexpr std::uint64_t kArenaNull = 0;
+
+inline std::uint64_t arena_token(std::uint64_t slot) { return slot + 1; }
+inline std::uint64_t arena_slot(std::uint64_t token) { return token - 1; }
+
+/// Typed member access into a top-level field that is an array of structs.
+class ArenaView {
+ public:
+  ArenaView(GlobalSpace& space, const std::string& field);
+
+  std::uint64_t slots() const noexcept { return slots_; }
+
+  template <typename T>
+  T get(std::uint64_t slot, const std::string& member,
+        std::uint64_t index = 0) const {
+    const Member& m = resolve(slot, member, index);
+    const std::byte* p = elem_ptr(slot) + m.offset + index * m.elem_size;
+    if (m.cat == tags::FlatRun::Cat::Float) {
+      return static_cast<T>(
+          plat::decode_float(p, m.elem_size, endian_, m.ldf));
+    }
+    if (m.cat == tags::FlatRun::Cat::SignedInt) {
+      return static_cast<T>(plat::read_sint(p, m.elem_size, endian_));
+    }
+    return static_cast<T>(plat::read_uint(p, m.elem_size, endian_));
+  }
+
+  template <typename T>
+  void set(std::uint64_t slot, const std::string& member, T value,
+           std::uint64_t index = 0) {
+    const Member& m = resolve(slot, member, index);
+    std::byte* p = elem_ptr(slot) + m.offset + index * m.elem_size;
+    if (m.cat == tags::FlatRun::Cat::Float) {
+      plat::encode_float(static_cast<double>(value), p, m.elem_size, endian_,
+                         m.ldf);
+    } else if (m.cat == tags::FlatRun::Cat::SignedInt) {
+      plat::write_sint(p, m.elem_size, endian_,
+                       static_cast<std::int64_t>(value));
+    } else {
+      plat::write_uint(p, m.elem_size, endian_,
+                       static_cast<std::uint64_t>(value));
+    }
+  }
+
+ private:
+  struct Member {
+    std::string name;
+    std::uint64_t offset = 0;  // within the element
+    std::uint32_t elem_size = 0;
+    std::uint64_t count = 0;
+    tags::FlatRun::Cat cat = tags::FlatRun::Cat::Padding;
+    plat::LongDoubleFormat ldf = plat::LongDoubleFormat::Binary64;
+  };
+
+  const Member& resolve(std::uint64_t slot, const std::string& member,
+                        std::uint64_t index) const;
+  std::byte* elem_ptr(std::uint64_t slot) const {
+    return base_ + slot * stride_;
+  }
+
+  std::byte* base_ = nullptr;
+  std::uint64_t stride_ = 0;
+  std::uint64_t slots_ = 0;
+  plat::Endian endian_ = plat::Endian::Little;
+  std::vector<Member> members_;
+};
+
+/// Slot lifetime management over a shared int-array field (0 free, 1 used).
+/// Serialize allocate/deallocate with a DSD lock; the bitmap rides the
+/// ordinary update machinery, so ownership survives migration/rehoming.
+class ArenaAllocator {
+ public:
+  ArenaAllocator(GlobalSpace& space, const std::string& bitmap_field);
+
+  /// Claim a free slot; returns its token, or kArenaNull when full.
+  std::uint64_t allocate();
+  /// Release a token; throws std::logic_error on double free / null.
+  void deallocate(std::uint64_t token);
+  bool in_use(std::uint64_t token) const;
+  std::uint64_t capacity() const noexcept { return bitmap_.size(); }
+  std::uint64_t used() const;
+
+ private:
+  View<std::int32_t> bitmap_;
+};
+
+}  // namespace hdsm::dsm

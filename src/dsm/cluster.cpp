@@ -1,0 +1,39 @@
+#include "dsm/cluster.hpp"
+
+#include <thread>
+
+namespace hdsm::dsm {
+
+Cluster::Cluster(tags::TypePtr gthv, const plat::PlatformDesc& home_platform,
+                 const std::vector<const plat::PlatformDesc*>& remote_platforms,
+                 HomeOptions opts) {
+  home_ = std::make_unique<HomeNode>(gthv, home_platform, opts);
+  for (std::size_t i = 0; i < remote_platforms.size(); ++i) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(i + 1);
+    msg::EndpointPtr ep = home_->attach(rank);
+    remotes_.push_back(std::make_unique<RemoteThread>(
+        gthv, *remote_platforms[i], rank, std::move(ep), opts.dsd));
+  }
+}
+
+void Cluster::run(const std::function<void(HomeNode&)>& master_fn,
+                  const std::function<void(RemoteThread&)>& remote_fn) {
+  home_->start();
+  std::vector<std::thread> threads;
+  threads.reserve(remotes_.size());
+  for (auto& remote : remotes_) {
+    threads.emplace_back([&remote, &remote_fn] { remote_fn(*remote); });
+  }
+  master_fn(*home_);
+  for (std::thread& t : threads) t.join();
+}
+
+ShareStats Cluster::total_stats() const {
+  ShareStats total = home_->stats();
+  for (const auto& remote : remotes_) {
+    total += remote->stats();
+  }
+  return total;
+}
+
+}  // namespace hdsm::dsm

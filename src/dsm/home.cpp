@@ -1,0 +1,490 @@
+#include "dsm/home.hpp"
+
+#include "mig/tagged_convert.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace hdsm::dsm {
+
+HomeNode::HomeNode(tags::TypePtr gthv, const plat::PlatformDesc& platform,
+                   HomeOptions opts)
+    : opts_(opts),
+      space_(gthv, platform),
+      engine_(space_, opts_.dsd, stats_),
+      locks_(opts_.num_locks),
+      barriers_(opts_.num_barriers) {}
+
+HomeNode::~HomeNode() { stop(); }
+
+msg::EndpointPtr HomeNode::attach(std::uint32_t rank) {
+  auto [home_side, remote_side] = msg::make_channel_pair();
+  attach_endpoint(rank, std::move(home_side));
+  return std::move(remote_side);
+}
+
+void HomeNode::attach_endpoint(std::uint32_t rank, msg::EndpointPtr ep) {
+  if (rank == kMasterRank) {
+    throw std::invalid_argument("rank 0 is the master thread at home");
+  }
+  // A migrating thread re-attaches its rank from the destination node
+  // moments after the source detached; wait out that window, then reap the
+  // old receiver thread outside the lock (it may still need the mutex on
+  // its way out).
+  std::thread old_receiver;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_) throw std::logic_error("attach after stop()");
+    Peer& peer = peers_[rank];
+    if (!cv_.wait_for(lock, std::chrono::seconds(30),
+                      [&peer] { return !peer.active; })) {
+      throw std::invalid_argument("rank already attached: " +
+                                  std::to_string(rank));
+    }
+    old_receiver = std::move(peer.receiver);
+  }
+  if (old_receiver.joinable()) old_receiver.join();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Peer& peer = peers_[rank];
+    peer.endpoint = std::move(ep);
+    peer.active = true;
+    // A fresh remote has seen nothing: its first grant ships the full image.
+    peer.pending = SyncEngine::full_image_runs(space_.table());
+    peer.receiver = std::thread([this, rank] { receiver_loop(rank); });
+    trace(TraceEvent::Kind::Attached, rank, 0);
+  }
+}
+
+void HomeNode::start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  space_.region().begin_tracking();
+}
+
+void HomeNode::stop() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    for (auto& [rank, peer] : peers_) {
+      if (peer.endpoint) peer.endpoint->close();
+      if (peer.receiver.joinable()) to_join.push_back(std::move(peer.receiver));
+      peer.active = false;
+    }
+    cv_.notify_all();
+  }
+  for (std::thread& t : to_join) t.join();
+  if (space_.region().tracking()) space_.region().end_tracking();
+}
+
+ShareStats HomeNode::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool HomeNode::quiesced() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (const auto& [rank, peer] : peers_) {
+    if (peer.active) return false;
+  }
+  for (const LockState& ls : locks_) {
+    if (ls.holder != -1 || !ls.waiters.empty()) return false;
+  }
+  return true;
+}
+
+void HomeNode::set_barrier_count(std::uint32_t index, std::uint32_t count) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (index >= barriers_.size()) {
+    throw std::out_of_range("set_barrier_count index");
+  }
+  barriers_[index].expected = count;
+}
+
+void HomeNode::bind_lock(std::uint32_t index, const std::string& field) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (index >= locks_.size()) throw std::out_of_range("bind_lock index");
+  const std::uint32_t row =
+      static_cast<std::uint32_t>(space_.table().row_of_field(field));
+  LockState& ls = locks_[index];
+  if (std::find(ls.bound_rows.begin(), ls.bound_rows.end(), row) ==
+      ls.bound_rows.end()) {
+    ls.bound_rows.push_back(row);
+  }
+}
+
+std::vector<std::uint32_t> HomeNode::active_ranks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<std::uint32_t> out;
+  for (const auto& [rank, peer] : peers_) {
+    if (peer.active) out.push_back(rank);
+  }
+  return out;
+}
+
+// ---- master-thread API -----------------------------------------------------
+
+void HomeNode::lock(std::uint32_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (index >= locks_.size()) throw std::out_of_range("lock index");
+  LockState& ls = locks_[index];
+  trace(TraceEvent::Kind::LockRequested, kMasterRank, index);
+  if (ls.holder == -1) {
+    ls.holder = kMasterRank;
+    trace(TraceEvent::Kind::LockGranted, kMasterRank, index);
+  } else {
+    ls.waiters.push_back(kMasterRank);
+    cv_.wait(lock, [&ls] { return ls.holder == kMasterRank; });
+  }
+  // The master image is authoritative: nothing to pull on acquire.
+  ++stats_.locks;
+}
+
+void HomeNode::unlock(std::uint32_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (index >= locks_.size()) throw std::out_of_range("lock index");
+  LockState& ls = locks_[index];
+  if (ls.holder != kMasterRank) {
+    throw std::logic_error("master unlock without holding the lock");
+  }
+  // Detect the master's own writes and queue them for every remote.
+  const std::vector<idx::UpdateRun> runs = engine_.collect_runs();
+  merge_pending_locked(kMasterRank, runs);
+  ++stats_.unlocks;
+  trace(TraceEvent::Kind::LockReleased, kMasterRank, index);
+  release_locked(index);
+}
+
+void HomeNode::barrier(std::uint32_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (index >= barriers_.size()) throw std::out_of_range("barrier index");
+  const std::vector<idx::UpdateRun> runs = engine_.collect_runs();
+  merge_pending_locked(kMasterRank, runs);
+  ++stats_.barriers;
+  trace(TraceEvent::Kind::BarrierEntered, kMasterRank, index);
+  BarrierState& b = barriers_[index];
+  enter_barrier_locked(b, kMasterRank);
+  const std::uint64_t gen = b.generation;
+  maybe_release_barrier_locked(index);
+  cv_.wait(lock, [&b, gen] { return b.generation != gen; });
+}
+
+void HomeNode::wait_all_joined() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    return std::all_of(peers_.begin(), peers_.end(),
+                       [](const auto& kv) { return !kv.second.active; });
+  });
+}
+
+// ---- shared internals (mutex held) ----------------------------------------
+
+void HomeNode::grant_locked(std::uint32_t index, std::uint32_t rank) {
+  LockState& ls = locks_[index];
+  ls.holder = rank;
+  trace(TraceEvent::Kind::LockGranted, rank, index);
+  if (rank == kMasterRank) {
+    cv_.notify_all();
+    return;
+  }
+  Peer& peer = peers_.at(rank);
+  msg::Message grant;
+  grant.type = msg::MsgType::LockGrant;
+  grant.sync_id = index;
+  grant.rank = kMasterRank;
+  grant.sender = msg::PlatformSummary::of(space_.platform());
+  std::size_t blocks = 0;
+  if (ls.bound_rows.empty()) {
+    // Release consistency (the paper's behavior): ship everything pending.
+    blocks = peer.pending.size();
+    grant.payload = encode_update_blocks(engine_.pack_runs(peer.pending));
+    peer.pending.clear();
+  } else {
+    // Entry consistency: ship only the runs of the rows this mutex guards.
+    std::vector<idx::UpdateRun> guarded, rest;
+    for (const idx::UpdateRun& run : peer.pending) {
+      if (std::find(ls.bound_rows.begin(), ls.bound_rows.end(), run.row) !=
+          ls.bound_rows.end()) {
+        guarded.push_back(run);
+      } else {
+        rest.push_back(run);
+      }
+    }
+    blocks = guarded.size();
+    grant.payload = encode_update_blocks(engine_.pack_runs(guarded));
+    peer.pending = std::move(rest);
+  }
+  trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
+        grant.payload.size());
+  peer.endpoint->send(grant);
+}
+
+void HomeNode::release_locked(std::uint32_t index) {
+  LockState& ls = locks_[index];
+  ls.holder = -1;
+  while (!ls.waiters.empty()) {
+    const std::uint32_t next = ls.waiters.front();
+    ls.waiters.pop_front();
+    if (next == kMasterRank || peers_.at(next).active) {
+      grant_locked(index, next);
+      return;
+    }
+  }
+}
+
+void HomeNode::merge_pending_locked(std::uint32_t source_rank,
+                                    const std::vector<idx::UpdateRun>& runs) {
+  if (runs.empty()) return;
+  for (auto& [rank, peer] : peers_) {
+    if (rank == source_rank || !peer.active) continue;
+    merge_runs(peer.pending, runs);
+  }
+}
+
+void HomeNode::enter_barrier_locked(BarrierState& b, std::uint32_t rank) {
+  if (b.entered.empty()) {
+    // First entry freezes the episode's participant set: the master plus
+    // every remote attached right now.  Later joiners sync through their
+    // first lock grant instead of blocking an episode they never saw.
+    b.participants.clear();
+    b.participants.push_back(kMasterRank);
+    for (const auto& [r, peer] : peers_) {
+      if (peer.active) b.participants.push_back(r);
+    }
+  }
+  if (std::find(b.participants.begin(), b.participants.end(), rank) ==
+      b.participants.end()) {
+    b.participants.push_back(rank);  // a late joiner opting in by entering
+  }
+  b.entered.push_back(rank);
+}
+
+bool HomeNode::barrier_complete_locked(const BarrierState& b) const {
+  if (b.entered.empty()) return false;
+  if (b.expected != 0) {
+    // pthread-style fixed count: the episode closes when `expected`
+    // distinct threads (the master among them) have entered.
+    return b.entered.size() >= b.expected &&
+           std::find(b.entered.begin(), b.entered.end(), kMasterRank) !=
+               b.entered.end();
+  }
+  for (const std::uint32_t rank : b.participants) {
+    if (std::find(b.entered.begin(), b.entered.end(), rank) !=
+        b.entered.end()) {
+      continue;
+    }
+    // A participant that detached (crashed or joined) no longer blocks.
+    if (rank != kMasterRank) {
+      auto it = peers_.find(rank);
+      if (it == peers_.end() || !it->second.active) continue;
+    }
+    return false;
+  }
+  // The master always participates once it entered; an episode can only
+  // complete after the master is in.
+  return std::find(b.entered.begin(), b.entered.end(), kMasterRank) !=
+         b.entered.end();
+}
+
+void HomeNode::maybe_release_barrier_locked(std::uint32_t index) {
+  BarrierState& b = barriers_[index];
+  if (!barrier_complete_locked(b)) return;
+  // Release exactly the remotes that entered this episode; a mid-episode
+  // joiner must not receive a BarrierRelease it never asked for.
+  for (const std::uint32_t rank : b.entered) {
+    if (rank == kMasterRank) continue;
+    Peer& peer = peers_.at(rank);
+    if (!peer.active) continue;
+    msg::Message release;
+    release.type = msg::MsgType::BarrierRelease;
+    release.sync_id = index;
+    release.rank = kMasterRank;
+    release.sender = msg::PlatformSummary::of(space_.platform());
+    const std::size_t blocks = peer.pending.size();
+    release.payload = encode_update_blocks(engine_.pack_runs(peer.pending));
+    peer.pending.clear();
+    trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
+          release.payload.size());
+    peer.endpoint->send(release);
+  }
+  trace(TraceEvent::Kind::BarrierReleased, kMasterRank, index);
+  b.entered.clear();
+  b.participants.clear();
+  ++b.generation;
+  cv_.notify_all();
+}
+
+void HomeNode::detach_locked(std::uint32_t rank, bool trace_detach) {
+  auto it = peers_.find(rank);
+  if (it == peers_.end() || !it->second.active) return;
+  it->second.active = false;
+  if (trace_detach) trace(TraceEvent::Kind::Detached, rank, 0);
+  it->second.pending.clear();
+  // A departed participant may have been the last thing barriers waited on.
+  for (std::uint32_t i = 0; i < barriers_.size(); ++i) {
+    maybe_release_barrier_locked(i);
+  }
+  // Drop it from lock wait queues and release anything it held.
+  for (std::uint32_t i = 0; i < locks_.size(); ++i) {
+    LockState& ls = locks_[i];
+    ls.waiters.erase(std::remove(ls.waiters.begin(), ls.waiters.end(), rank),
+                     ls.waiters.end());
+    if (ls.holder == static_cast<std::int64_t>(rank)) {
+      release_locked(i);
+    }
+  }
+  cv_.notify_all();
+}
+
+// ---- receiver --------------------------------------------------------------
+
+void HomeNode::receiver_loop(std::uint32_t rank) {
+  msg::Endpoint* ep = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ep = peers_.at(rank).endpoint.get();
+  }
+  try {
+    for (;;) {
+      const msg::Message m = ep->recv();
+      std::unique_lock<std::mutex> lock(mutex_);
+      handle_message(rank, m, lock);
+      if (m.type == msg::MsgType::JoinRequest) return;
+    }
+  } catch (const msg::ChannelClosed&) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    detach_locked(rank);
+  } catch (const std::exception& e) {
+    // A malformed or protocol-violating peer must not take the home node
+    // down: close its channel and detach it (its lock holdings are
+    // released and barriers re-evaluated), like a crashed cluster member.
+    std::fprintf(stderr, "hdsm home: detaching rank %u: %s\n", rank,
+                 e.what());
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = peers_.find(rank);
+    if (it != peers_.end() && it->second.endpoint) {
+      it->second.endpoint->close();
+    }
+    detach_locked(rank);
+  }
+}
+
+void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
+                              std::unique_lock<std::mutex>&) {
+  Peer& peer = peers_.at(rank);
+  switch (m.type) {
+    case msg::MsgType::Hello: {
+      if (m.tag.empty()) return;  // tag-less Hello (application traffic)
+      // Shape negotiation: the remote's image tag must describe the same
+      // logical structure as ours (same non-padding runs: counts and
+      // pointer-ness), though sizes/padding may differ per platform.
+      const auto remote_runs = mig::runs_from_tag(tags::Tag::parse(m.tag));
+      const tags::Layout& mine = space_.table().layout();
+      std::size_t i = 0;
+      bool ok = true;
+      for (const tags::FlatRun& run : mine.runs) {
+        if (run.cat == tags::FlatRun::Cat::Padding) continue;
+        while (i < remote_runs.size() && remote_runs[i].is_padding) ++i;
+        if (i >= remote_runs.size() || remote_runs[i].count != run.count ||
+            remote_runs[i].is_pointer !=
+                (run.cat == tags::FlatRun::Cat::Pointer)) {
+          ok = false;
+          break;
+        }
+        ++i;
+      }
+      while (ok && i < remote_runs.size()) {
+        if (!remote_runs[i].is_padding) ok = false;
+        ++i;
+      }
+      if (!ok) {
+        throw std::logic_error(
+            "home: remote rank " + std::to_string(rank) +
+            " describes a different GThV (tag \"" + m.tag + "\" vs \"" +
+            space_.image_tag_text() + "\")");
+      }
+      return;
+    }
+    case msg::MsgType::LockRequest: {
+      if (m.sync_id >= locks_.size()) {
+        throw std::out_of_range("remote lock index");
+      }
+      trace(TraceEvent::Kind::LockRequested, rank, m.sync_id);
+      LockState& ls = locks_[m.sync_id];
+      if (ls.holder == -1) {
+        grant_locked(m.sync_id, rank);
+      } else {
+        ls.waiters.push_back(rank);
+      }
+      return;
+    }
+    case msg::MsgType::UnlockRequest: {
+      if (m.sync_id >= locks_.size()) {
+        throw std::out_of_range("remote unlock index");
+      }
+      if (locks_[m.sync_id].holder != static_cast<std::int64_t>(rank)) {
+        throw std::logic_error("remote unlock without holding the lock");
+      }
+      const std::vector<idx::UpdateRun> runs =
+          engine_.apply_payload(m.payload, m.sender);
+      trace(TraceEvent::Kind::UpdatesApplied, rank, m.sync_id, runs.size(),
+            m.payload.size());
+      merge_pending_locked(rank, runs);
+      trace(TraceEvent::Kind::LockReleased, rank, m.sync_id);
+      release_locked(m.sync_id);
+      msg::Message ack;
+      ack.type = msg::MsgType::UnlockAck;
+      ack.sync_id = m.sync_id;
+      ack.rank = kMasterRank;
+      ack.sender = msg::PlatformSummary::of(space_.platform());
+      peer.endpoint->send(ack);
+      return;
+    }
+    case msg::MsgType::BarrierEnter: {
+      if (m.sync_id >= barriers_.size()) {
+        throw std::out_of_range("remote barrier index");
+      }
+      const std::vector<idx::UpdateRun> runs =
+          engine_.apply_payload(m.payload, m.sender);
+      trace(TraceEvent::Kind::UpdatesApplied, rank, m.sync_id, runs.size(),
+            m.payload.size());
+      merge_pending_locked(rank, runs);
+      trace(TraceEvent::Kind::BarrierEntered, rank, m.sync_id);
+      enter_barrier_locked(barriers_[m.sync_id], rank);
+      maybe_release_barrier_locked(m.sync_id);
+      return;
+    }
+    case msg::MsgType::JoinRequest: {
+      const std::vector<idx::UpdateRun> runs =
+          engine_.apply_payload(m.payload, m.sender);
+      trace(TraceEvent::Kind::UpdatesApplied, rank, 0, runs.size(),
+            m.payload.size());
+      merge_pending_locked(rank, runs);
+      msg::Message ack;
+      ack.type = msg::MsgType::JoinAck;
+      ack.rank = kMasterRank;
+      ack.sender = msg::PlatformSummary::of(space_.platform());
+      peer.endpoint->send(ack);
+      trace(TraceEvent::Kind::Joined, rank, 0);
+      detach_locked(rank, /*trace_detach=*/false);
+      return;
+    }
+    default:
+      throw std::logic_error(std::string("home: unexpected message ") +
+                             msg::msg_type_name(m.type));
+  }
+}
+
+void HomeNode::trace(TraceEvent::Kind kind, std::uint32_t rank,
+                     std::uint32_t sync_id, std::uint64_t blocks,
+                     std::uint64_t bytes) {
+  if (opts_.trace != nullptr) {
+    opts_.trace->append(kind, rank, sync_id, blocks, bytes);
+  }
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,162 @@
+// The home node (paper §3.1, §4): hosts the master thread, the
+// authoritative GThV image, the distributed lock and barrier managers, and
+// one stub endpoint per remote thread.
+//
+// "Parallel applications are initially started at one node, called the home
+//  node. ... Once the state of a local thread at the home node is
+//  transferred, it becomes a stub thread for future resource access."
+//
+// Concurrency model: each attached remote gets a receiver thread that
+// handles its messages under one state mutex; the master thread's
+// lock/unlock/barrier calls take the same mutex.  Updates build up per
+// remote in a pending run set and are shipped on the next lock grant or
+// barrier release — which is how the paper's "rather large batch update"
+// (the Figure 9 spike) arises.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsm/global_space.hpp"
+#include "dsm/stats.hpp"
+#include "dsm/sync_engine.hpp"
+#include "dsm/trace.hpp"
+#include "msg/endpoint.hpp"
+
+namespace hdsm::dsm {
+
+struct HomeOptions {
+  std::uint32_t num_locks = 16;
+  std::uint32_t num_barriers = 16;
+  DsdOptions dsd;
+  /// Optional protocol trace sink (see trace.hpp); not owned, must outlive
+  /// the home node.
+  TraceLog* trace = nullptr;
+};
+
+class HomeNode {
+ public:
+  static constexpr std::uint32_t kMasterRank = 0;
+
+  HomeNode(tags::TypePtr gthv, const plat::PlatformDesc& platform,
+           HomeOptions opts = {});
+  ~HomeNode();
+
+  HomeNode(const HomeNode&) = delete;
+  HomeNode& operator=(const HomeNode&) = delete;
+
+  /// Attach remote thread `rank` over an in-process channel; returns the
+  /// endpoint for the remote side.  The remote starts with a full-image
+  /// pending set, so its first synchronization pulls the whole GThV.
+  msg::EndpointPtr attach(std::uint32_t rank);
+
+  /// Attach `rank` over an externally-created endpoint (e.g. a TCP accept).
+  void attach_endpoint(std::uint32_t rank, msg::EndpointPtr ep);
+
+  /// Begin the master thread's first tracking interval.  Call once, before
+  /// computation, after construction.
+  void start();
+
+  /// Disconnect all remotes and stop receiver threads (idempotent).
+  void stop();
+
+  // -- Master-thread synchronization API (the rank-0 side of MTh_*) --
+  void lock(std::uint32_t index);
+  void unlock(std::uint32_t index);
+  void barrier(std::uint32_t index);
+  /// Block until every attached remote has called MTh_join().
+  void wait_all_joined();
+
+  GlobalSpace& space() noexcept { return space_; }
+  const GlobalSpace& space() const noexcept { return space_; }
+  ShareStats stats() const;
+  std::uint32_t num_locks() const noexcept { return opts_.num_locks; }
+
+  /// Ranks currently attached and not joined.
+  std::vector<std::uint32_t> active_ranks() const;
+
+  /// True when no remote is attached and no lock is held — the safe point
+  /// for master migration (rehome()).
+  bool quiesced() const;
+
+  /// Fix barrier `index`'s episode size to `count` distinct threads
+  /// (master included) — the pthread_barrier_init(count) semantics the
+  /// paper's MTh_barrier maps onto.  Without it, episode membership is
+  /// inferred as "master + remotes attached at first entry", which is
+  /// only safe when every participant attaches before the group's first
+  /// entry; with racing attaches (slow process spawn, TCP connect), set
+  /// the count explicitly.  0 restores the inferred behavior.
+  void set_barrier_count(std::uint32_t index, std::uint32_t count);
+
+  /// Entry-consistency extension (Midway-style): bind mutex `index` to the
+  /// top-level GThV field `field`.  Grants of a bound mutex ship only the
+  /// pending updates of its bound fields (the rest stay pending for the
+  /// locks — or barriers — that guard them), cutting acquire latency for
+  /// fine-grained locking disciplines.  Unbound mutexes and barriers keep
+  /// the paper's release-consistency behavior (ship everything pending).
+  /// Call before computation starts; a mutex may bind several fields.
+  void bind_lock(std::uint32_t index, const std::string& field);
+
+ private:
+  struct Peer {
+    msg::EndpointPtr endpoint;
+    std::thread receiver;
+    bool active = false;
+    std::vector<idx::UpdateRun> pending;
+  };
+
+  struct LockState {
+    std::int64_t holder = -1;  // rank, or -1 when free
+    std::deque<std::uint32_t> waiters;
+    /// Entry consistency: rows this mutex guards (empty = guards all).
+    std::vector<std::uint32_t> bound_rows;
+  };
+
+  struct BarrierState {
+    std::vector<std::uint32_t> entered;
+    /// Frozen at the episode's first entry: the ranks this episode waits
+    /// for.  A node that attaches mid-episode is not a participant (it
+    /// neither blocks the episode nor receives its release); one that
+    /// enters anyway joins the episode.
+    std::vector<std::uint32_t> participants;
+    /// Explicit episode size (pthread_barrier_init count); 0 = inferred.
+    std::uint32_t expected = 0;
+    std::uint64_t generation = 0;
+  };
+
+  void receiver_loop(std::uint32_t rank);
+  void handle_message(std::uint32_t rank, const msg::Message& m,
+                      std::unique_lock<std::mutex>& lock);
+  void grant_locked(std::uint32_t index, std::uint32_t rank);
+  void release_locked(std::uint32_t index);
+  void merge_pending_locked(std::uint32_t source_rank,
+                            const std::vector<idx::UpdateRun>& runs);
+  void enter_barrier_locked(BarrierState& b, std::uint32_t rank);
+  void maybe_release_barrier_locked(std::uint32_t index);
+  bool barrier_complete_locked(const BarrierState& b) const;
+  void detach_locked(std::uint32_t rank, bool trace_detach = true);
+  void trace(TraceEvent::Kind kind, std::uint32_t rank,
+             std::uint32_t sync_id, std::uint64_t blocks = 0,
+             std::uint64_t bytes = 0);
+
+  HomeOptions opts_;
+  GlobalSpace space_;
+  ShareStats stats_;
+  SyncEngine engine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint32_t, Peer> peers_;
+  std::vector<LockState> locks_;
+  std::vector<BarrierState> barriers_;
+  bool master_in_barrier_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,92 @@
+#include "dsm/image_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "mig/io_state.hpp"
+#include "mig/tagged_convert.hpp"
+
+namespace hdsm::dsm {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'D', 'S', 'M', 'I', 'M', 'G', '1'};
+
+}  // namespace
+
+void save_image(const GlobalSpace& space, const std::string& path) {
+  const std::string& tag = space.image_tag_text();
+  const std::string tmp = path + ".tmp";
+  {
+    mig::MigratableFile f =
+        mig::MigratableFile::open(tmp, mig::FileMode::Write);
+    f.write(kMagic, sizeof(kMagic));
+    const std::uint8_t summary[2] = {
+        static_cast<std::uint8_t>(space.platform().endian),
+        static_cast<std::uint8_t>(space.platform().long_double_format)};
+    f.write(summary, 2);
+    const std::uint32_t tag_len = static_cast<std::uint32_t>(tag.size());
+    const std::uint8_t len_be[4] = {
+        static_cast<std::uint8_t>(tag_len >> 24),
+        static_cast<std::uint8_t>(tag_len >> 16),
+        static_cast<std::uint8_t>(tag_len >> 8),
+        static_cast<std::uint8_t>(tag_len)};
+    f.write(len_be, 4);
+    f.write(tag.data(), tag.size());
+    f.write(space.region().data(), space.table().image_size());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_image: rename failed for " + path);
+  }
+}
+
+void load_image(GlobalSpace& space, const std::string& path) {
+  mig::MigratableFile f = mig::MigratableFile::open(path, mig::FileMode::Read);
+  char magic[sizeof(kMagic)];
+  if (f.read(magic, sizeof(magic)) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_image: bad magic");
+  }
+  std::uint8_t summary[2];
+  if (f.read(summary, 2) != 2 || summary[0] > 1 || summary[1] > 2) {
+    throw std::runtime_error("load_image: bad platform summary");
+  }
+  std::uint8_t len_be[4];
+  if (f.read(len_be, 4) != 4) {
+    throw std::runtime_error("load_image: truncated tag length");
+  }
+  const std::uint32_t tag_len =
+      (static_cast<std::uint32_t>(len_be[0]) << 24) |
+      (static_cast<std::uint32_t>(len_be[1]) << 16) |
+      (static_cast<std::uint32_t>(len_be[2]) << 8) | len_be[3];
+  std::string tag_text(tag_len, '\0');
+  if (f.read(tag_text.data(), tag_len) != tag_len) {
+    throw std::runtime_error("load_image: truncated tag");
+  }
+  tags::Tag tag;
+  try {
+    tag = tags::Tag::parse(tag_text);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_image: bad tag: ") + e.what());
+  }
+  std::vector<std::byte> data(tag.described_bytes());
+  if (f.read(data.data(), data.size()) != data.size()) {
+    throw std::runtime_error("load_image: truncated image data");
+  }
+
+  std::vector<std::byte> converted(space.table().image_size());
+  try {
+    mig::convert_tagged_image(
+        data.data(), tag, static_cast<plat::Endian>(summary[0]),
+        static_cast<plat::LongDoubleFormat>(summary[1]), converted.data(),
+        space.table().layout());
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_image: ") + e.what());
+  }
+  space.region().apply_update(0, converted.data(), converted.size());
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,98 @@
+#include "dsm/remote.hpp"
+
+#include <stdexcept>
+
+namespace hdsm::dsm {
+
+RemoteThread::RemoteThread(tags::TypePtr gthv,
+                           const plat::PlatformDesc& platform,
+                           std::uint32_t rank, msg::EndpointPtr endpoint,
+                           DsdOptions opts)
+    : space_(gthv, platform),
+      engine_(space_, opts, stats_),
+      rank_(rank),
+      endpoint_(std::move(endpoint)) {
+  msg::Message hello;
+  hello.type = msg::MsgType::Hello;
+  hello.rank = rank_;
+  hello.sender = msg::PlatformSummary::of(platform);
+  // The image tag travels with the Hello so the home node can verify both
+  // sides describe the same logical GThV before any updates flow (string
+  // equality additionally tells it the pair is homogeneous).
+  hello.tag = space_.image_tag_text();
+  endpoint_->send(hello);
+  space_.region().begin_tracking();
+}
+
+RemoteThread::~RemoteThread() {
+  if (space_.region().tracking()) space_.region().end_tracking();
+  if (endpoint_) endpoint_->close();
+}
+
+msg::Message RemoteThread::expect(msg::MsgType type) {
+  const msg::Message m = endpoint_->recv();
+  if (m.type != type) {
+    throw std::logic_error(std::string("remote: expected ") +
+                           msg::msg_type_name(type) + ", got " +
+                           msg::msg_type_name(m.type));
+  }
+  return m;
+}
+
+void RemoteThread::lock(std::uint32_t index) {
+  msg::Message req;
+  req.type = msg::MsgType::LockRequest;
+  req.sync_id = index;
+  req.rank = rank_;
+  req.sender = msg::PlatformSummary::of(space_.platform());
+  endpoint_->send(req);
+  const msg::Message grant = expect(msg::MsgType::LockGrant);
+  if (space_.region().dirty_pages().empty()) {
+    // Clean interval (typical for the first lock, whose grant carries the
+    // whole image): apply through the fault-free unprotected window.
+    engine_.apply_payload_bulk(grant.payload, grant.sender);
+  } else {
+    engine_.apply_payload(grant.payload, grant.sender);
+  }
+  ++stats_.locks;
+}
+
+void RemoteThread::unlock(std::uint32_t index) {
+  msg::Message req;
+  req.type = msg::MsgType::UnlockRequest;
+  req.sync_id = index;
+  req.rank = rank_;
+  req.sender = msg::PlatformSummary::of(space_.platform());
+  req.payload = encode_update_blocks(engine_.collect_updates());
+  endpoint_->send(req);
+  expect(msg::MsgType::UnlockAck);
+  ++stats_.unlocks;
+}
+
+void RemoteThread::barrier(std::uint32_t index) {
+  msg::Message enter;
+  enter.type = msg::MsgType::BarrierEnter;
+  enter.sync_id = index;
+  enter.rank = rank_;
+  enter.sender = msg::PlatformSummary::of(space_.platform());
+  enter.payload = encode_update_blocks(engine_.collect_updates());
+  endpoint_->send(enter);
+  const msg::Message release = expect(msg::MsgType::BarrierRelease);
+  engine_.apply_payload_bulk(release.payload, release.sender);
+  ++stats_.barriers;
+}
+
+void RemoteThread::join() {
+  if (joined_) return;
+  msg::Message req;
+  req.type = msg::MsgType::JoinRequest;
+  req.rank = rank_;
+  req.sender = msg::PlatformSummary::of(space_.platform());
+  req.payload = encode_update_blocks(engine_.collect_updates());
+  endpoint_->send(req);
+  expect(msg::MsgType::JoinAck);
+  space_.region().end_tracking();
+  joined_ = true;
+}
+
+}  // namespace hdsm::dsm

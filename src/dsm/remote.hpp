@@ -1,0 +1,59 @@
+// A remote thread of the DSD system (paper §4): the migrated side of a
+// thread pair, running on its own (virtual) platform with its own GThV
+// image, synchronizing with the home node through MTh_lock / MTh_unlock /
+// MTh_barrier / MTh_join.
+#pragma once
+
+#include <cstdint>
+
+#include "dsm/global_space.hpp"
+#include "dsm/stats.hpp"
+#include "dsm/sync_engine.hpp"
+#include "msg/endpoint.hpp"
+
+namespace hdsm::dsm {
+
+class RemoteThread {
+ public:
+  /// `endpoint` must be connected to a HomeNode that attached `rank`.
+  RemoteThread(tags::TypePtr gthv, const plat::PlatformDesc& platform,
+               std::uint32_t rank, msg::EndpointPtr endpoint,
+               DsdOptions opts = {});
+  ~RemoteThread();
+
+  RemoteThread(const RemoteThread&) = delete;
+  RemoteThread& operator=(const RemoteThread&) = delete;
+
+  /// MTh_lock(index, rank): acquire distributed mutex `index`; outstanding
+  /// updates arrive with the grant and are applied before this returns.
+  void lock(std::uint32_t index);
+
+  /// MTh_unlock(index, rank): map local writes to indexes/tags, ship them
+  /// home, and release the mutex.
+  void unlock(std::uint32_t index);
+
+  /// MTh_barrier(index, rank): ship local writes, wait for all threads,
+  /// apply the batched updates released with the barrier.
+  void barrier(std::uint32_t index);
+
+  /// MTh_join(): ship final writes and detach; call immediately before
+  /// thread termination.
+  void join();
+
+  GlobalSpace& space() noexcept { return space_; }
+  const ShareStats& stats() const noexcept { return stats_; }
+  std::uint32_t rank() const noexcept { return rank_; }
+  bool joined() const noexcept { return joined_; }
+
+ private:
+  msg::Message expect(msg::MsgType type);
+
+  GlobalSpace space_;
+  ShareStats stats_;
+  SyncEngine engine_;
+  std::uint32_t rank_;
+  msg::EndpointPtr endpoint_;
+  bool joined_ = false;
+};
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,43 @@
+#include "dsm/stats.hpp"
+
+#include <sstream>
+
+namespace hdsm::dsm {
+
+std::string ShareStats::to_string() const {
+  std::ostringstream os;
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  os << "t_index=" << ms(index_ns) << "ms"
+     << " t_tag=" << ms(tag_ns) << "ms"
+     << " t_pack=" << ms(pack_ns) << "ms"
+     << " t_unpack=" << ms(unpack_ns) << "ms"
+     << " t_conv=" << ms(conv_ns) << "ms"
+     << " (C_share=" << ms(share_ns()) << "ms)"
+     << " locks=" << locks << " unlocks=" << unlocks
+     << " barriers=" << barriers << " updates_sent=" << updates_sent
+     << " updates_received=" << updates_received
+     << " bytes_sent=" << update_bytes_sent
+     << " bytes_received=" << update_bytes_received
+     << " dirty_pages=" << dirty_pages << " tags=" << tags_generated;
+  return os.str();
+}
+
+std::string ShareStats::csv_header() {
+  return "index_ns,tag_ns,pack_ns,unpack_ns,conv_ns,share_ns,locks,unlocks,"
+         "barriers,updates_sent,updates_received,update_bytes_sent,"
+         "update_bytes_received,dirty_pages,tags_generated";
+}
+
+std::string ShareStats::to_csv_row() const {
+  std::ostringstream os;
+  os << index_ns << ',' << tag_ns << ',' << pack_ns << ',' << unpack_ns << ','
+     << conv_ns << ',' << share_ns() << ',' << locks << ',' << unlocks << ','
+     << barriers << ',' << updates_sent << ',' << updates_received << ','
+     << update_bytes_sent << ',' << update_bytes_received << ','
+     << dirty_pages << ',' << tags_generated;
+  return os.str();
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,90 @@
+// Data-sharing cost accounting, matching Equation (1) of the paper:
+//
+//   C_share = t_index + t_tag + t_pack + t_unpack + t_conv
+//
+//   t_index  - mapping writes to the protected global space into indexes
+//              (twin/diff scan + diff-range -> element-run mapping)
+//   t_tag    - generating tags from the indexes
+//   t_pack   - packing run bytes into update messages
+//   t_unpack - parsing received messages and their tags
+//   t_conv   - converting (or memcpy'ing) received data into the local image
+//
+// Every node accumulates its own buckets; the figure benches sum across a
+// platform pair exactly as the paper's stacked bars do.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hdsm::dsm {
+
+struct ShareStats {
+  std::uint64_t index_ns = 0;
+  std::uint64_t tag_ns = 0;
+  std::uint64_t pack_ns = 0;
+  std::uint64_t unpack_ns = 0;
+  std::uint64_t conv_ns = 0;
+
+  std::uint64_t locks = 0;
+  std::uint64_t unlocks = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t updates_sent = 0;      ///< update blocks shipped
+  std::uint64_t updates_received = 0;  ///< update blocks applied
+  std::uint64_t update_bytes_sent = 0;
+  std::uint64_t update_bytes_received = 0;
+  std::uint64_t dirty_pages = 0;  ///< pages diffed across all unlocks
+  std::uint64_t tags_generated = 0;
+
+  std::uint64_t share_ns() const noexcept {
+    return index_ns + tag_ns + pack_ns + unpack_ns + conv_ns;
+  }
+
+  ShareStats& operator+=(const ShareStats& o) noexcept {
+    index_ns += o.index_ns;
+    tag_ns += o.tag_ns;
+    pack_ns += o.pack_ns;
+    unpack_ns += o.unpack_ns;
+    conv_ns += o.conv_ns;
+    locks += o.locks;
+    unlocks += o.unlocks;
+    barriers += o.barriers;
+    updates_sent += o.updates_sent;
+    updates_received += o.updates_received;
+    update_bytes_sent += o.update_bytes_sent;
+    update_bytes_received += o.update_bytes_received;
+    dirty_pages += o.dirty_pages;
+    tags_generated += o.tags_generated;
+    return *this;
+  }
+
+  std::string to_string() const;
+
+  /// Header + one-row CSV rendering (for plotting pipelines; the figure
+  /// benches emit these when HDSM_BENCH_CSV names a directory).
+  static std::string csv_header();
+  std::string to_csv_row() const;
+};
+
+/// Steady-clock stopwatch accumulating into a ShareStats bucket.
+class StopWatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  StopWatch() : t0_(clock::now()) {}
+
+  /// Nanoseconds since construction or the last lap().
+  std::uint64_t lap() noexcept {
+    const clock::time_point now = clock::now();
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - t0_)
+            .count());
+    t0_ = now;
+    return ns;
+  }
+
+ private:
+  clock::time_point t0_;
+};
+
+}  // namespace hdsm::dsm

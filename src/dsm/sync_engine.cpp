@@ -1,0 +1,257 @@
+#include "dsm/sync_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "convert/converter.hpp"
+#include "memory/diff.hpp"
+
+namespace hdsm::dsm {
+
+namespace {
+
+/// The single run a wire tag describes.
+struct ParsedRunTag {
+  std::uint32_t elem_size = 0;
+  std::uint64_t count = 0;
+  bool is_pointer = false;
+};
+
+ParsedRunTag parse_run_tag(const std::string& text, bool binary) {
+  tags::Tag tag;
+  if (binary) {
+    tag = tags::Tag::from_binary(
+        reinterpret_cast<const std::byte*>(text.data()), text.size());
+  } else {
+    tag = tags::Tag::parse(text);
+  }
+  if (tag.items().size() != 1) {
+    throw std::runtime_error("update tag must contain exactly one run");
+  }
+  const tags::TagItem& it = tag.items().front();
+  ParsedRunTag out;
+  out.elem_size = static_cast<std::uint32_t>(it.size);
+  out.count = it.count;
+  switch (it.kind) {
+    case tags::TagItem::Kind::Scalar:
+      break;
+    case tags::TagItem::Kind::Pointer:
+      out.is_pointer = true;
+      break;
+    default:
+      throw std::runtime_error("update tag must describe a scalar/pointer run");
+  }
+  return out;
+}
+
+std::string render_run_tag(const tags::Tag& tag, bool binary) {
+  if (!binary) return tag.to_string();
+  const std::vector<std::byte> bin = tag.to_binary();
+  return std::string(reinterpret_cast<const char*>(bin.data()), bin.size());
+}
+
+}  // namespace
+
+plat::PlatformDesc wire_platform(const msg::PlatformSummary& s) {
+  plat::PlatformDesc p;
+  p.name = "wire";
+  p.endian = s.endian;
+  p.long_double_format = s.long_double_format;
+  return p;
+}
+
+std::vector<idx::UpdateRun> SyncEngine::collect_runs() {
+  StopWatch watch;
+  mem::TrackedRegion& region = space_.region();
+  const idx::IndexTable& table = space_.table();
+  const std::size_t ps = mem::Region::host_page_size();
+  const std::uint64_t image_size = table.image_size();
+
+  // Dirty pages are unprotected and this thread owns the interval, so the
+  // image can be diffed in place; one mprotect then re-arms the region for
+  // the next interval.
+  std::vector<mem::ByteRange> ranges;
+  const std::vector<std::size_t> dirty = region.dirty_pages();
+  stats_.dirty_pages += dirty.size();
+  for (const std::size_t page : dirty) {
+    const std::size_t base = page * ps;
+    if (base >= image_size) continue;
+    const std::size_t len = std::min(ps, image_size - base);
+    mem::diff_bytes(region.data() + base, region.twin_page(page), len, base,
+                    ranges, opts_.merge_slack);
+  }
+  std::vector<idx::UpdateRun> runs =
+      idx::map_ranges_to_runs(table, ranges, opts_.coalesce_runs);
+  region.rearm();
+  stats_.index_ns += watch.lap();
+  return runs;
+}
+
+std::vector<UpdateBlock> SyncEngine::pack_runs(
+    const std::vector<idx::UpdateRun>& runs) {
+  const idx::IndexTable& table = space_.table();
+  std::vector<UpdateBlock> blocks;
+  blocks.reserve(runs.size());
+
+  StopWatch watch;
+  // t_tag: generate the tag text for every run (the paper's sprintf work).
+  std::vector<std::string> tag_texts;
+  tag_texts.reserve(runs.size());
+  for (const idx::UpdateRun& run : runs) {
+    tag_texts.push_back(
+        render_run_tag(idx::run_tag(table, run), opts_.binary_tags));
+  }
+  stats_.tag_ns += watch.lap();
+  stats_.tags_generated += runs.size();
+
+  // t_pack: copy the raw element bytes out of the image.
+  const std::byte* image = space_.region().data();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const idx::UpdateRun& run = runs[i];
+    UpdateBlock b;
+    b.row = run.row;
+    b.first_elem = run.first_elem;
+    b.tag = std::move(tag_texts[i]);
+    const std::uint64_t off = idx::run_offset(table, run);
+    const std::uint64_t len = idx::run_byte_length(table, run);
+    b.data.assign(image + off, image + off + len);
+    stats_.update_bytes_sent += len;
+    ++stats_.updates_sent;
+    blocks.push_back(std::move(b));
+  }
+  stats_.pack_ns += watch.lap();
+  return blocks;
+}
+
+std::vector<UpdateBlock> SyncEngine::collect_updates(
+    std::vector<idx::UpdateRun>* runs_out) {
+  const std::vector<idx::UpdateRun> runs = collect_runs();
+  if (runs_out != nullptr) *runs_out = runs;
+  return pack_runs(runs);
+}
+
+std::vector<idx::UpdateRun> SyncEngine::apply_payload(
+    const std::vector<std::byte>& payload,
+    const msg::PlatformSummary& sender) {
+  const idx::IndexTable& table = space_.table();
+  const plat::PlatformDesc sender_platform = wire_platform(sender);
+  const plat::PlatformDesc& my_platform = space_.platform();
+  const bool sender_homogeneous =
+      msg::PlatformSummary::of(my_platform) == sender;
+
+  // t_unpack: decode the payload and parse every tag.
+  StopWatch watch;
+  const std::vector<UpdateBlock> blocks = decode_update_blocks(payload);
+  std::vector<ParsedRunTag> parsed;
+  parsed.reserve(blocks.size());
+  for (const UpdateBlock& b : blocks) {
+    parsed.push_back(parse_run_tag(b.tag, opts_.binary_tags));
+  }
+  stats_.unpack_ns += watch.lap();
+
+  // t_conv: convert (or memcpy) each block into this node's image.
+  std::vector<idx::UpdateRun> applied;
+  applied.reserve(blocks.size());
+  std::vector<std::byte> scratch;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const UpdateBlock& b = blocks[i];
+    const ParsedRunTag& t = parsed[i];
+    if (b.row >= table.rows().size()) {
+      throw std::runtime_error("update block row out of range");
+    }
+    const idx::IndexRow& row = table.rows()[b.row];
+    if (row.is_padding()) {
+      throw std::runtime_error("update block targets a padding row");
+    }
+    if (t.is_pointer != row.is_pointer()) {
+      throw std::runtime_error("update tag pointer-ness mismatch");
+    }
+    if (b.first_elem + t.count > row.element_count()) {
+      throw std::runtime_error("update block exceeds row bounds");
+    }
+    if (b.data.size() !=
+        static_cast<std::uint64_t>(t.elem_size) * t.count) {
+      throw std::runtime_error("update data length disagrees with tag");
+    }
+
+    const std::uint64_t dst_off = row.offset + b.first_elem * row.size;
+    const std::uint64_t dst_len =
+        static_cast<std::uint64_t>(row.size) * t.count;
+    if (sender_homogeneous && t.elem_size == row.size) {
+      // "a string comparison to ensure identical tags" suffices: memcpy
+      // the wire bytes straight into the image.
+      space_.region().apply_update(dst_off, b.data.data(), dst_len);
+    } else {
+      scratch.resize(dst_len);
+      conv::convert_run(b.data.data(), t.elem_size, sender_platform,
+                        scratch.data(), row.size, my_platform, t.count,
+                        row.cat, row.kind, nullptr, nullptr,
+                        opts_.bulk_swap_fastpath);
+      space_.region().apply_update(dst_off, scratch.data(), dst_len);
+    }
+    stats_.update_bytes_received += b.data.size();
+    ++stats_.updates_received;
+
+    idx::UpdateRun run;
+    run.row = b.row;
+    run.first_elem = b.first_elem;
+    run.count = t.count;
+    applied.push_back(run);
+  }
+  stats_.conv_ns += watch.lap();
+  return applied;
+}
+
+std::vector<idx::UpdateRun> SyncEngine::apply_payload_bulk(
+    const std::vector<std::byte>& payload,
+    const msg::PlatformSummary& sender) {
+  mem::TrackedRegion& region = space_.region();
+  const bool was_tracking = region.tracking();
+  if (was_tracking) region.unprotect_for_apply();
+  std::vector<idx::UpdateRun> runs = apply_payload(payload, sender);
+  if (was_tracking) region.rearm();
+  return runs;
+}
+
+std::vector<idx::UpdateRun> SyncEngine::full_image_runs(
+    const idx::IndexTable& table) {
+  std::vector<idx::UpdateRun> runs;
+  for (std::size_t i = 0; i < table.rows().size(); ++i) {
+    const idx::IndexRow& row = table.rows()[i];
+    if (row.is_padding()) continue;
+    idx::UpdateRun run;
+    run.row = static_cast<std::uint32_t>(i);
+    run.first_elem = 0;
+    run.count = row.element_count();
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+void merge_runs(std::vector<idx::UpdateRun>& into,
+                const std::vector<idx::UpdateRun>& add) {
+  if (add.empty()) return;
+  into.insert(into.end(), add.begin(), add.end());
+  std::sort(into.begin(), into.end(),
+            [](const idx::UpdateRun& a, const idx::UpdateRun& b) {
+              return a.row != b.row ? a.row < b.row
+                                    : a.first_elem < b.first_elem;
+            });
+  std::size_t w = 0;
+  for (std::size_t r = 1; r < into.size(); ++r) {
+    idx::UpdateRun& prev = into[w];
+    const idx::UpdateRun& cur = into[r];
+    if (cur.row == prev.row &&
+        cur.first_elem <= prev.first_elem + prev.count) {
+      const std::uint64_t end =
+          std::max(prev.first_elem + prev.count, cur.first_elem + cur.count);
+      prev.count = end - prev.first_elem;
+    } else {
+      into[++w] = cur;
+    }
+  }
+  into.resize(w + 1);
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,91 @@
+// Per-node update machinery shared by the home (master) thread and remote
+// threads: the send side of Figure 5 ("compute page diffs -> abstract diffs
+// to application level -> compute update tags -> send updates") and the
+// receive side ("receive updates / parse tags -> heterogeneous? transform
+// data : memcopy data").
+//
+// All work is accounted into the Eq.-1 ShareStats buckets of the owning
+// node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/global_space.hpp"
+#include "dsm/stats.hpp"
+#include "dsm/update.hpp"
+#include "msg/message.hpp"
+
+namespace hdsm::dsm {
+
+/// Knobs exposed for the ablation benches.
+struct DsdOptions {
+  /// Group consecutive modified array elements into one tag (paper §5:
+  /// "distill many indexes into a single tag").
+  bool coalesce_runs = true;
+  /// Merge diff ranges separated by gaps of at most this many unchanged
+  /// bytes (0 = byte-exact diffs, the paper's default).
+  std::size_t merge_slack = 0;
+  /// Ship tags in the compact binary encoding instead of ASCII (the
+  /// string-work reduction the paper's future-work section anticipates).
+  bool binary_tags = false;
+  /// Allow the vectorizable bulk byte-swap for same-width cross-endian
+  /// runs.  Off = the paper's 2006 element-wise conversion cost profile
+  /// (what Figures 10/11 measure); on = this library's default.
+  bool bulk_swap_fastpath = true;
+};
+
+class SyncEngine {
+ public:
+  SyncEngine(GlobalSpace& space, const DsdOptions& opts, ShareStats& stats)
+      : space_(space), opts_(opts), stats_(stats) {}
+
+  /// Diff the tracked region against its twins and map the changes to
+  /// element runs (t_index).  Restarts the tracking interval.
+  std::vector<idx::UpdateRun> collect_runs();
+
+  /// Tag (t_tag) and pack (t_pack) runs into wire blocks, reading element
+  /// bytes from this node's image.
+  std::vector<UpdateBlock> pack_runs(const std::vector<idx::UpdateRun>& runs);
+
+  /// collect_runs() + pack_runs() — the full MTh_unlock send side.
+  std::vector<UpdateBlock> collect_updates(
+      std::vector<idx::UpdateRun>* runs_out = nullptr);
+
+  /// Decode a payload (t_unpack), convert every block into this node's
+  /// representation (t_conv), and apply it to the image twin-transparently.
+  /// Returns the runs applied (for pending-set merging at the home node).
+  std::vector<idx::UpdateRun> apply_payload(
+      const std::vector<std::byte>& payload,
+      const msg::PlatformSummary& sender);
+
+  /// apply_payload through an unprotected window (no per-page faults) —
+  /// for barrier-release batches, where the applying thread is blocked and
+  /// the interval was just re-armed.  Re-arms the region afterwards.
+  std::vector<idx::UpdateRun> apply_payload_bulk(
+      const std::vector<std::byte>& payload,
+      const msg::PlatformSummary& sender);
+
+  /// Runs covering every data row completely (initial full-image sync).
+  static std::vector<idx::UpdateRun> full_image_runs(
+      const idx::IndexTable& table);
+
+  const DsdOptions& options() const noexcept { return opts_; }
+  GlobalSpace& space() noexcept { return space_; }
+
+ private:
+  GlobalSpace& space_;
+  DsdOptions opts_;
+  ShareStats& stats_;
+};
+
+/// Merge `add` into the sorted, disjoint run set `into` (row-major order,
+/// overlapping/adjacent runs in the same row unified).
+void merge_runs(std::vector<idx::UpdateRun>& into,
+                const std::vector<idx::UpdateRun>& add);
+
+/// A PlatformDesc carrying only what a wire summary pins down (byte order
+/// and long-double format); element sizes always come from tags.
+plat::PlatformDesc wire_platform(const msg::PlatformSummary& s);
+
+}  // namespace hdsm::dsm

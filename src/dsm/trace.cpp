@@ -1,0 +1,142 @@
+#include "dsm/trace.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hdsm::dsm {
+
+const char* trace_kind_name(TraceEvent::Kind k) noexcept {
+  switch (k) {
+    case TraceEvent::Kind::LockRequested: return "LockRequested";
+    case TraceEvent::Kind::LockGranted: return "LockGranted";
+    case TraceEvent::Kind::LockReleased: return "LockReleased";
+    case TraceEvent::Kind::BarrierEntered: return "BarrierEntered";
+    case TraceEvent::Kind::BarrierReleased: return "BarrierReleased";
+    case TraceEvent::Kind::UpdatesApplied: return "UpdatesApplied";
+    case TraceEvent::Kind::UpdatesShipped: return "UpdatesShipped";
+    case TraceEvent::Kind::Joined: return "Joined";
+    case TraceEvent::Kind::Attached: return "Attached";
+    case TraceEvent::Kind::Detached: return "Detached";
+  }
+  return "?";
+}
+
+void TraceLog::append(TraceEvent::Kind kind, std::uint32_t rank,
+                      std::uint32_t sync_id, std::uint64_t blocks,
+                      std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent e;
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.rank = rank;
+  e.sync_id = sync_id;
+  e.blocks = blocks;
+  e.bytes = bytes;
+  events_.push_back(e);
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  next_seq_ = 1;
+}
+
+std::string TraceLog::to_string() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : snapshot()) {
+    os << "#" << e.seq << " " << trace_kind_name(e.kind)
+       << " rank=" << e.rank << " sync=" << e.sync_id;
+    if (e.blocks != 0 || e.bytes != 0) {
+      os << " blocks=" << e.blocks << " bytes=" << e.bytes;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<std::string> validate_trace(
+    const std::vector<TraceEvent>& events) {
+  const auto fail = [](const TraceEvent& e, const std::string& why) {
+    return "event #" + std::to_string(e.seq) + " (" +
+           trace_kind_name(e.kind) + " rank=" + std::to_string(e.rank) +
+           " sync=" + std::to_string(e.sync_id) + "): " + why;
+  };
+
+  std::map<std::uint32_t, std::int64_t> holder;      // mutex -> rank or -1
+  std::map<std::uint32_t, std::set<std::uint32_t>> entered;  // barrier -> ranks
+  std::set<std::uint32_t> gone;  // joined or detached, not re-attached
+
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::Attached && e.rank != 0 &&
+        gone.count(e.rank) != 0) {
+      return fail(e, "activity from a joined/detached rank");
+    }
+    switch (e.kind) {
+      case TraceEvent::Kind::LockRequested:
+        break;
+      case TraceEvent::Kind::LockGranted: {
+        auto [it, inserted] = holder.try_emplace(e.sync_id, -1);
+        if (it->second != -1) {
+          return fail(e, "granted while held by rank " +
+                             std::to_string(it->second));
+        }
+        it->second = e.rank;
+        break;
+      }
+      case TraceEvent::Kind::LockReleased: {
+        auto it = holder.find(e.sync_id);
+        if (it == holder.end() || it->second == -1) {
+          return fail(e, "released while free");
+        }
+        if (it->second != static_cast<std::int64_t>(e.rank)) {
+          return fail(e, "released by non-holder (holder is rank " +
+                             std::to_string(it->second) + ")");
+        }
+        it->second = -1;
+        break;
+      }
+      case TraceEvent::Kind::BarrierEntered: {
+        auto& set = entered[e.sync_id];
+        if (!set.insert(e.rank).second) {
+          return fail(e, "rank entered the barrier twice in one episode");
+        }
+        break;
+      }
+      case TraceEvent::Kind::BarrierReleased: {
+        auto& set = entered[e.sync_id];
+        if (set.empty()) {
+          return fail(e, "barrier released with no participants");
+        }
+        if (set.count(0) == 0) {
+          return fail(e, "barrier released without the master thread");
+        }
+        set.clear();
+        break;
+      }
+      case TraceEvent::Kind::Joined:
+      case TraceEvent::Kind::Detached:
+        gone.insert(e.rank);
+        break;
+      case TraceEvent::Kind::Attached:
+        gone.erase(e.rank);
+        break;
+      case TraceEvent::Kind::UpdatesApplied:
+      case TraceEvent::Kind::UpdatesShipped:
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,80 @@
+// Protocol tracing and invariant validation.
+//
+// Debugging a distributed-consistency protocol from printf output is
+// hopeless; the home node can instead record every protocol transition
+// (grants, releases, barrier episodes, update applications) into a
+// TraceLog.  TraceValidator replays a log against the protocol's
+// invariants — mutual exclusion per mutex, complete barrier episodes,
+// no activity from joined threads — which the tests run after every
+// stress scenario, and which users can run on traces captured in situ.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hdsm::dsm {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    LockRequested,
+    LockGranted,
+    LockReleased,
+    BarrierEntered,
+    BarrierReleased,  ///< one per episode, after all participants entered
+    UpdatesApplied,   ///< home applied a thread's update blocks
+    UpdatesShipped,   ///< home shipped pending updates to a thread
+    Joined,
+    Attached,
+    Detached,
+  };
+
+  std::uint64_t seq = 0;  ///< global order at the home node
+  Kind kind = Kind::LockRequested;
+  std::uint32_t rank = 0;
+  std::uint32_t sync_id = 0;
+  std::uint64_t blocks = 0;  ///< update blocks involved
+  std::uint64_t bytes = 0;   ///< payload bytes involved
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+const char* trace_kind_name(TraceEvent::Kind k) noexcept;
+
+/// Thread-safe append-only event log.
+class TraceLog {
+ public:
+  void append(TraceEvent::Kind kind, std::uint32_t rank,
+              std::uint32_t sync_id, std::uint64_t blocks = 0,
+              std::uint64_t bytes = 0);
+
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  /// One line per event, e.g. "#12 LockGranted rank=2 sync=0 blocks=3".
+  std::string to_string() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Checks a trace against the DSD protocol invariants; returns a
+/// description of the first violation, or nullopt for a clean trace.
+///
+/// Invariants:
+///   1. Mutual exclusion: a mutex is granted only when free, released only
+///      by its holder.
+///   2. Barrier episodes: a BarrierReleased is preceded by a BarrierEntered
+///      from every rank that participates in the episode, and no rank
+///      enters twice in one episode.
+///   3. Lifecycle: no protocol activity from a rank after it Joined or
+///      Detached (until re-Attached).
+std::optional<std::string> validate_trace(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,112 @@
+#include "dsm/update.hpp"
+
+#include <stdexcept>
+
+namespace hdsm::dsm {
+
+namespace {
+
+void put_u32be(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>(v >> 16));
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u64be(std::vector<std::byte>& out, std::uint64_t v) {
+  put_u32be(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32be(out, static_cast<std::uint32_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& buf) : buf_(buf) {}
+
+  std::uint32_t u32() {
+    need(4);
+    const std::byte* p = buf_.data() + pos_;
+    pos_ += 4;
+    return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+           (std::to_integer<std::uint32_t>(p[1]) << 16) |
+           (std::to_integer<std::uint32_t>(p[2]) << 8) |
+           std::to_integer<std::uint32_t>(p[3]);
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  std::string str(std::size_t n) {
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::byte> bytes(std::size_t n) {
+    need(n);
+    std::vector<std::byte> b(buf_.begin() + pos_, buf_.begin() + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (buf_.size() - pos_ < n) {
+      throw std::runtime_error("update payload truncated");
+    }
+  }
+
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> encode_update_blocks(
+    const std::vector<UpdateBlock>& blocks) {
+  std::vector<std::byte> out;
+  std::size_t total = 4;
+  for (const UpdateBlock& b : blocks) {
+    total += 4 + 8 + 4 + 8 + b.tag.size() + b.data.size();
+  }
+  out.reserve(total);
+  put_u32be(out, static_cast<std::uint32_t>(blocks.size()));
+  for (const UpdateBlock& b : blocks) {
+    put_u32be(out, b.row);
+    put_u64be(out, b.first_elem);
+    put_u32be(out, static_cast<std::uint32_t>(b.tag.size()));
+    put_u64be(out, b.data.size());
+    const std::byte* t = reinterpret_cast<const std::byte*>(b.tag.data());
+    out.insert(out.end(), t, t + b.tag.size());
+    out.insert(out.end(), b.data.begin(), b.data.end());
+  }
+  return out;
+}
+
+std::vector<UpdateBlock> decode_update_blocks(
+    const std::vector<std::byte>& payload) {
+  Reader r(payload);
+  const std::uint32_t count = r.u32();
+  std::vector<UpdateBlock> blocks;
+  blocks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    UpdateBlock b;
+    b.row = r.u32();
+    b.first_elem = r.u64();
+    const std::uint32_t tag_len = r.u32();
+    const std::uint64_t data_len = r.u64();
+    b.tag = r.str(tag_len);
+    b.data = r.bytes(data_len);
+    blocks.push_back(std::move(b));
+  }
+  if (!r.done()) {
+    throw std::runtime_error("update payload has trailing bytes");
+  }
+  return blocks;
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,37 @@
+// Update blocks — the unit of propagation in the DSD (paper §4).
+//
+// "Once a twin/diff has been abstracted to an index, it can be formed into
+//  a tag along with the raw data and propagated throughout the DSM system."
+//
+// A block is (row index, first element, tag, raw element bytes in the
+// sender's representation).  Row indexes are architecture independent;
+// sizes inside the tag are the sender's, so the receiver can both check
+// homogeneity (tag string comparison) and drive CGT-RMR conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msg/message.hpp"
+
+namespace hdsm::dsm {
+
+struct UpdateBlock {
+  std::uint32_t row = 0;
+  std::uint64_t first_elem = 0;
+  std::string tag;               ///< "(m,n)" run tag, sender sizes
+  std::vector<std::byte> data;   ///< raw bytes, sender representation
+};
+
+/// Serialize blocks into a message payload (header fields network order;
+/// tag ASCII; data opaque).
+std::vector<std::byte> encode_update_blocks(
+    const std::vector<UpdateBlock>& blocks);
+
+/// Parse a payload back into blocks; throws std::runtime_error on malformed
+/// input.
+std::vector<UpdateBlock> decode_update_blocks(
+    const std::vector<std::byte>& payload);
+
+}  // namespace hdsm::dsm

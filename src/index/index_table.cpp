@@ -1,0 +1,246 @@
+#include "index/index_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdsm::idx {
+
+namespace {
+
+using tags::FlatRun;
+using tags::TypeDesc;
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+class RowBuilder {
+ public:
+  explicit RowBuilder(const plat::PlatformDesc& p) : p_(p) {}
+
+  /// Emit rows for one member at `offset` (no trailing padding row).
+  void member(const TypeDesc& t, std::uint64_t offset) {
+    switch (t.kind()) {
+      case TypeDesc::Kind::Scalar:
+        data_row(offset, p_.size_of(t.scalar_kind()), 1,
+                 tags::category_of(t.scalar_kind()), t.scalar_kind());
+        return;
+      case TypeDesc::Kind::Pointer:
+        data_row(offset, p_.size_of(plat::ScalarKind::Pointer), -1,
+                 FlatRun::Cat::Pointer, plat::ScalarKind::Pointer);
+        return;
+      case TypeDesc::Kind::Reserved:
+        padding_row(offset, static_cast<std::uint32_t>(t.reserved_bytes()));
+        return;
+      case TypeDesc::Kind::Array: {
+        const TypeDesc& e = *t.element();
+        if (e.kind() == TypeDesc::Kind::Scalar) {
+          data_row(offset, p_.size_of(e.scalar_kind()),
+                   static_cast<std::int64_t>(t.count()),
+                   tags::category_of(e.scalar_kind()), e.scalar_kind());
+          return;
+        }
+        if (e.kind() == TypeDesc::Kind::Pointer) {
+          data_row(offset, p_.size_of(plat::ScalarKind::Pointer),
+                   -static_cast<std::int64_t>(t.count()),
+                   FlatRun::Cat::Pointer, plat::ScalarKind::Pointer);
+          return;
+        }
+        const std::uint64_t stride = tags::size_of(e, p_);
+        for (std::uint64_t i = 0; i < t.count(); ++i) {
+          member(e, offset + i * stride);
+          if (i + 1 < t.count()) padding_row(offset + (i + 1) * stride, 0);
+        }
+        return;
+      }
+      case TypeDesc::Kind::Struct:
+        struct_members(t, offset);
+        return;
+    }
+  }
+
+  /// Emit rows for a struct's members including the per-member padding rows.
+  void struct_members(const TypeDesc& t, std::uint64_t base) {
+    std::uint64_t cursor = 0;
+    const std::uint64_t total = tags::size_of(t, p_);
+    const std::size_t nfields = t.fields().size();
+    for (std::size_t i = 0; i < nfields; ++i) {
+      const tags::Field& f = t.fields()[i];
+      const std::uint64_t aligned =
+          round_up(cursor, tags::align_of(*f.type, p_));
+      member(*f.type, base + aligned);
+      cursor = aligned + tags::size_of(*f.type, p_);
+      const std::uint64_t next =
+          (i + 1 < nfields)
+              ? round_up(cursor, tags::align_of(*t.fields()[i + 1].type, p_))
+              : total;
+      padding_row(base + cursor, static_cast<std::uint32_t>(next - cursor));
+      cursor = next;
+    }
+  }
+
+  std::vector<IndexRow> take() { return std::move(rows_); }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void padding_row(std::uint64_t offset, std::uint32_t bytes) {
+    IndexRow r;
+    r.offset = offset;
+    r.size = bytes;
+    r.number = 0;
+    r.cat = FlatRun::Cat::Padding;
+    rows_.push_back(r);
+  }
+
+ private:
+  void data_row(std::uint64_t offset, std::uint32_t size, std::int64_t number,
+                FlatRun::Cat cat, plat::ScalarKind kind) {
+    IndexRow r;
+    r.offset = offset;
+    r.size = size;
+    r.number = number;
+    r.cat = cat;
+    r.kind = kind;
+    rows_.push_back(r);
+  }
+
+  const plat::PlatformDesc& p_;
+  std::vector<IndexRow> rows_;
+};
+
+}  // namespace
+
+IndexTable::IndexTable(tags::TypePtr type, const plat::PlatformDesc& platform)
+    : layout_(tags::compute_layout(type, platform)) {
+  RowBuilder b(platform);
+  if (type->kind() == TypeDesc::Kind::Struct) {
+    // Inline the struct walk so the first row of every top-level field can
+    // be recorded for name-based lookups.
+    std::uint64_t cursor = 0;
+    const std::uint64_t total = tags::size_of(*type, platform);
+    const std::size_t nfields = type->fields().size();
+    for (std::size_t i = 0; i < nfields; ++i) {
+      const tags::Field& f = type->fields()[i];
+      const std::uint64_t aligned =
+          round_up(cursor, tags::align_of(*f.type, platform));
+      field_rows_.push_back(b.row_count());
+      field_names_.push_back(f.name);
+      b.member(*f.type, aligned);
+      cursor = aligned + tags::size_of(*f.type, platform);
+      const std::uint64_t next =
+          (i + 1 < nfields)
+              ? round_up(cursor,
+                         tags::align_of(*type->fields()[i + 1].type, platform))
+              : total;
+      b.padding_row(cursor, static_cast<std::uint32_t>(next - cursor));
+      cursor = next;
+    }
+  } else {
+    b.member(*type, 0);
+    b.padding_row(tags::size_of(*type, platform), 0);
+  }
+  rows_ = b.take();
+}
+
+std::size_t IndexTable::row_of_field(std::size_t field_index) const {
+  return field_rows_.at(field_index);
+}
+
+std::size_t IndexTable::row_of_field(const std::string& name) const {
+  for (std::size_t i = 0; i < field_names_.size(); ++i) {
+    if (field_names_[i] == name) return field_rows_[i];
+  }
+  throw std::out_of_range("IndexTable: no top-level field named " + name);
+}
+
+IndexTable::Locator IndexTable::locate(std::uint64_t offset) const {
+  if (offset >= layout_.size) {
+    throw std::out_of_range("IndexTable::locate: offset past image end");
+  }
+  // Rows are offset-ordered; zero-length padding rows share offsets with
+  // their successors, so search by row end and skip zero-length rows.
+  std::size_t lo = 0, hi = rows_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (rows_[mid].end() <= offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  while (lo < rows_.size() && rows_[lo].byte_length() == 0) ++lo;
+  if (lo >= rows_.size()) {
+    throw std::out_of_range("IndexTable::locate: no row covers offset");
+  }
+  Locator loc;
+  loc.row = lo;
+  const IndexRow& r = rows_[lo];
+  loc.elem = r.is_padding() ? 0 : (offset - r.offset) / r.size;
+  return loc;
+}
+
+std::string IndexTable::to_table_string(std::uint64_t base_address) const {
+  std::ostringstream os;
+  os << "Address      Size  Number\n";
+  for (const IndexRow& r : rows_) {
+    os << "0x" << std::hex << base_address + r.offset << std::dec << "  "
+       << r.size << "  " << r.number << "\n";
+  }
+  return os.str();
+}
+
+std::vector<UpdateRun> map_ranges_to_runs(
+    const IndexTable& table, const std::vector<mem::ByteRange>& ranges,
+    bool coalesce) {
+  std::vector<UpdateRun> out;
+  const std::vector<IndexRow>& rows = table.rows();
+  for (const mem::ByteRange& range : ranges) {
+    if (range.length() == 0) continue;
+    std::uint64_t pos = range.begin;
+    while (pos < range.end) {
+      const IndexTable::Locator loc = table.locate(pos);
+      const IndexRow& row = rows[loc.row];
+      const std::uint64_t row_end = row.end();
+      const std::uint64_t seg_end = std::min<std::uint64_t>(range.end, row_end);
+      if (!row.is_padding()) {
+        const std::uint64_t first = (pos - row.offset) / row.size;
+        const std::uint64_t last = (seg_end - 1 - row.offset) / row.size;
+        UpdateRun run;
+        run.row = static_cast<std::uint32_t>(loc.row);
+        run.first_elem = first;
+        run.count = last - first + 1;
+        if (coalesce && !out.empty() && out.back().row == run.row &&
+            out.back().first_elem + out.back().count >= run.first_elem) {
+          UpdateRun& prev = out.back();
+          const std::uint64_t new_last = run.first_elem + run.count;
+          const std::uint64_t prev_last = prev.first_elem + prev.count;
+          if (new_last > prev_last) {
+            prev.count = new_last - prev.first_elem;
+          }
+        } else {
+          out.push_back(run);
+        }
+      }
+      pos = seg_end;
+    }
+  }
+  return out;
+}
+
+std::uint64_t run_offset(const IndexTable& table, const UpdateRun& run) {
+  const IndexRow& row = table.rows().at(run.row);
+  return row.offset + run.first_elem * row.size;
+}
+
+std::uint64_t run_byte_length(const IndexTable& table, const UpdateRun& run) {
+  const IndexRow& row = table.rows().at(run.row);
+  return run.count * static_cast<std::uint64_t>(row.size);
+}
+
+tags::Tag run_tag(const IndexTable& table, const UpdateRun& run) {
+  const IndexRow& row = table.rows().at(run.row);
+  return tags::make_run_tag(row.size, run.count, row.is_pointer());
+}
+
+}  // namespace hdsm::idx

@@ -1,0 +1,84 @@
+#include "memory/diff.hpp"
+
+#include <cstring>
+
+namespace hdsm::mem {
+
+namespace {
+
+/// First differing byte index in [i, len), or len.
+std::size_t find_diff(const std::byte* a, const std::byte* b, std::size_t i,
+                      std::size_t len) {
+  // Align to 8 by byte steps, then stride by words.
+  while (i < len && (i % 8 != 0)) {
+    if (a[i] != b[i]) return i;
+    ++i;
+  }
+  while (i + 8 <= len) {
+    std::uint64_t wa, wb;
+    std::memcpy(&wa, a + i, 8);
+    std::memcpy(&wb, b + i, 8);
+    if (wa != wb) {
+      while (a[i] == b[i]) ++i;
+      return i;
+    }
+    i += 8;
+  }
+  while (i < len) {
+    if (a[i] != b[i]) return i;
+    ++i;
+  }
+  return len;
+}
+
+/// First equal byte index in [i, len), or len.
+std::size_t find_same(const std::byte* a, const std::byte* b, std::size_t i,
+                      std::size_t len) {
+  while (i < len) {
+    if (a[i] == b[i]) return i;
+    ++i;
+  }
+  return len;
+}
+
+}  // namespace
+
+void diff_bytes(const std::byte* current, const std::byte* twin,
+                std::size_t len, std::size_t base_offset,
+                std::vector<ByteRange>& out, std::size_t merge_slack) {
+  std::size_t i = 0;
+  while (i < len) {
+    const std::size_t d = find_diff(current, twin, i, len);
+    if (d == len) break;
+    const std::size_t e = find_same(current, twin, d, len);
+    const std::size_t begin = base_offset + d;
+    const std::size_t end = base_offset + e;
+    if (!out.empty() && begin <= out.back().end + merge_slack) {
+      if (end > out.back().end) out.back().end = end;
+    } else {
+      out.push_back(ByteRange{begin, end});
+    }
+    i = e;
+  }
+}
+
+void coalesce_ranges(std::vector<ByteRange>& ranges, std::size_t merge_slack) {
+  if (ranges.size() < 2) return;
+  std::size_t w = 0;
+  for (std::size_t r = 1; r < ranges.size(); ++r) {
+    if (ranges[r].begin <= ranges[w].end + merge_slack) {
+      if (ranges[r].end > ranges[w].end) ranges[w].end = ranges[r].end;
+    } else {
+      ranges[++w] = ranges[r];
+    }
+  }
+  ranges.resize(w + 1);
+}
+
+std::size_t total_bytes(const std::vector<ByteRange>& ranges) noexcept {
+  std::size_t n = 0;
+  for (const ByteRange& r : ranges) n += r.length();
+  return n;
+}
+
+}  // namespace hdsm::mem

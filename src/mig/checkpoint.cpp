@@ -1,0 +1,64 @@
+#include "mig/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "mig/io_state.hpp"
+
+namespace hdsm::mig {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'D', 'S', 'M', 'C', 'K', 'P', '1'};
+
+}  // namespace
+
+void checkpoint_to_file(const ThreadState& state,
+                        const plat::PlatformDesc& platform,
+                        const std::string& path) {
+  const std::vector<std::byte> payload = pack_state(state);
+  const std::string tmp = path + ".tmp";
+  {
+    MigratableFile f = MigratableFile::open(tmp, FileMode::Write);
+    f.write(kMagic, sizeof(kMagic));
+    const std::uint8_t header[2] = {
+        static_cast<std::uint8_t>(platform.endian),
+        static_cast<std::uint8_t>(platform.long_double_format)};
+    f.write(header, sizeof(header));
+    f.write(payload.data(), payload.size());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint_to_file: rename failed for " + path);
+  }
+}
+
+ThreadState restore_from_file(const std::string& path,
+                              const StateSchema& schema,
+                              const plat::PlatformDesc& target) {
+  MigratableFile f = MigratableFile::open(path, FileMode::Read);
+  char magic[sizeof(kMagic)];
+  if (f.read(magic, sizeof(magic)) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("restore_from_file: bad checkpoint magic");
+  }
+  std::uint8_t header[2];
+  if (f.read(header, 2) != 2 || header[0] > 1 || header[1] > 2) {
+    throw std::runtime_error("restore_from_file: bad checkpoint header");
+  }
+  msg::PlatformSummary sender;
+  sender.endian = static_cast<plat::Endian>(header[0]);
+  sender.long_double_format = static_cast<plat::LongDoubleFormat>(header[1]);
+
+  std::vector<std::byte> payload;
+  std::byte buf[16384];
+  for (;;) {
+    const std::size_t n = f.read(buf, sizeof(buf));
+    if (n == 0) break;
+    payload.insert(payload.end(), buf, buf + n);
+  }
+  return unpack_state(payload, schema, target, sender);
+}
+
+}  // namespace hdsm::mig

@@ -1,0 +1,32 @@
+// Checkpoint / restore — the sibling capability of migration (the
+// MigThread line of work is titled "Process/Thread Migration and
+// Checkpointing in Heterogeneous Distributed Systems"): the same tagged,
+// platform-independent state image that migrates over a socket can be
+// written to stable storage and restored later, on any platform.
+//
+// File format: magic, version, the sender's platform summary (endianness +
+// long-double format — everything else travels in the tags), then the
+// standard pack_state() payload.
+#pragma once
+
+#include <string>
+
+#include "mig/thread_state.hpp"
+
+namespace hdsm::mig {
+
+/// Write `state` to `path` (atomically: temp file + rename).  The image
+/// stays in the state's current representation; the header records what
+/// that is.
+void checkpoint_to_file(const ThreadState& state,
+                        const plat::PlatformDesc& platform,
+                        const std::string& path);
+
+/// Read a checkpoint and rebuild the state on `target` (receiver makes
+/// right, exactly like a live migration).  Throws std::runtime_error on a
+/// malformed or truncated file.
+ThreadState restore_from_file(const std::string& path,
+                              const StateSchema& schema,
+                              const plat::PlatformDesc& target);
+
+}  // namespace hdsm::mig

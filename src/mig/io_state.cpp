@@ -1,0 +1,270 @@
+#include "mig/io_state.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace hdsm::mig {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 24; i >= 0; i -= 8) {
+    out.push_back(static_cast<std::byte>((v >> i) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t get_u32(const std::byte*& p, const std::byte* end) {
+  if (end - p < 4) throw std::invalid_argument("record truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(*p++);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte*& p, const std::byte* end) {
+  const std::uint64_t hi = get_u32(p, end);
+  return (hi << 32) | get_u32(p, end);
+}
+
+int open_flags(FileMode mode) {
+  switch (mode) {
+    case FileMode::Read: return O_RDONLY;
+    case FileMode::Write: return O_WRONLY | O_CREAT | O_TRUNC;
+    case FileMode::ReadWrite: return O_RDWR | O_CREAT;
+    case FileMode::Append: return O_WRONLY | O_CREAT | O_APPEND;
+  }
+  return O_RDONLY;
+}
+
+int reopen_flags(FileMode mode) {
+  // Restoring must never truncate what the source node already wrote.
+  switch (mode) {
+    case FileMode::Read: return O_RDONLY;
+    case FileMode::Write: return O_WRONLY;
+    case FileMode::ReadWrite: return O_RDWR;
+    case FileMode::Append: return O_WRONLY | O_APPEND;
+  }
+  return O_RDONLY;
+}
+
+}  // namespace
+
+// ---- files ------------------------------------------------------------------
+
+std::vector<std::byte> FileStateRecord::pack() const {
+  std::vector<std::byte> out;
+  put_u32(out, static_cast<std::uint32_t>(path.size()));
+  const std::byte* p = reinterpret_cast<const std::byte*>(path.data());
+  out.insert(out.end(), p, p + path.size());
+  out.push_back(static_cast<std::byte>(mode));
+  put_u64(out, offset);
+  return out;
+}
+
+FileStateRecord FileStateRecord::unpack(const std::byte* data,
+                                        std::size_t len) {
+  const std::byte* p = data;
+  const std::byte* end = data + len;
+  FileStateRecord r;
+  const std::uint32_t n = get_u32(p, end);
+  if (static_cast<std::size_t>(end - p) < n + 1 + 8) {
+    throw std::invalid_argument("FileStateRecord: truncated");
+  }
+  r.path.assign(reinterpret_cast<const char*>(p), n);
+  p += n;
+  const auto mode = std::to_integer<std::uint8_t>(*p++);
+  if (mode > static_cast<std::uint8_t>(FileMode::Append)) {
+    throw std::invalid_argument("FileStateRecord: bad mode");
+  }
+  r.mode = static_cast<FileMode>(mode);
+  r.offset = get_u64(p, end);
+  if (p != end) throw std::invalid_argument("FileStateRecord: trailing bytes");
+  return r;
+}
+
+MigratableFile::MigratableFile(int fd, std::string path, FileMode mode)
+    : fd_(fd), path_(std::move(path)), mode_(mode) {}
+
+MigratableFile MigratableFile::open(std::string path, FileMode mode) {
+  const int fd = ::open(path.c_str(), open_flags(mode), 0644);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "MigratableFile::open " + path);
+  }
+  return MigratableFile(fd, std::move(path), mode);
+}
+
+MigratableFile MigratableFile::restore(const FileStateRecord& record) {
+  const int fd = ::open(record.path.c_str(), reopen_flags(record.mode), 0644);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "MigratableFile::restore " + record.path);
+  }
+  MigratableFile f(fd, record.path, record.mode);
+  if (record.mode != FileMode::Append) {
+    f.seek(record.offset);
+  }
+  return f;
+}
+
+MigratableFile::~MigratableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+MigratableFile::MigratableFile(MigratableFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      mode_(other.mode_) {}
+
+MigratableFile& MigratableFile::operator=(MigratableFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    mode_ = other.mode_;
+  }
+  return *this;
+}
+
+std::size_t MigratableFile::read(void* buf, std::size_t n) {
+  const ssize_t r = ::read(fd_, buf, n);
+  if (r < 0) {
+    throw std::system_error(errno, std::generic_category(), "read");
+  }
+  return static_cast<std::size_t>(r);
+}
+
+std::size_t MigratableFile::write(const void* buf, std::size_t n) {
+  const ssize_t r = ::write(fd_, buf, n);
+  if (r < 0) {
+    throw std::system_error(errno, std::generic_category(), "write");
+  }
+  return static_cast<std::size_t>(r);
+}
+
+void MigratableFile::seek(std::uint64_t offset) {
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    throw std::system_error(errno, std::generic_category(), "lseek");
+  }
+}
+
+std::uint64_t MigratableFile::tell() const {
+  const off_t pos = ::lseek(fd_, 0, SEEK_CUR);
+  if (pos < 0) {
+    throw std::system_error(errno, std::generic_category(), "lseek");
+  }
+  return static_cast<std::uint64_t>(pos);
+}
+
+FileStateRecord MigratableFile::capture() const {
+  ::fsync(fd_);
+  FileStateRecord r;
+  r.path = path_;
+  r.mode = mode_;
+  r.offset = tell();
+  return r;
+}
+
+// ---- sessions -----------------------------------------------------------------
+
+std::vector<std::byte> SessionRecord::pack() const {
+  std::vector<std::byte> out;
+  put_u32(out, port);
+  put_u32(out, rank);
+  put_u64(out, next_seq);
+  return out;
+}
+
+SessionRecord SessionRecord::unpack(const std::byte* data, std::size_t len) {
+  const std::byte* p = data;
+  const std::byte* end = data + len;
+  SessionRecord r;
+  r.port = static_cast<std::uint16_t>(get_u32(p, end));
+  r.rank = get_u32(p, end);
+  r.next_seq = get_u64(p, end);
+  if (p != end) throw std::invalid_argument("SessionRecord: trailing bytes");
+  return r;
+}
+
+MigratableSession::MigratableSession(std::uint16_t port, std::uint32_t rank) {
+  record_.port = port;
+  record_.rank = rank;
+  record_.next_seq = 1;
+  dial();
+}
+
+MigratableSession::MigratableSession(const SessionRecord& record)
+    : record_(record) {
+  dial();
+}
+
+void MigratableSession::dial() { ep_ = msg::tcp_connect(record_.port); }
+
+void MigratableSession::send(const std::vector<std::byte>& payload) {
+  msg::Message m;
+  m.type = msg::MsgType::Hello;  // application traffic rides Hello frames
+  m.rank = record_.rank;
+  // The sequence number travels in the first 8 payload bytes.
+  std::vector<std::byte> framed;
+  put_u64(framed, record_.next_seq);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  m.payload = std::move(framed);
+  ep_->send(m);
+  ++record_.next_seq;
+}
+
+std::vector<std::byte> MigratableSession::receive() {
+  const msg::Message m = ep_->recv();
+  return m.payload;
+}
+
+SessionRecord MigratableSession::capture() const { return record_; }
+
+void MigratableSession::close() {
+  if (ep_) ep_->close();
+}
+
+bool SessionDeduper::accept(std::uint32_t rank, std::uint64_t seq) {
+  for (auto& [r, last] : last_) {
+    if (r == rank) {
+      if (seq <= last) return false;
+      last = seq;
+      return true;
+    }
+  }
+  last_.emplace_back(rank, seq);
+  return true;
+}
+
+std::uint64_t SessionDeduper::last_seen(std::uint32_t rank) const {
+  for (const auto& [r, last] : last_) {
+    if (r == rank) return last;
+  }
+  return 0;
+}
+
+SessionMessage parse_session_message(const msg::Message& m) {
+  if (m.payload.size() < 8) {
+    throw std::invalid_argument("session message lacks a sequence header");
+  }
+  SessionMessage out;
+  out.rank = m.rank;
+  const std::byte* p = m.payload.data();
+  const std::byte* end = p + 8;
+  out.seq = get_u64(p, end);
+  out.payload.assign(m.payload.begin() + 8, m.payload.end());
+  return out;
+}
+
+}  // namespace hdsm::mig

@@ -1,0 +1,73 @@
+#include "mig/portable_heap.hpp"
+
+#include <stdexcept>
+
+namespace hdsm::mig {
+
+std::uint64_t PortableHeap::allocate(std::string type_name,
+                                     tags::TypePtr type) {
+  const std::uint64_t id = next_id_++;
+  objects_.emplace(id,
+                   Entry{std::move(type_name), StructImage(type, *platform_)});
+  return id;
+}
+
+void PortableHeap::deallocate(std::uint64_t id) {
+  if (objects_.erase(id) == 0) {
+    throw std::out_of_range("PortableHeap: free of unknown id " +
+                            std::to_string(id));
+  }
+}
+
+StructImage& PortableHeap::object(std::uint64_t id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    throw std::out_of_range("PortableHeap: unknown id " + std::to_string(id));
+  }
+  return it->second.image;
+}
+
+const StructImage& PortableHeap::object(std::uint64_t id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    throw std::out_of_range("PortableHeap: unknown id " + std::to_string(id));
+  }
+  return it->second.image;
+}
+
+const std::string& PortableHeap::type_name(std::uint64_t id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    throw std::out_of_range("PortableHeap: unknown id " + std::to_string(id));
+  }
+  return it->second.type_name;
+}
+
+bool PortableHeap::contains(std::uint64_t id) const noexcept {
+  return objects_.count(id) != 0;
+}
+
+std::vector<HeapObject> PortableHeap::snapshot() const {
+  std::vector<HeapObject> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, entry] : objects_) {
+    out.push_back(HeapObject{id, entry.type_name, entry.image});
+  }
+  return out;
+}
+
+PortableHeap PortableHeap::restore(std::vector<HeapObject> objects,
+                                   const plat::PlatformDesc& platform) {
+  PortableHeap heap(platform);
+  for (HeapObject& obj : objects) {
+    if (obj.id == kNullId || heap.objects_.count(obj.id) != 0) {
+      throw std::invalid_argument("PortableHeap::restore: bad object id");
+    }
+    if (obj.id >= heap.next_id_) heap.next_id_ = obj.id + 1;
+    heap.objects_.emplace(obj.id, Entry{std::move(obj.type_name),
+                                        std::move(obj.image)});
+  }
+  return heap;
+}
+
+}  // namespace hdsm::mig

@@ -1,0 +1,65 @@
+// User-level heap management (paper §3.1: "User-level management of both
+// the stack and heap are provided as well").
+//
+// Heap data cannot migrate as raw addresses: the PortableHeap names every
+// allocation with a portable id; pointers between heap objects (and from
+// the stack/globals into the heap) travel as id tokens.  Each object is a
+// tagged StructImage in the owning node's representation, so a heap
+// snapshot drops straight into a ThreadState and crosses platforms through
+// the ordinary CGT-RMR machinery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mig/thread_state.hpp"
+
+namespace hdsm::mig {
+
+class PortableHeap {
+ public:
+  /// The null pointer token.
+  static constexpr std::uint64_t kNullId = 0;
+
+  explicit PortableHeap(const plat::PlatformDesc& platform)
+      : platform_(&platform) {}
+
+  const plat::PlatformDesc& platform() const noexcept { return *platform_; }
+
+  /// Allocate a zeroed object of `type`; `type_name` keys the schema on
+  /// the receiving side.  Returns its portable id (> 0).
+  std::uint64_t allocate(std::string type_name, tags::TypePtr type);
+
+  /// Free an object; throws std::out_of_range for unknown/double free.
+  void deallocate(std::uint64_t id);
+
+  StructImage& object(std::uint64_t id);
+  const StructImage& object(std::uint64_t id) const;
+  const std::string& type_name(std::uint64_t id) const;
+
+  bool contains(std::uint64_t id) const noexcept;
+  std::size_t size() const noexcept { return objects_.size(); }
+
+  /// All live objects as ThreadState heap entries (ids preserved).
+  std::vector<HeapObject> snapshot() const;
+
+  /// Rebuild from migrated heap entries (already converted to the target
+  /// platform by unpack_state); allocation ids continue above the highest
+  /// restored id.
+  static PortableHeap restore(std::vector<HeapObject> objects,
+                              const plat::PlatformDesc& platform);
+
+ private:
+  struct Entry {
+    std::string type_name;
+    StructImage image;
+  };
+
+  const plat::PlatformDesc* platform_;
+  std::map<std::uint64_t, Entry> objects_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hdsm::mig

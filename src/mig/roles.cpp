@@ -1,0 +1,147 @@
+#include "mig/roles.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hdsm::mig {
+
+const char* role_name(ThreadRole r) noexcept {
+  switch (r) {
+    case ThreadRole::Master: return "master";
+    case ThreadRole::Local: return "local";
+    case ThreadRole::Stub: return "stub";
+    case ThreadRole::Skeleton: return "skeleton";
+    case ThreadRole::Remote: return "remote";
+  }
+  return "?";
+}
+
+RoleTracker::RoleTracker(std::size_t num_nodes, std::size_t num_slots) {
+  if (num_nodes == 0 || num_slots == 0) {
+    throw std::invalid_argument("RoleTracker: need >=1 node and slot");
+  }
+  roles_.assign(num_nodes, std::vector<ThreadRole>(num_slots,
+                                                   ThreadRole::Skeleton));
+  active_.assign(num_nodes, true);
+  roles_[0][0] = ThreadRole::Master;
+  for (std::size_t s = 1; s < num_slots; ++s) {
+    roles_[0][s] = ThreadRole::Local;
+  }
+}
+
+std::size_t RoleTracker::add_node() {
+  roles_.emplace_back(num_slots(), ThreadRole::Skeleton);
+  active_.push_back(true);
+  return roles_.size() - 1;
+}
+
+void RoleTracker::remove_node(std::size_t node) {
+  check(node, 0);
+  if (node == home_) {
+    throw std::logic_error("RoleTracker: cannot remove the home node");
+  }
+  for (std::size_t s = 0; s < num_slots(); ++s) {
+    const ThreadRole r = roles_[node][s];
+    if (r != ThreadRole::Skeleton && r != ThreadRole::Stub) {
+      throw std::logic_error(
+          std::string("RoleTracker: node still runs a ") + role_name(r) +
+          " thread");
+    }
+  }
+  active_[node] = false;
+}
+
+bool RoleTracker::node_active(std::size_t node) const {
+  check(node, 0);
+  return active_[node];
+}
+
+void RoleTracker::check(std::size_t node, std::size_t slot) const {
+  if (node >= roles_.size() || slot >= roles_[node].size()) {
+    throw std::out_of_range("RoleTracker: node/slot out of range");
+  }
+}
+
+ThreadRole RoleTracker::role(std::size_t node, std::size_t slot) const {
+  check(node, slot);
+  return roles_[node][slot];
+}
+
+std::size_t RoleTracker::computing_node(std::size_t slot) const {
+  check(0, slot);
+  for (std::size_t n = 0; n < roles_.size(); ++n) {
+    const ThreadRole r = roles_[n][slot];
+    if (r == ThreadRole::Master || r == ThreadRole::Local ||
+        r == ThreadRole::Remote) {
+      return n;
+    }
+  }
+  throw std::logic_error("RoleTracker: slot has no computing thread");
+}
+
+void RoleTracker::migrate(std::size_t slot, std::size_t src, std::size_t dst) {
+  check(src, slot);
+  check(dst, slot);
+  if (src == dst) {
+    throw std::logic_error("RoleTracker: migration to the same node");
+  }
+  if (!active_[dst]) {
+    throw std::logic_error("RoleTracker: destination node has departed");
+  }
+  const ThreadRole src_role = roles_[src][slot];
+  const ThreadRole dst_role = roles_[dst][slot];
+
+  if (src_role == ThreadRole::Master) {
+    // Master migration re-homes the system (§3.1): the destination default
+    // thread becomes the new master and its node the new home node.
+    if (src != home_) {
+      throw std::logic_error("RoleTracker: master not at the home node");
+    }
+    if (dst_role != ThreadRole::Skeleton) {
+      throw std::logic_error(
+          "RoleTracker: master must migrate into a skeleton default thread");
+    }
+    // Old home: the default thread stays behind as a stub; local threads
+    // are now remote relative to the new home.
+    roles_[src][0] = ThreadRole::Stub;
+    for (std::size_t s = 1; s < num_slots(); ++s) {
+      if (roles_[src][s] == ThreadRole::Local) {
+        roles_[src][s] = ThreadRole::Remote;
+      }
+    }
+    // New home: the default thread becomes the master; slave skeletons are
+    // activated as stubs for the remote threads; any thread already
+    // computing here is now local.
+    roles_[dst][0] = ThreadRole::Master;
+    for (std::size_t s = 1; s < num_slots(); ++s) {
+      if (roles_[dst][s] == ThreadRole::Skeleton) {
+        roles_[dst][s] = ThreadRole::Stub;
+      } else if (roles_[dst][s] == ThreadRole::Remote) {
+        roles_[dst][s] = ThreadRole::Local;
+      }
+    }
+    home_ = dst;
+    return;
+  }
+
+  if (src_role != ThreadRole::Local && src_role != ThreadRole::Remote) {
+    throw std::logic_error(
+        std::string("RoleTracker: cannot migrate a ") + role_name(src_role) +
+        " thread");
+  }
+  if (dst_role != ThreadRole::Skeleton && dst_role != ThreadRole::Stub) {
+    throw std::logic_error(
+        std::string("RoleTracker: destination slot is ") +
+        role_name(dst_role) + ", not a skeleton/stub");
+  }
+
+  // Source side: at the home node the thread stays behind as a stub for
+  // resource access; elsewhere the slot reverts to a skeleton.
+  roles_[src][slot] =
+      src == home_ ? ThreadRole::Stub : ThreadRole::Skeleton;
+  // Destination side: computing at the home node makes it local again.
+  roles_[dst][slot] =
+      dst == home_ ? ThreadRole::Local : ThreadRole::Remote;
+}
+
+}  // namespace hdsm::mig

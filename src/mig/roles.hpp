@@ -1,0 +1,75 @@
+// Thread roles and the iso-computing migration discipline of paper §3.1 /
+// Figure 1.
+//
+// "threads can only be migrated to the corresponding threads on remote
+//  machines ... the second thread at one node can only be migrated to other
+//  second threads on other nodes."
+//
+// Roles:
+//   Master   - the default thread at the home node
+//   Local    - a slave thread computing at the home node
+//   Stub     - a home-side thread whose state has migrated away; it holds
+//              the computing slot for resource access
+//   Skeleton - a remote-side thread holding a slot for incoming states
+//   Remote   - a skeleton that has loaded a migrated state and computes
+//
+// RoleTracker enforces the legal transitions, including the master
+// migration that re-homes the whole system.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hdsm::mig {
+
+enum class ThreadRole : std::uint8_t {
+  Master,
+  Local,
+  Stub,
+  Skeleton,
+  Remote,
+};
+
+const char* role_name(ThreadRole r) noexcept;
+
+class RoleTracker {
+ public:
+  /// Node 0 starts as the home node: slot 0 Master, other slots Local.
+  /// Every other node starts all-Skeleton.
+  RoleTracker(std::size_t num_nodes, std::size_t num_slots);
+
+  std::size_t num_nodes() const noexcept { return roles_.size(); }
+  std::size_t num_slots() const noexcept { return roles_.front().size(); }
+  std::size_t home_node() const noexcept { return home_; }
+
+  ThreadRole role(std::size_t node, std::size_t slot) const;
+
+  /// Where slot `slot`'s computation currently runs.
+  std::size_t computing_node(std::size_t slot) const;
+
+  /// Migrate `slot`'s running state from `src` to `dst` (iso-computing:
+  /// the slot index is the same on both).  Throws std::logic_error on an
+  /// illegal transition.  Migrating slot 0 re-homes the system.
+  void migrate(std::size_t slot, std::size_t src, std::size_t dst);
+
+  /// A newly joined machine (paper §1: "Parallel computing jobs can be
+  /// dispatched to newly added machines"): all slots start as skeletons.
+  /// Returns the new node id.
+  std::size_t add_node();
+
+  /// Mark a departed machine: every slot must be a Skeleton or Stub (no
+  /// running computation may be stranded); throws std::logic_error
+  /// otherwise.  Departed nodes keep their id but reject migrations.
+  void remove_node(std::size_t node);
+  bool node_active(std::size_t node) const;
+
+ private:
+  void check(std::size_t node, std::size_t slot) const;
+
+  std::vector<std::vector<ThreadRole>> roles_;  // [node][slot]
+  std::vector<bool> active_;
+  std::size_t home_ = 0;
+};
+
+}  // namespace hdsm::mig

@@ -1,0 +1,48 @@
+// Resumable-execution harness for migratable computations.
+//
+// MigThread's preprocessor rewrites functions so they can restart from
+// labeled resumption points with all live locals in a tagged structure.
+// The runtime equivalent: a computation body is a function that
+//   - resumes from state.top().label,
+//   - keeps all live locals in the frame's StructImage,
+//   - polls the migration flag at its adaptation points, and
+//   - returns Finished, or MigrationPoint with the state fully persisted.
+//
+// A MigrationController pairs a source and a destination node: the source
+// runs the body until it finishes or yields at a migration point; a yielded
+// state is shipped (tagged, receiver-makes-right) and the destination
+// skeleton continues it — possibly on a different virtual platform.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "mig/thread_state.hpp"
+
+namespace hdsm::mig {
+
+enum class StepOutcome : std::uint8_t {
+  Finished,        ///< computation complete
+  MigrationPoint,  ///< yielded with state persisted; ship and continue
+};
+
+/// A resumable computation body (see file comment for the contract).
+using Body =
+    std::function<StepOutcome(ThreadState&, const std::atomic<bool>&)>;
+
+/// Drive `body` on the source side: run until it finishes or honors
+/// `migrate_requested`.  Returns the outcome; on MigrationPoint the caller
+/// ships `state` with send_state().
+inline StepOutcome run_until_yield(const Body& body, ThreadState& state,
+                                   const std::atomic<bool>& migrate_requested) {
+  return body(state, migrate_requested);
+}
+
+/// Convenience: run `state` locally with migrations disabled until done.
+inline void run_to_completion(const Body& body, ThreadState& state) {
+  static const std::atomic<bool> never{false};
+  while (run_until_yield(body, state, never) != StepOutcome::Finished) {
+  }
+}
+
+}  // namespace hdsm::mig

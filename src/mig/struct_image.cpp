@@ -1,0 +1,109 @@
+#include "mig/struct_image.hpp"
+
+#include <stdexcept>
+
+#include "convert/converter.hpp"
+#include "platform/float_codec.hpp"
+#include "platform/int_codec.hpp"
+
+namespace hdsm::mig {
+
+namespace detail {
+
+namespace {
+plat::LongDoubleFormat fmt_of(const tags::FlatRun& run,
+                              const plat::PlatformDesc& p) {
+  return run.kind == plat::ScalarKind::LongDouble
+             ? p.long_double_format
+             : plat::LongDoubleFormat::Binary64;
+}
+}  // namespace
+
+double load_float(const std::byte* p, const tags::FlatRun& run,
+                  const plat::PlatformDesc& plat) {
+  return plat::decode_float(p, run.elem_size, plat.endian, fmt_of(run, plat));
+}
+
+void store_float(std::byte* p, const tags::FlatRun& run,
+                 const plat::PlatformDesc& plat, double v) {
+  plat::encode_float(v, p, run.elem_size, plat.endian, fmt_of(run, plat));
+}
+
+std::int64_t load_sint(const std::byte* p, const tags::FlatRun& run,
+                       const plat::PlatformDesc& plat) {
+  return plat::read_sint(p, run.elem_size, plat.endian);
+}
+
+std::uint64_t load_uint(const std::byte* p, const tags::FlatRun& run,
+                        const plat::PlatformDesc& plat) {
+  return plat::read_uint(p, run.elem_size, plat.endian);
+}
+
+void store_int(std::byte* p, const tags::FlatRun& run,
+               const plat::PlatformDesc& plat, std::uint64_t raw) {
+  plat::write_uint(p, run.elem_size, plat.endian, raw);
+}
+
+}  // namespace detail
+
+StructImage::StructImage(tags::TypePtr type, const plat::PlatformDesc& platform)
+    : type_(std::move(type)),
+      platform_(&platform),
+      layout_(tags::compute_layout(type_, platform)),
+      bytes_(layout_.size) {}
+
+StructImage::StructImage(tags::TypePtr type, const plat::PlatformDesc& platform,
+                         std::vector<std::byte> bytes)
+    : type_(std::move(type)),
+      platform_(&platform),
+      layout_(tags::compute_layout(type_, platform)),
+      bytes_(std::move(bytes)) {
+  if (bytes_.size() != layout_.size) {
+    throw std::invalid_argument("StructImage: byte size != layout size");
+  }
+}
+
+std::string StructImage::tag_text() const {
+  return tags::make_tag(*type_, *platform_).to_string();
+}
+
+StructImage::FieldRef StructImage::resolve(const std::string& field,
+                                           std::uint64_t index) const {
+  if (type_->kind() != tags::TypeDesc::Kind::Struct) {
+    // Non-struct images address their single run with an empty field name.
+    if (!field.empty()) {
+      throw std::invalid_argument("StructImage: not a struct");
+    }
+    for (const tags::FlatRun& run : layout_.runs) {
+      if (run.cat == tags::FlatRun::Cat::Padding) continue;
+      if (index >= run.count) {
+        throw std::out_of_range("StructImage: element index");
+      }
+      return FieldRef{&run, run.offset + index * run.elem_size};
+    }
+    throw std::invalid_argument("StructImage: no data runs");
+  }
+  const std::vector<tags::Field>& fields = type_->fields();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name != field) continue;
+    const std::uint64_t off = layout_.field_offsets.at(i);
+    const std::size_t run_idx = layout_.run_at(off);
+    const tags::FlatRun& run = layout_.runs[run_idx];
+    if (run.cat == tags::FlatRun::Cat::Padding) {
+      throw std::invalid_argument("StructImage: field is padding-only");
+    }
+    if (index >= run.count) {
+      throw std::out_of_range("StructImage: element index");
+    }
+    return FieldRef{&run, run.offset + index * run.elem_size};
+  }
+  throw std::out_of_range("StructImage: no field named " + field);
+}
+
+StructImage StructImage::convert_to(const plat::PlatformDesc& target) const {
+  StructImage out(type_, target);
+  conv::convert_image(bytes_.data(), layout_, out.bytes_.data(), out.layout_);
+  return out;
+}
+
+}  // namespace hdsm::mig

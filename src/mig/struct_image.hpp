@@ -1,0 +1,108 @@
+// A tagged struct byte image — the unit MigThread abstracts thread state
+// into (paper §3.1: "the physical state is transformed into a logical form
+// to achieve platform-independence").
+//
+// A StructImage owns the bytes of one TypeDesc value *in a declared
+// platform's representation*, with typed field accessors and CGT-RMR
+// conversion to any other platform.  Frames and heap objects of a migrating
+// thread are StructImages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "tags/layout.hpp"
+#include "tags/tag.hpp"
+#include "tags/type_desc.hpp"
+
+namespace hdsm::mig {
+
+class StructImage {
+ public:
+  /// Zero-initialized image of `type` on `platform`.
+  StructImage(tags::TypePtr type, const plat::PlatformDesc& platform);
+  /// Adopt existing bytes (must be exactly the layout size).
+  StructImage(tags::TypePtr type, const plat::PlatformDesc& platform,
+              std::vector<std::byte> bytes);
+
+  const tags::TypePtr& type() const noexcept { return type_; }
+  const plat::PlatformDesc& platform() const noexcept { return *platform_; }
+  const tags::Layout& layout() const noexcept { return layout_; }
+  const std::vector<std::byte>& bytes() const noexcept { return bytes_; }
+  std::vector<std::byte>& bytes() noexcept { return bytes_; }
+
+  /// The image's (m,n) tag on its platform (what travels with the data).
+  std::string tag_text() const;
+
+  // Typed field access (top-level struct fields; `index` for array fields).
+  // T is the host value type; storage follows the image's platform.
+  template <typename T>
+  T get(const std::string& field, std::uint64_t index = 0) const;
+  template <typename T>
+  void set(const std::string& field, T value, std::uint64_t index = 0);
+
+  /// CGT-RMR conversion of the whole image to another platform.
+  StructImage convert_to(const plat::PlatformDesc& target) const;
+
+ private:
+  struct FieldRef {
+    const tags::FlatRun* run;
+    std::uint64_t offset;
+  };
+  FieldRef resolve(const std::string& field, std::uint64_t index) const;
+
+  tags::TypePtr type_;
+  const plat::PlatformDesc* platform_;
+  tags::Layout layout_;
+  std::vector<std::byte> bytes_;
+};
+
+// ---- template implementations ---------------------------------------------
+
+namespace detail {
+
+double load_float(const std::byte* p, const tags::FlatRun& run,
+                  const plat::PlatformDesc& plat);
+void store_float(std::byte* p, const tags::FlatRun& run,
+                 const plat::PlatformDesc& plat, double v);
+std::int64_t load_sint(const std::byte* p, const tags::FlatRun& run,
+                       const plat::PlatformDesc& plat);
+std::uint64_t load_uint(const std::byte* p, const tags::FlatRun& run,
+                        const plat::PlatformDesc& plat);
+void store_int(std::byte* p, const tags::FlatRun& run,
+               const plat::PlatformDesc& plat, std::uint64_t raw);
+
+}  // namespace detail
+
+template <typename T>
+T StructImage::get(const std::string& field, std::uint64_t index) const {
+  const FieldRef ref = resolve(field, index);
+  const std::byte* p = bytes_.data() + ref.offset;
+  if (ref.run->cat == tags::FlatRun::Cat::Float) {
+    return static_cast<T>(detail::load_float(p, *ref.run, *platform_));
+  }
+  if (ref.run->cat == tags::FlatRun::Cat::SignedInt) {
+    return static_cast<T>(detail::load_sint(p, *ref.run, *platform_));
+  }
+  return static_cast<T>(detail::load_uint(p, *ref.run, *platform_));
+}
+
+template <typename T>
+void StructImage::set(const std::string& field, T value, std::uint64_t index) {
+  const FieldRef ref = resolve(field, index);
+  std::byte* p = bytes_.data() + ref.offset;
+  if (ref.run->cat == tags::FlatRun::Cat::Float) {
+    detail::store_float(p, *ref.run, *platform_, static_cast<double>(value));
+  } else if (ref.run->cat == tags::FlatRun::Cat::SignedInt) {
+    detail::store_int(
+        p, *ref.run, *platform_,
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(value)));
+  } else {
+    detail::store_int(p, *ref.run, *platform_,
+                      static_cast<std::uint64_t>(value));
+  }
+}
+
+}  // namespace hdsm::mig

@@ -1,0 +1,104 @@
+#include "mig/tagged_convert.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "convert/converter.hpp"
+
+namespace hdsm::mig {
+
+namespace {
+
+void expand_items(const std::vector<tags::TagItem>& items,
+                  std::uint64_t& offset, std::vector<TagRun>& out) {
+  for (const tags::TagItem& it : items) {
+    switch (it.kind) {
+      case tags::TagItem::Kind::Scalar:
+      case tags::TagItem::Kind::Pointer: {
+        TagRun r;
+        r.offset = offset;
+        r.elem_size = static_cast<std::uint32_t>(it.size);
+        r.count = it.count;
+        r.is_pointer = it.kind == tags::TagItem::Kind::Pointer;
+        out.push_back(r);
+        offset += it.size * it.count;
+        break;
+      }
+      case tags::TagItem::Kind::Padding: {
+        if (it.size == 0) break;  // the ubiquitous "(0,0)" no-padding slot
+        TagRun r;
+        r.offset = offset;
+        r.elem_size = static_cast<std::uint32_t>(it.size);
+        r.count = 1;
+        r.is_padding = true;
+        out.push_back(r);
+        offset += it.size;
+        break;
+      }
+      case tags::TagItem::Kind::Aggregate: {
+        for (std::uint64_t i = 0; i < it.count; ++i) {
+          expand_items(it.children, offset, out);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<TagRun> runs_from_tag(const tags::Tag& tag) {
+  std::vector<TagRun> out;
+  std::uint64_t offset = 0;
+  expand_items(tag.items(), offset, out);
+  return out;
+}
+
+void convert_tagged_image(const std::byte* src, const tags::Tag& src_tag,
+                          plat::Endian src_endian,
+                          plat::LongDoubleFormat src_ldf, std::byte* dst,
+                          const tags::Layout& dst_layout) {
+  plat::PlatformDesc sender;
+  sender.name = "tagged-sender";
+  sender.endian = src_endian;
+  sender.long_double_format = src_ldf;
+
+  const std::vector<TagRun> src_runs = runs_from_tag(src_tag);
+  std::memset(dst, 0, dst_layout.size);
+
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto next_src = [&]() -> const TagRun* {
+    while (i < src_runs.size() && src_runs[i].is_padding) ++i;
+    return i < src_runs.size() ? &src_runs[i] : nullptr;
+  };
+  const auto next_dst = [&]() -> const tags::FlatRun* {
+    while (j < dst_layout.runs.size() &&
+           dst_layout.runs[j].cat == tags::FlatRun::Cat::Padding) {
+      ++j;
+    }
+    return j < dst_layout.runs.size() ? &dst_layout.runs[j] : nullptr;
+  };
+
+  for (;;) {
+    const TagRun* s = next_src();
+    const tags::FlatRun* d = next_dst();
+    if (s == nullptr && d == nullptr) return;
+    if (s == nullptr || d == nullptr) {
+      throw std::invalid_argument(
+          "convert_tagged_image: tag and layout run counts differ");
+    }
+    if (s->count != d->count ||
+        s->is_pointer != (d->cat == tags::FlatRun::Cat::Pointer)) {
+      throw std::invalid_argument(
+          "convert_tagged_image: tag run shape disagrees with layout");
+    }
+    conv::convert_run(src + s->offset, s->elem_size, sender, dst + d->offset,
+                      d->elem_size, *dst_layout.platform, s->count, d->cat,
+                      d->kind);
+    ++i;
+    ++j;
+  }
+}
+
+}  // namespace hdsm::mig

@@ -1,0 +1,211 @@
+#include "mig/thread_state.hpp"
+
+#include <stdexcept>
+
+#include "mig/tagged_convert.hpp"
+
+namespace hdsm::mig {
+
+void StateSchema::register_frame(std::string function, tags::TypePtr locals) {
+  frames_[std::move(function)] = std::move(locals);
+}
+
+void StateSchema::register_heap_type(std::string name, tags::TypePtr type) {
+  heap_types_[std::move(name)] = std::move(type);
+}
+
+const tags::TypePtr& StateSchema::frame_type(
+    const std::string& function) const {
+  auto it = frames_.find(function);
+  if (it == frames_.end()) {
+    throw std::out_of_range("StateSchema: unknown function " + function);
+  }
+  return it->second;
+}
+
+const tags::TypePtr& StateSchema::heap_type(const std::string& name) const {
+  auto it = heap_types_.find(name);
+  if (it == heap_types_.end()) {
+    throw std::out_of_range("StateSchema: unknown heap type " + name);
+  }
+  return it->second;
+}
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>(v >> 16));
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_str(std::vector<std::byte>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  const std::byte* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+void put_bytes(std::vector<std::byte>& out, const std::vector<std::byte>& b) {
+  put_u64(out, b.size());
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& buf) : buf_(buf) {}
+
+  std::uint32_t u32() {
+    need(4);
+    const std::byte* p = buf_.data() + pos_;
+    pos_ += 4;
+    return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+           (std::to_integer<std::uint32_t>(p[1]) << 16) |
+           (std::to_integer<std::uint32_t>(p[2]) << 8) |
+           std::to_integer<std::uint32_t>(p[3]);
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::byte> bytes() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::vector<std::byte> b(buf_.begin() + pos_, buf_.begin() + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (buf_.size() - pos_ < n) {
+      throw std::runtime_error("thread state payload truncated");
+    }
+  }
+
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_ = 0;
+};
+
+StructImage convert_in(const std::vector<std::byte>& data,
+                       const std::string& tag_text, tags::TypePtr type,
+                       const plat::PlatformDesc& target,
+                       const msg::PlatformSummary& sender) {
+  const tags::Tag tag = tags::Tag::parse(tag_text);
+  if (tag.described_bytes() != data.size()) {
+    throw std::runtime_error("state image size disagrees with its tag");
+  }
+  StructImage out(std::move(type), target);
+  convert_tagged_image(data.data(), tag, sender.endian,
+                       sender.long_double_format, out.bytes().data(),
+                       out.layout());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> pack_state(const ThreadState& state) {
+  std::vector<std::byte> out;
+  put_u32(out, state.rank);
+  put_u32(out, static_cast<std::uint32_t>(state.frames.size()));
+  for (const Frame& f : state.frames) {
+    put_str(out, f.function);
+    put_u32(out, f.label);
+    put_str(out, f.locals.tag_text());
+    put_bytes(out, f.locals.bytes());
+  }
+  put_u32(out, static_cast<std::uint32_t>(state.heap.size()));
+  for (const HeapObject& h : state.heap) {
+    put_u64(out, h.id);
+    put_str(out, h.type_name);
+    put_str(out, h.image.tag_text());
+    put_bytes(out, h.image.bytes());
+  }
+  return out;
+}
+
+ThreadState unpack_state(const std::vector<std::byte>& payload,
+                         const StateSchema& schema,
+                         const plat::PlatformDesc& target,
+                         const msg::PlatformSummary& sender) {
+  Reader r(payload);
+  ThreadState state;
+  state.rank = r.u32();
+  const std::uint32_t nframes = r.u32();
+  state.frames.reserve(nframes);
+  for (std::uint32_t i = 0; i < nframes; ++i) {
+    std::string function = r.str();
+    const std::uint32_t label = r.u32();
+    const std::string tag_text = r.str();
+    const std::vector<std::byte> data = r.bytes();
+    StructImage locals = convert_in(data, tag_text,
+                                    schema.frame_type(function), target,
+                                    sender);
+    state.frames.push_back(
+        Frame{std::move(function), label, std::move(locals)});
+  }
+  const std::uint32_t nheap = r.u32();
+  state.heap.reserve(nheap);
+  for (std::uint32_t i = 0; i < nheap; ++i) {
+    HeapObject h{0, "", StructImage(tags::t_int(), target)};
+    h.id = r.u64();
+    h.type_name = r.str();
+    const std::string tag_text = r.str();
+    const std::vector<std::byte> data = r.bytes();
+    h.image = convert_in(data, tag_text, schema.heap_type(h.type_name),
+                         target, sender);
+    state.heap.push_back(std::move(h));
+  }
+  if (!r.done()) {
+    throw std::runtime_error("thread state payload has trailing bytes");
+  }
+  return state;
+}
+
+void send_state(msg::Endpoint& ep, const ThreadState& state,
+                const plat::PlatformDesc& sender_platform) {
+  msg::Message m;
+  m.type = msg::MsgType::MigrateState;
+  m.rank = state.rank;
+  m.sender = msg::PlatformSummary::of(sender_platform);
+  m.payload = pack_state(state);
+  ep.send(m);
+  const msg::Message ack = ep.recv();
+  if (ack.type != msg::MsgType::MigrateAck) {
+    throw std::logic_error("send_state: expected MigrateAck");
+  }
+}
+
+ThreadState receive_state(msg::Endpoint& ep, const StateSchema& schema,
+                          const plat::PlatformDesc& target) {
+  const msg::Message m = ep.recv();
+  if (m.type != msg::MsgType::MigrateState) {
+    throw std::logic_error("receive_state: expected MigrateState");
+  }
+  ThreadState state = unpack_state(m.payload, schema, target, m.sender);
+  msg::Message ack;
+  ack.type = msg::MsgType::MigrateAck;
+  ack.rank = state.rank;
+  ack.sender = msg::PlatformSummary::of(target);
+  ep.send(ack);
+  return state;
+}
+
+}  // namespace hdsm::mig

@@ -1,0 +1,113 @@
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "msg/endpoint.hpp"
+
+namespace hdsm::msg {
+
+namespace {
+
+/// One direction of an in-process duplex channel.
+class Queue {
+ public:
+  void push(Message m) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) throw ChannelClosed();
+      items_.push_back(std::move(m));
+    }
+    cv_.notify_one();
+  }
+
+  Message pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) throw ChannelClosed();
+    Message m = std::move(items_.front());
+    items_.pop_front();
+    return m;
+  }
+
+  bool pop_for(Message& out, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [this] { return !items_.empty() || closed_; })) {
+      return false;
+    }
+    if (items_.empty()) throw ChannelClosed();
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> items_;
+  bool closed_ = false;
+};
+
+struct SharedChannel {
+  Queue a_to_b;
+  Queue b_to_a;
+};
+
+class ChannelEndpoint final : public Endpoint {
+ public:
+  ChannelEndpoint(std::shared_ptr<SharedChannel> ch, bool is_a)
+      : ch_(std::move(ch)), is_a_(is_a) {}
+
+  ~ChannelEndpoint() override { close(); }
+
+  void send(const Message& m) override {
+    bytes_sent_ += m.wire_size();
+    (is_a_ ? ch_->a_to_b : ch_->b_to_a).push(m);
+  }
+
+  Message recv() override {
+    Message m = (is_a_ ? ch_->b_to_a : ch_->a_to_b).pop();
+    bytes_received_ += m.wire_size();
+    return m;
+  }
+
+  bool recv_for(Message& out, std::chrono::milliseconds timeout) override {
+    if (!(is_a_ ? ch_->b_to_a : ch_->a_to_b).pop_for(out, timeout)) {
+      return false;
+    }
+    bytes_received_ += out.wire_size();
+    return true;
+  }
+
+  void close() override {
+    ch_->a_to_b.close();
+    ch_->b_to_a.close();
+  }
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  std::uint64_t bytes_received() const override { return bytes_received_; }
+
+ private:
+  std::shared_ptr<SharedChannel> ch_;
+  bool is_a_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace
+
+std::pair<EndpointPtr, EndpointPtr> make_channel_pair() {
+  auto shared = std::make_shared<SharedChannel>();
+  return {std::make_unique<ChannelEndpoint>(shared, true),
+          std::make_unique<ChannelEndpoint>(shared, false)};
+}
+
+}  // namespace hdsm::msg

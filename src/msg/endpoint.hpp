@@ -1,0 +1,43 @@
+// Transport endpoints.
+//
+// The DSD protocol is strictly request/reply over a star topology (every
+// remote thread talks only to the home node), so an endpoint is a simple
+// blocking duplex message pipe.  Two implementations:
+//   - in-process channel pairs (the simulated cluster used by tests and
+//    benches: each node is a thread, the "LAN" is a queue), and
+//   - loopback TCP with the same framing (demonstrates the protocol really
+//     is wire-ready; exercised by integration tests).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "msg/message.hpp"
+
+namespace hdsm::msg {
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Send one message; throws ChannelClosed if the peer is gone.
+  virtual void send(const Message& m) = 0;
+  /// Block until a message arrives; throws ChannelClosed on shutdown.
+  virtual Message recv() = 0;
+  /// Wait up to `timeout`; returns false on timeout.
+  virtual bool recv_for(Message& out, std::chrono::milliseconds timeout) = 0;
+  /// Close this side; unblocks the peer with ChannelClosed.
+  virtual void close() = 0;
+
+  /// Total bytes pushed through send() (frame-encoded size).
+  virtual std::uint64_t bytes_sent() const = 0;
+  virtual std::uint64_t bytes_received() const = 0;
+};
+
+using EndpointPtr = std::unique_ptr<Endpoint>;
+
+/// A connected pair of in-process endpoints.
+std::pair<EndpointPtr, EndpointPtr> make_channel_pair();
+
+}  // namespace hdsm::msg

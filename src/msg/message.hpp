@@ -1,0 +1,84 @@
+// Message model and wire framing for the DSD protocol (paper Figure 5).
+//
+// Messages carry: a type, the sync object id (mutex/barrier index), the
+// sender's thread rank, a summary of the sender's platform (endianness and
+// long-double format — "the tags sent by the home thread will indicate the
+// endianness of the host system", §4.1), an ASCII tag string, and a raw
+// payload in the *sender's* representation (receiver makes right).
+//
+// Framing header fields are network byte order; tag and payload bytes are
+// opaque at this layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace hdsm::msg {
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,
+  LockRequest,
+  LockGrant,
+  UnlockRequest,
+  UnlockAck,
+  BarrierEnter,
+  BarrierRelease,
+  JoinRequest,
+  JoinAck,
+  MigrateState,
+  MigrateAck,
+  Shutdown,
+};
+
+const char* msg_type_name(MsgType t) noexcept;
+
+/// The sender-platform facts a receiver needs to "make right": byte order
+/// and extended-float format.  Element sizes travel in the tags.
+struct PlatformSummary {
+  plat::Endian endian = plat::Endian::Little;
+  plat::LongDoubleFormat long_double_format = plat::LongDoubleFormat::Binary64;
+
+  static PlatformSummary of(const plat::PlatformDesc& p) {
+    return PlatformSummary{p.endian, p.long_double_format};
+  }
+  bool operator==(const PlatformSummary&) const = default;
+};
+
+struct Message {
+  MsgType type = MsgType::Hello;
+  std::uint32_t sync_id = 0;  ///< mutex or barrier index
+  std::uint32_t rank = 0;     ///< sender thread rank
+  PlatformSummary sender;
+  std::string tag;                 ///< ASCII (m,n) tag text
+  std::vector<std::byte> payload;  ///< raw data, sender's representation
+
+  std::size_t wire_size() const noexcept;
+};
+
+/// Serialize `m` into a self-delimiting frame.
+std::vector<std::byte> encode_frame(const Message& m);
+
+/// Incremental frame decoder for stream transports.
+class FrameDecoder {
+ public:
+  /// Feed bytes; complete messages become available via next().
+  void feed(const std::byte* data, std::size_t len);
+  /// Pop the next complete message if any.
+  bool next(Message& out);
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Thrown by endpoints when the peer has closed.
+class ChannelClosed : public std::runtime_error {
+ public:
+  ChannelClosed() : std::runtime_error("hdsm channel closed") {}
+};
+
+}  // namespace hdsm::msg

@@ -1,0 +1,189 @@
+#include "msg/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <system_error>
+
+namespace hdsm::msg {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+class TcpEndpoint final : public Endpoint {
+ public:
+  explicit TcpEndpoint(int fd) : fd_(fd) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpEndpoint() override { close(); }
+
+  void send(const Message& m) override {
+    const std::vector<std::byte> frame = encode_frame(m);
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (fd_ < 0) throw ChannelClosed();
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw ChannelClosed();
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    bytes_sent_ += frame.size();
+  }
+
+  Message recv() override {
+    Message m;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(recv_mutex_);
+        if (decoder_.next(m)) {
+          bytes_received_ += m.wire_size();
+          return m;
+        }
+      }
+      read_more(-1);
+    }
+  }
+
+  bool recv_for(Message& out, std::chrono::milliseconds timeout) override {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(recv_mutex_);
+        if (decoder_.next(out)) {
+          bytes_received_ += out.wire_size();
+          return true;
+        }
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - now);
+      if (!read_more(static_cast<int>(left.count()))) return false;
+    }
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  std::uint64_t bytes_received() const override { return bytes_received_; }
+
+ private:
+  /// Read at least one chunk into the decoder; `timeout_ms < 0` blocks.
+  /// Returns false on poll timeout; throws ChannelClosed on EOF.
+  bool read_more(int timeout_ms) {
+    if (fd_ < 0) throw ChannelClosed();
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) return false;
+    if (pr < 0) {
+      if (errno == EINTR) return true;
+      throw ChannelClosed();
+    }
+    std::byte buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) throw ChannelClosed();
+    if (n < 0) {
+      if (errno == EINTR) return true;
+      throw ChannelClosed();
+    }
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_;
+  std::mutex send_mutex_;
+  std::mutex recv_mutex_;
+  FrameDecoder decoder_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+EndpointPtr TcpListener::accept() {
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) return std::make_unique<TcpEndpoint>(cfd);
+    if (errno != EINTR) throw_errno("accept");
+  }
+}
+
+EndpointPtr tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+  return std::make_unique<TcpEndpoint>(fd);
+}
+
+}  // namespace hdsm::msg

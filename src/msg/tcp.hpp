@@ -1,0 +1,37 @@
+// Loopback TCP transport with the standard framing.
+//
+// The simulated cluster normally uses in-process channels; this transport
+// shows the protocol is genuinely wire-ready and lets integration tests run
+// home and remote over a real socket.
+#pragma once
+
+#include <cstdint>
+
+#include "msg/endpoint.hpp"
+
+namespace hdsm::msg {
+
+/// Listening socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Bind to `port` (0 = ephemeral).  Throws std::system_error on failure.
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a peer connects; returns its endpoint.
+  EndpointPtr accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a listener on 127.0.0.1.
+EndpointPtr tcp_connect(std::uint16_t port);
+
+}  // namespace hdsm::msg

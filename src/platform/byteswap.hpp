@@ -1,0 +1,86 @@
+// Byte-order primitives shared by the integer/float codecs and the bulk
+// array fast paths of the CGT-RMR converter.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "platform/platform.hpp"
+
+namespace hdsm::plat {
+
+constexpr std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+
+constexpr std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
+
+constexpr std::uint64_t bswap64(std::uint64_t v) noexcept {
+  return (static_cast<std::uint64_t>(bswap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         bswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Endianness of the host running this process.
+constexpr Endian host_endian() noexcept {
+  return std::endian::native == std::endian::little ? Endian::Little
+                                                    : Endian::Big;
+}
+
+/// Reverse `elem_size` bytes in place.
+inline void reverse_bytes(std::byte* p, std::size_t elem_size) noexcept {
+  for (std::size_t i = 0, j = elem_size - 1; i < j; ++i, --j) {
+    std::byte t = p[i];
+    p[i] = p[j];
+    p[j] = t;
+  }
+}
+
+/// Reverse the byte order of `count` consecutive elements of `elem_size`
+/// bytes each, in place.  Sizes 2/4/8 take word-wise fast paths; this is
+/// the hot loop of heterogeneous whole-array conversion.
+inline void swap_elements_inplace(std::byte* data, std::size_t elem_size,
+                                  std::size_t count) noexcept {
+  if (elem_size < 2) return;
+  switch (elem_size) {
+    case 2: {
+      for (std::size_t i = 0; i < count; ++i) {
+        std::uint16_t v;
+        std::memcpy(&v, data + i * 2, 2);
+        v = bswap16(v);
+        std::memcpy(data + i * 2, &v, 2);
+      }
+      return;
+    }
+    case 4: {
+      for (std::size_t i = 0; i < count; ++i) {
+        std::uint32_t v;
+        std::memcpy(&v, data + i * 4, 4);
+        v = bswap32(v);
+        std::memcpy(data + i * 4, &v, 4);
+      }
+      return;
+    }
+    case 8: {
+      for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t v;
+        std::memcpy(&v, data + i * 8, 8);
+        v = bswap64(v);
+        std::memcpy(data + i * 8, &v, 8);
+      }
+      return;
+    }
+    default:
+      for (std::size_t i = 0; i < count; ++i) {
+        reverse_bytes(data + i * elem_size, elem_size);
+      }
+      return;
+  }
+}
+
+}  // namespace hdsm::plat

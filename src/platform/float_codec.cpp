@@ -1,0 +1,249 @@
+#include "platform/float_codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "platform/byteswap.hpp"
+#include "platform/int_codec.hpp"
+
+namespace hdsm::plat {
+
+namespace {
+
+constexpr std::uint64_t kFrac52Mask = (std::uint64_t{1} << 52) - 1;
+
+struct Decomposed {
+  std::uint64_t sign = 0;   // 0 or 1
+  std::int32_t exp = 0;     // unbiased exponent of a 1.f significand
+  std::uint64_t frac52 = 0; // fraction bits below the implicit leading 1
+  bool is_zero = false;
+  bool is_inf = false;
+  bool is_nan = false;
+};
+
+Decomposed decompose(double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  Decomposed d;
+  d.sign = bits >> 63;
+  const std::uint32_t e = static_cast<std::uint32_t>((bits >> 52) & 0x7ff);
+  const std::uint64_t m = bits & kFrac52Mask;
+  if (e == 0x7ff) {
+    d.is_inf = (m == 0);
+    d.is_nan = (m != 0);
+    d.frac52 = m;
+    return d;
+  }
+  if (e == 0) {
+    if (m == 0) {
+      d.is_zero = true;
+      return d;
+    }
+    // Subnormal double: normalize to 1.f * 2^exp.
+    std::uint64_t sig = m;
+    std::int32_t shift = 0;
+    while ((sig & (std::uint64_t{1} << 52)) == 0) {
+      sig <<= 1;
+      ++shift;
+    }
+    d.frac52 = sig & kFrac52Mask;
+    d.exp = -1022 - shift;
+    return d;
+  }
+  d.exp = static_cast<std::int32_t>(e) - 1023;
+  d.frac52 = m;
+  return d;
+}
+
+double recompose(std::uint64_t sign, std::int32_t exp, std::uint64_t frac52,
+                 bool is_zero, bool is_inf, bool is_nan) {
+  std::uint64_t bits = sign << 63;
+  if (is_nan) {
+    bits |= (std::uint64_t{0x7ff} << 52) | (frac52 ? frac52 : 1);
+  } else if (is_inf || exp > 1023) {
+    bits |= std::uint64_t{0x7ff} << 52;
+  } else if (is_zero) {
+    // sign-only bits
+  } else if (exp < -1022) {
+    // Underflow into double subnormals (or to zero past their range).
+    const std::int32_t shift = -1022 - exp;
+    if (shift <= 52) {
+      const std::uint64_t sig = (std::uint64_t{1} << 52) | frac52;
+      bits |= sig >> shift;
+    }
+  } else {
+    bits |= (static_cast<std::uint64_t>(exp + 1023) << 52) | frac52;
+  }
+  return std::bit_cast<double>(bits);
+}
+
+void store_bytes_le_maybe_swap(std::byte* dst, const std::byte* le_bytes,
+                               std::size_t n, Endian e) {
+  if (e == Endian::Little) {
+    std::memcpy(dst, le_bytes, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = le_bytes[n - 1 - i];
+  }
+}
+
+void load_bytes_to_le(std::byte* le_bytes, const std::byte* src,
+                      std::size_t n, Endian e) {
+  if (e == Endian::Little) {
+    std::memcpy(le_bytes, src, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) le_bytes[i] = src[n - 1 - i];
+  }
+}
+
+void encode_x87(double value, std::byte* dst, std::size_t size, Endian e) {
+  const Decomposed d = decompose(value);
+  std::uint64_t mant = 0;
+  std::uint16_t se = static_cast<std::uint16_t>(d.sign << 15);
+  if (d.is_nan) {
+    se |= 0x7fff;
+    mant = (std::uint64_t{3} << 62) | (d.frac52 << 11);  // quiet NaN
+  } else if (d.is_inf) {
+    se |= 0x7fff;
+    mant = std::uint64_t{1} << 63;
+  } else if (!d.is_zero) {
+    se |= static_cast<std::uint16_t>(d.exp + 16383);
+    mant = (std::uint64_t{1} << 63) | (d.frac52 << 11);
+  }
+  // Native x87 layout (little-endian): 8 mantissa bytes, 2 sign+exp bytes,
+  // then storage padding.
+  std::byte le[16] = {};
+  std::memcpy(le, &mant, 8);
+  std::memcpy(le + 8, &se, 2);
+  std::memset(dst, 0, size);
+  store_bytes_le_maybe_swap(dst, le, size, e);
+}
+
+double decode_x87(const std::byte* src, std::size_t size, Endian e) {
+  std::byte le[16] = {};
+  load_bytes_to_le(le, src, size, e);
+  std::uint64_t mant;
+  std::uint16_t se;
+  std::memcpy(&mant, le, 8);
+  std::memcpy(&se, le + 8, 2);
+  const std::uint64_t sign = se >> 15;
+  const std::uint32_t exp15 = se & 0x7fff;
+  if (exp15 == 0 && mant == 0) {
+    return recompose(sign, 0, 0, /*zero=*/true, false, false);
+  }
+  if (exp15 == 0x7fff) {
+    const bool inf = (mant << 1) == 0;  // ignore explicit integer bit
+    return recompose(sign, 0, (mant >> 11) & kFrac52Mask, false, inf, !inf);
+  }
+  // Truncate the 63 fraction bits to double's 52.
+  const std::uint64_t frac52 = (mant >> 11) & kFrac52Mask;
+  return recompose(sign, static_cast<std::int32_t>(exp15) - 16383, frac52,
+                   false, false, false);
+}
+
+void encode_binary128(double value, std::byte* dst, Endian e) {
+  const Decomposed d = decompose(value);
+  std::uint64_t hi = d.sign << 63;
+  std::uint64_t lo = 0;
+  if (d.is_nan) {
+    hi |= (std::uint64_t{0x7fff} << 48) | (std::uint64_t{1} << 47) |
+          (d.frac52 >> 5);
+  } else if (d.is_inf) {
+    hi |= std::uint64_t{0x7fff} << 48;
+  } else if (!d.is_zero) {
+    hi |= (static_cast<std::uint64_t>(d.exp + 16383) << 48) | (d.frac52 >> 4);
+    lo = (d.frac52 & 0xf) << 60;
+  }
+  std::byte le[16];
+  std::memcpy(le, &lo, 8);
+  std::memcpy(le + 8, &hi, 8);
+  store_bytes_le_maybe_swap(dst, le, 16, e);
+}
+
+double decode_binary128(const std::byte* src, Endian e) {
+  std::byte le[16];
+  load_bytes_to_le(le, src, 16, e);
+  std::uint64_t lo, hi;
+  std::memcpy(&lo, le, 8);
+  std::memcpy(&hi, le + 8, 8);
+  const std::uint64_t sign = hi >> 63;
+  const std::uint32_t exp15 = static_cast<std::uint32_t>((hi >> 48) & 0x7fff);
+  const std::uint64_t frac_hi48 = hi & ((std::uint64_t{1} << 48) - 1);
+  const std::uint64_t frac52 = (frac_hi48 << 4) | (lo >> 60);
+  if (exp15 == 0 && frac_hi48 == 0 && lo == 0) {
+    return recompose(sign, 0, 0, /*zero=*/true, false, false);
+  }
+  if (exp15 == 0x7fff) {
+    const bool inf = frac_hi48 == 0 && lo == 0;
+    return recompose(sign, 0, frac52, false, inf, !inf);
+  }
+  return recompose(sign, static_cast<std::int32_t>(exp15) - 16383, frac52,
+                   false, false, false);
+}
+
+}  // namespace
+
+void encode_float(double value, std::byte* dst, std::size_t size, Endian e,
+                  LongDoubleFormat ldf) {
+  switch (size) {
+    case 4: {
+      const float f = static_cast<float>(value);
+      std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+      if ((e == Endian::Big) != (host_endian() == Endian::Big)) {
+        bits = bswap32(bits);
+      }
+      std::memcpy(dst, &bits, 4);
+      return;
+    }
+    case 8: {
+      std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+      if ((e == Endian::Big) != (host_endian() == Endian::Big)) {
+        bits = bswap64(bits);
+      }
+      std::memcpy(dst, &bits, 8);
+      return;
+    }
+    case 12:
+      encode_x87(value, dst, 12, e);
+      return;
+    case 16:
+      if (ldf == LongDoubleFormat::Binary128) {
+        encode_binary128(value, dst, e);
+      } else {
+        encode_x87(value, dst, 16, e);
+      }
+      return;
+    default:
+      throw std::invalid_argument("encode_float: unsupported size");
+  }
+}
+
+double decode_float(const std::byte* src, std::size_t size, Endian e,
+                    LongDoubleFormat ldf) {
+  switch (size) {
+    case 4: {
+      std::uint32_t bits;
+      std::memcpy(&bits, src, 4);
+      if ((e == Endian::Big) != (host_endian() == Endian::Big)) {
+        bits = bswap32(bits);
+      }
+      return static_cast<double>(std::bit_cast<float>(bits));
+    }
+    case 8: {
+      std::uint64_t bits;
+      std::memcpy(&bits, src, 8);
+      if ((e == Endian::Big) != (host_endian() == Endian::Big)) {
+        bits = bswap64(bits);
+      }
+      return std::bit_cast<double>(bits);
+    }
+    case 12:
+      return decode_x87(src, 12, e);
+    case 16:
+      return ldf == LongDoubleFormat::Binary128 ? decode_binary128(src, e)
+                                                : decode_x87(src, 16, e);
+    default:
+      throw std::invalid_argument("decode_float: unsupported size");
+  }
+}
+
+}  // namespace hdsm::plat

@@ -1,0 +1,33 @@
+// IEEE 754 encode/decode against a declared platform format.
+//
+// CGT-RMR adopts IEEE 754 (paper §3.2); floating values cross platforms by
+// decoding the sender's byte image to a host double and re-encoding in the
+// receiver's format.  Supported storage formats:
+//   - binary32 (4 bytes), binary64 (8 bytes)
+//   - x87 80-bit extended stored in 12 or 16 bytes (IA-32 / x86-64 ABIs)
+//   - binary128 / IEEE quad (SPARC long double)
+// Conversions through double are exact for values representable in double;
+// decode of wider-precision values truncates toward zero (documented
+// simplification; the DSM only ever ships values that originated as host
+// doubles, so round trips are exact).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/platform.hpp"
+
+namespace hdsm::plat {
+
+/// Encode `value` into `size` bytes at `dst` with byte order `e`.
+/// `size` selects the format: 4 = binary32, 8 = binary64, 12/16 = extended
+/// per `ldf`.  Unused pad bytes (x87-in-12/16) are zeroed.
+void encode_float(double value, std::byte* dst, std::size_t size, Endian e,
+                  LongDoubleFormat ldf);
+
+/// Decode `size` bytes at `src` (byte order `e`, extended format per `ldf`)
+/// into a host double.
+double decode_float(const std::byte* src, std::size_t size, Endian e,
+                    LongDoubleFormat ldf);
+
+}  // namespace hdsm::plat

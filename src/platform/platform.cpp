@@ -1,0 +1,274 @@
+#include "platform/platform.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hdsm::plat {
+
+bool is_signed_int(ScalarKind k) noexcept {
+  switch (k) {
+    case ScalarKind::SChar:
+    case ScalarKind::Char:  // plain char treated as signed, as on both testbeds' x86 side; sign handled per-platform elsewhere if needed
+    case ScalarKind::Short:
+    case ScalarKind::Int:
+    case ScalarKind::Long:
+    case ScalarKind::LongLong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_unsigned_int(ScalarKind k) noexcept {
+  switch (k) {
+    case ScalarKind::Bool:
+    case ScalarKind::UChar:
+    case ScalarKind::UShort:
+    case ScalarKind::UInt:
+    case ScalarKind::ULong:
+    case ScalarKind::ULongLong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_floating(ScalarKind k) noexcept {
+  return k == ScalarKind::Float || k == ScalarKind::Double ||
+         k == ScalarKind::LongDouble;
+}
+
+const char* scalar_kind_name(ScalarKind k) noexcept {
+  switch (k) {
+    case ScalarKind::Bool: return "bool";
+    case ScalarKind::Char: return "char";
+    case ScalarKind::SChar: return "signed char";
+    case ScalarKind::UChar: return "unsigned char";
+    case ScalarKind::Short: return "short";
+    case ScalarKind::UShort: return "unsigned short";
+    case ScalarKind::Int: return "int";
+    case ScalarKind::UInt: return "unsigned int";
+    case ScalarKind::Long: return "long";
+    case ScalarKind::ULong: return "unsigned long";
+    case ScalarKind::LongLong: return "long long";
+    case ScalarKind::ULongLong: return "unsigned long long";
+    case ScalarKind::Float: return "float";
+    case ScalarKind::Double: return "double";
+    case ScalarKind::LongDouble: return "long double";
+    case ScalarKind::Pointer: return "pointer";
+  }
+  return "?";
+}
+
+bool PlatformDesc::homogeneous_with(const PlatformDesc& other) const noexcept {
+  return endian == other.endian &&
+         long_double_format == other.long_double_format &&
+         size == other.size && align == other.align;
+}
+
+bool operator==(const PlatformDesc& a, const PlatformDesc& b) noexcept {
+  return a.name == b.name && a.homogeneous_with(b) &&
+         a.page_size == b.page_size;
+}
+
+namespace {
+
+using SK = ScalarKind;
+
+constexpr std::size_t idx(SK k) { return static_cast<std::size_t>(k); }
+
+PlatformDesc make_base(std::string name, Endian e, LongDoubleFormat ldf,
+                       std::uint32_t page) {
+  PlatformDesc p;
+  p.name = std::move(name);
+  p.endian = e;
+  p.long_double_format = ldf;
+  p.page_size = page;
+  // Common ground for all presets: 1-byte chars/bool, 2-byte short,
+  // 4-byte int/float, 8-byte long long/double; natural alignment.
+  auto set = [&p](SK k, std::uint8_t sz, std::uint8_t al) {
+    p.size[idx(k)] = sz;
+    p.align[idx(k)] = al;
+  };
+  set(SK::Bool, 1, 1);
+  set(SK::Char, 1, 1);
+  set(SK::SChar, 1, 1);
+  set(SK::UChar, 1, 1);
+  set(SK::Short, 2, 2);
+  set(SK::UShort, 2, 2);
+  set(SK::Int, 4, 4);
+  set(SK::UInt, 4, 4);
+  set(SK::LongLong, 8, 8);
+  set(SK::ULongLong, 8, 8);
+  set(SK::Float, 4, 4);
+  set(SK::Double, 8, 8);
+  return p;
+}
+
+void set_kind(PlatformDesc& p, SK k, std::uint8_t sz, std::uint8_t al) {
+  p.size[idx(k)] = sz;
+  p.align[idx(k)] = al;
+}
+
+PlatformDesc make_linux_ia32() {
+  PlatformDesc p = make_base("linux-ia32", Endian::Little,
+                             LongDoubleFormat::X87Extended, 4096);
+  set_kind(p, SK::Long, 4, 4);
+  set_kind(p, SK::ULong, 4, 4);
+  set_kind(p, SK::Pointer, 4, 4);
+  // The IA-32 System V ABI aligns 8-byte quantities to 4 inside structs.
+  set_kind(p, SK::LongLong, 8, 4);
+  set_kind(p, SK::ULongLong, 8, 4);
+  set_kind(p, SK::Double, 8, 4);
+  set_kind(p, SK::LongDouble, 12, 4);
+  return p;
+}
+
+PlatformDesc make_solaris_sparc32() {
+  PlatformDesc p = make_base("solaris-sparc32", Endian::Big,
+                             LongDoubleFormat::Binary128, 8192);
+  set_kind(p, SK::Long, 4, 4);
+  set_kind(p, SK::ULong, 4, 4);
+  set_kind(p, SK::Pointer, 4, 4);
+  set_kind(p, SK::LongDouble, 16, 8);
+  return p;
+}
+
+PlatformDesc make_linux_x86_64() {
+  PlatformDesc p = make_base("linux-x86-64", Endian::Little,
+                             LongDoubleFormat::X87Extended, 4096);
+  set_kind(p, SK::Long, 8, 8);
+  set_kind(p, SK::ULong, 8, 8);
+  set_kind(p, SK::Pointer, 8, 8);
+  set_kind(p, SK::LongDouble, 16, 16);
+  return p;
+}
+
+PlatformDesc make_solaris_sparc64() {
+  PlatformDesc p = make_base("solaris-sparc64", Endian::Big,
+                             LongDoubleFormat::Binary128, 8192);
+  set_kind(p, SK::Long, 8, 8);
+  set_kind(p, SK::ULong, 8, 8);
+  set_kind(p, SK::Pointer, 8, 8);
+  set_kind(p, SK::LongDouble, 16, 16);
+  return p;
+}
+
+PlatformDesc make_windows_x64() {
+  PlatformDesc p = make_base("windows-x64", Endian::Little,
+                             LongDoubleFormat::Binary64, 4096);
+  set_kind(p, SK::Long, 4, 4);  // LLP64: long stays 32-bit
+  set_kind(p, SK::ULong, 4, 4);
+  set_kind(p, SK::Pointer, 8, 8);
+  set_kind(p, SK::LongDouble, 8, 8);
+  return p;
+}
+
+PlatformDesc make_mips64_be() {
+  PlatformDesc p = make_base("mips64-be", Endian::Big,
+                             LongDoubleFormat::Binary128, 16384);
+  set_kind(p, SK::Long, 8, 8);
+  set_kind(p, SK::ULong, 8, 8);
+  set_kind(p, SK::Pointer, 8, 8);
+  set_kind(p, SK::LongDouble, 16, 16);
+  return p;
+}
+
+PlatformDesc make_exotic_packed_be() {
+  PlatformDesc p = make_base("exotic-packed-be", Endian::Big,
+                             LongDoubleFormat::Binary64, 4096);
+  set_kind(p, SK::Long, 4, 2);
+  set_kind(p, SK::ULong, 4, 2);
+  set_kind(p, SK::Pointer, 4, 2);
+  set_kind(p, SK::Int, 4, 2);
+  set_kind(p, SK::UInt, 4, 2);
+  set_kind(p, SK::LongLong, 8, 2);
+  set_kind(p, SK::ULongLong, 8, 2);
+  set_kind(p, SK::Float, 4, 2);
+  set_kind(p, SK::Double, 8, 2);
+  set_kind(p, SK::LongDouble, 8, 2);
+  return p;
+}
+
+PlatformDesc make_exotic_wide_le() {
+  PlatformDesc p = make_base("exotic-wide-le", Endian::Little,
+                             LongDoubleFormat::Binary64, 4096);
+  set_kind(p, SK::Long, 8, 8);
+  set_kind(p, SK::ULong, 8, 8);
+  set_kind(p, SK::Pointer, 8, 8);
+  set_kind(p, SK::LongDouble, 8, 8);
+  return p;
+}
+
+PlatformDesc make_host() {
+  PlatformDesc p = make_base(
+      "host",
+      std::endian::native == std::endian::little ? Endian::Little
+                                                 : Endian::Big,
+      sizeof(long double) == 8 ? LongDoubleFormat::Binary64
+                               : LongDoubleFormat::X87Extended,
+      4096);
+  set_kind(p, SK::Long, sizeof(long), alignof(long));
+  set_kind(p, SK::ULong, sizeof(unsigned long), alignof(unsigned long));
+  set_kind(p, SK::Pointer, sizeof(void*), alignof(void*));
+  set_kind(p, SK::LongDouble, sizeof(long double), alignof(long double));
+  set_kind(p, SK::Double, sizeof(double), alignof(double));
+  set_kind(p, SK::LongLong, sizeof(long long), alignof(long long));
+  set_kind(p, SK::ULongLong, sizeof(unsigned long long),
+           alignof(unsigned long long));
+  return p;
+}
+
+}  // namespace
+
+const PlatformDesc& linux_ia32() {
+  static const PlatformDesc p = make_linux_ia32();
+  return p;
+}
+const PlatformDesc& solaris_sparc32() {
+  static const PlatformDesc p = make_solaris_sparc32();
+  return p;
+}
+const PlatformDesc& linux_x86_64() {
+  static const PlatformDesc p = make_linux_x86_64();
+  return p;
+}
+const PlatformDesc& solaris_sparc64() {
+  static const PlatformDesc p = make_solaris_sparc64();
+  return p;
+}
+const PlatformDesc& windows_x64() {
+  static const PlatformDesc p = make_windows_x64();
+  return p;
+}
+const PlatformDesc& mips64_be() {
+  static const PlatformDesc p = make_mips64_be();
+  return p;
+}
+const PlatformDesc& exotic_packed_be() {
+  static const PlatformDesc p = make_exotic_packed_be();
+  return p;
+}
+const PlatformDesc& exotic_wide_le() {
+  static const PlatformDesc p = make_exotic_wide_le();
+  return p;
+}
+const PlatformDesc& host() {
+  static const PlatformDesc p = make_host();
+  return p;
+}
+
+const PlatformDesc& preset_by_name(const std::string& name) {
+  if (name == "linux-ia32") return linux_ia32();
+  if (name == "solaris-sparc32") return solaris_sparc32();
+  if (name == "linux-x86-64") return linux_x86_64();
+  if (name == "solaris-sparc64") return solaris_sparc64();
+  if (name == "windows-x64") return windows_x64();
+  if (name == "mips64-be") return mips64_be();
+  if (name == "exotic-packed-be") return exotic_packed_be();
+  if (name == "exotic-wide-le") return exotic_wide_le();
+  if (name == "host") return host();
+  throw std::out_of_range("unknown platform preset: " + name);
+}
+
+}  // namespace hdsm::plat

@@ -1,0 +1,125 @@
+// Platform ABI models for the heterogeneous DSM.
+//
+// The paper evaluates on SPARC/Solaris (big-endian) and x86/Linux
+// (little-endian) machines.  We reproduce heterogeneity with *virtual
+// platform descriptors*: every simulated node carries a PlatformDesc that
+// fixes its endianness, scalar sizes, and alignment rules.  All layout,
+// tag-generation, and data-conversion code in the library is written
+// against these descriptors, never against the host ABI, so a big-endian
+// SPARC byte image is produced and consumed for real on the (little-endian)
+// host that runs the simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hdsm::plat {
+
+/// Byte order of a (virtual) platform.
+enum class Endian : std::uint8_t {
+  Little,
+  Big,
+};
+
+/// Storage format of `long double` on a platform.  The paper adopts the
+/// IEEE 754 standard "because of its marketplace dominance"; the extended
+/// formats differ per ABI and are modelled explicitly.
+enum class LongDoubleFormat : std::uint8_t {
+  Binary64,     ///< plain double (e.g. MSVC-style, also used by tests)
+  X87Extended,  ///< 80-bit x87 format, stored in 12 or 16 bytes (IA-32 / x86-64)
+  Binary128,    ///< IEEE quad (SPARC)
+};
+
+/// The scalar type universe the CGT-RMR tag system describes.
+enum class ScalarKind : std::uint8_t {
+  Bool,
+  Char,
+  SChar,
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  LongLong,
+  ULongLong,
+  Float,
+  Double,
+  LongDouble,
+  Pointer,
+};
+
+inline constexpr std::size_t kScalarKindCount = 16;
+
+/// True for the signed integral kinds (sign extension applies on widening).
+bool is_signed_int(ScalarKind k) noexcept;
+/// True for the unsigned integral kinds (zero extension applies).
+bool is_unsigned_int(ScalarKind k) noexcept;
+/// True for Float / Double / LongDouble.
+bool is_floating(ScalarKind k) noexcept;
+/// Human-readable kind name ("int", "unsigned long", ...).
+const char* scalar_kind_name(ScalarKind k) noexcept;
+
+/// A complete ABI model of one (virtual) machine.
+///
+/// Two platforms are *homogeneous* to each other exactly when every field
+/// that affects byte images matches (the paper detects this by string
+/// comparison of the generated tags; `homogeneous_with` is the structural
+/// equivalent and the tag comparison is tested against it).
+struct PlatformDesc {
+  std::string name;
+  Endian endian = Endian::Little;
+  LongDoubleFormat long_double_format = LongDoubleFormat::Binary64;
+  std::uint32_t page_size = 4096;
+  std::array<std::uint8_t, kScalarKindCount> size{};
+  std::array<std::uint8_t, kScalarKindCount> align{};
+
+  std::uint8_t size_of(ScalarKind k) const noexcept {
+    return size[static_cast<std::size_t>(k)];
+  }
+  std::uint8_t align_of(ScalarKind k) const noexcept {
+    return align[static_cast<std::size_t>(k)];
+  }
+
+  /// Structural homogeneity: identical byte images for identical logical
+  /// data.  Name and page size do not participate.
+  bool homogeneous_with(const PlatformDesc& other) const noexcept;
+};
+
+bool operator==(const PlatformDesc& a, const PlatformDesc& b) noexcept;
+
+// ---- Preset platforms ----------------------------------------------------
+// The two testbed machines of the paper plus their 64-bit cousins and two
+// synthetic ABIs used to stress conversion paths in tests.
+
+/// 32-bit x86 Linux: little endian, ILP32, 4-byte long, 12-byte x87 long double.
+const PlatformDesc& linux_ia32();
+/// 32-bit SPARC Solaris: big endian, ILP32, IEEE-quad long double, 8 KiB pages.
+const PlatformDesc& solaris_sparc32();
+/// 64-bit x86 Linux: little endian, LP64, 16-byte x87 long double.
+const PlatformDesc& linux_x86_64();
+/// 64-bit SPARC Solaris: big endian, LP64, IEEE-quad long double, 8 KiB pages.
+const PlatformDesc& solaris_sparc64();
+/// 64-bit Windows-style LLP64: little endian, 4-byte long, 8-byte pointer,
+/// `long double` = plain binary64.  Stresses the long/pointer width split.
+const PlatformDesc& windows_x64();
+/// Big-endian MIPS64 (n64 ABI): LP64, IEEE-quad long double, 16 KiB pages.
+const PlatformDesc& mips64_be();
+/// Synthetic big-endian ILP32 ABI with 2-byte alignment everywhere; stresses
+/// padding re-layout.
+const PlatformDesc& exotic_packed_be();
+/// Synthetic little-endian ABI with 8-byte long/pointer but 4-byte int and
+/// `long double` = plain binary64; stresses size-changing conversion.
+const PlatformDesc& exotic_wide_le();
+
+/// The ABI of the machine actually running this process (detected with
+/// compile-time queries).  Used when a node wants zero-cost native access.
+const PlatformDesc& host();
+
+/// Look up a preset by name ("linux-ia32", "solaris-sparc32", ...); throws
+/// std::out_of_range for unknown names.
+const PlatformDesc& preset_by_name(const std::string& name);
+
+}  // namespace hdsm::plat

@@ -1,0 +1,126 @@
+// Ergonomic type description from C++ types.
+//
+// MigThread's preprocessor rewrites user source so globals and locals are
+// described to the runtime; users of this library do the equivalent with a
+// fluent builder whose field types are deduced from C++ types:
+//
+//   tags::TypePtr gthv = tags::describe_struct("GThV_t")
+//                            .pointer("GThP")
+//                            .array<int>("A", n * n)
+//                            .array<int>("B", n * n)
+//                            .array<int>("C", n * n)
+//                            .field<int>("n")
+//                            .build();
+//
+// The mapping follows the *logical* C type (int -> Int, long -> Long, ...);
+// per-platform sizes come later from the PlatformDesc, exactly like the
+// preprocessor's generated code.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "tags/type_desc.hpp"
+
+namespace hdsm::tags {
+
+/// ScalarKind of a C++ arithmetic type.
+template <typename T>
+constexpr plat::ScalarKind scalar_kind_of() {
+  using U = std::remove_cv_t<T>;
+  if constexpr (std::is_same_v<U, bool>) {
+    return plat::ScalarKind::Bool;
+  } else if constexpr (std::is_same_v<U, char>) {
+    return plat::ScalarKind::Char;
+  } else if constexpr (std::is_same_v<U, signed char>) {
+    return plat::ScalarKind::SChar;
+  } else if constexpr (std::is_same_v<U, unsigned char>) {
+    return plat::ScalarKind::UChar;
+  } else if constexpr (std::is_same_v<U, short>) {
+    return plat::ScalarKind::Short;
+  } else if constexpr (std::is_same_v<U, unsigned short>) {
+    return plat::ScalarKind::UShort;
+  } else if constexpr (std::is_same_v<U, int>) {
+    return plat::ScalarKind::Int;
+  } else if constexpr (std::is_same_v<U, unsigned int>) {
+    return plat::ScalarKind::UInt;
+  } else if constexpr (std::is_same_v<U, long>) {
+    return plat::ScalarKind::Long;
+  } else if constexpr (std::is_same_v<U, unsigned long>) {
+    return plat::ScalarKind::ULong;
+  } else if constexpr (std::is_same_v<U, long long>) {
+    return plat::ScalarKind::LongLong;
+  } else if constexpr (std::is_same_v<U, unsigned long long>) {
+    return plat::ScalarKind::ULongLong;
+  } else if constexpr (std::is_same_v<U, float>) {
+    return plat::ScalarKind::Float;
+  } else if constexpr (std::is_same_v<U, double>) {
+    return plat::ScalarKind::Double;
+  } else if constexpr (std::is_same_v<U, long double>) {
+    return plat::ScalarKind::LongDouble;
+  } else {
+    static_assert(std::is_arithmetic_v<U>,
+                  "scalar_kind_of: unsupported field type");
+    return plat::ScalarKind::Int;  // unreachable
+  }
+}
+
+/// TypeDesc for a C++ arithmetic or pointer type.
+template <typename T>
+TypePtr describe() {
+  if constexpr (std::is_pointer_v<std::remove_cv_t<T>>) {
+    return TypeDesc::pointer();
+  } else {
+    return TypeDesc::scalar(scalar_kind_of<T>());
+  }
+}
+
+/// Fluent builder for structure descriptions.
+class StructBuilder {
+ public:
+  explicit StructBuilder(std::string name) : name_(std::move(name)) {}
+
+  template <typename T>
+  StructBuilder&& field(std::string field_name) && {
+    fields_.push_back({std::move(field_name), describe<T>()});
+    return std::move(*this);
+  }
+
+  template <typename T>
+  StructBuilder&& array(std::string field_name, std::uint64_t count) && {
+    fields_.push_back(
+        {std::move(field_name), TypeDesc::array(describe<T>(), count)});
+    return std::move(*this);
+  }
+
+  StructBuilder&& pointer(std::string field_name) && {
+    fields_.push_back({std::move(field_name), TypeDesc::pointer()});
+    return std::move(*this);
+  }
+
+  StructBuilder&& reserved(std::uint64_t bytes) && {
+    fields_.push_back({"", TypeDesc::reserved(bytes)});
+    return std::move(*this);
+  }
+
+  /// Embed a previously described aggregate (nested struct or array).
+  StructBuilder&& nested(std::string field_name, TypePtr type) && {
+    fields_.push_back({std::move(field_name), std::move(type)});
+    return std::move(*this);
+  }
+
+  TypePtr build() && {
+    return TypeDesc::struct_of(std::move(name_), std::move(fields_));
+  }
+
+ private:
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+inline StructBuilder describe_struct(std::string name) {
+  return StructBuilder(std::move(name));
+}
+
+}  // namespace hdsm::tags

@@ -1,0 +1,189 @@
+#include "tags/layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdsm::tags {
+
+namespace {
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+FlatRun::Cat category_of(plat::ScalarKind k) noexcept {
+  using SK = plat::ScalarKind;
+  if (k == SK::Pointer) return FlatRun::Cat::Pointer;
+  if (plat::is_floating(k)) return FlatRun::Cat::Float;
+  if (plat::is_signed_int(k)) return FlatRun::Cat::SignedInt;
+  return FlatRun::Cat::UnsignedInt;
+}
+
+std::uint32_t align_of(const TypeDesc& t, const plat::PlatformDesc& p) {
+  switch (t.kind()) {
+    case TypeDesc::Kind::Scalar:
+      return p.align_of(t.scalar_kind());
+    case TypeDesc::Kind::Pointer:
+      return p.align_of(plat::ScalarKind::Pointer);
+    case TypeDesc::Kind::Reserved:
+      return 1;
+    case TypeDesc::Kind::Array:
+      return align_of(*t.element(), p);
+    case TypeDesc::Kind::Struct: {
+      std::uint32_t a = 1;
+      for (const Field& f : t.fields()) {
+        a = std::max(a, align_of(*f.type, p));
+      }
+      return a;
+    }
+  }
+  return 1;
+}
+
+std::uint64_t size_of(const TypeDesc& t, const plat::PlatformDesc& p) {
+  switch (t.kind()) {
+    case TypeDesc::Kind::Scalar:
+      return p.size_of(t.scalar_kind());
+    case TypeDesc::Kind::Pointer:
+      return p.size_of(plat::ScalarKind::Pointer);
+    case TypeDesc::Kind::Reserved:
+      return t.reserved_bytes();
+    case TypeDesc::Kind::Array:
+      return t.count() * size_of(*t.element(), p);
+    case TypeDesc::Kind::Struct: {
+      std::uint64_t off = 0;
+      for (const Field& f : t.fields()) {
+        off = round_up(off, align_of(*f.type, p));
+        off += size_of(*f.type, p);
+      }
+      return round_up(off, align_of(t, p));
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+class Flattener {
+ public:
+  explicit Flattener(const plat::PlatformDesc& p) : p_(p) {}
+
+  void place(const TypeDesc& t, std::uint64_t offset,
+             std::vector<std::uint64_t>* field_offsets) {
+    switch (t.kind()) {
+      case TypeDesc::Kind::Scalar:
+        emit(offset, p_.size_of(t.scalar_kind()), 1,
+             category_of(t.scalar_kind()), t.scalar_kind());
+        return;
+      case TypeDesc::Kind::Pointer:
+        emit(offset, p_.size_of(plat::ScalarKind::Pointer), 1,
+             FlatRun::Cat::Pointer, plat::ScalarKind::Pointer);
+        return;
+      case TypeDesc::Kind::Reserved:
+        pad(offset, t.reserved_bytes());
+        return;
+      case TypeDesc::Kind::Array: {
+        const TypeDesc& e = *t.element();
+        if (e.kind() == TypeDesc::Kind::Scalar) {
+          emit(offset, p_.size_of(e.scalar_kind()), t.count(),
+               category_of(e.scalar_kind()), e.scalar_kind());
+          return;
+        }
+        if (e.kind() == TypeDesc::Kind::Pointer) {
+          emit(offset, p_.size_of(plat::ScalarKind::Pointer), t.count(),
+               FlatRun::Cat::Pointer, plat::ScalarKind::Pointer);
+          return;
+        }
+        const std::uint64_t stride = size_of(e, p_);
+        for (std::uint64_t i = 0; i < t.count(); ++i) {
+          place(e, offset + i * stride, nullptr);
+        }
+        return;
+      }
+      case TypeDesc::Kind::Struct: {
+        std::uint64_t cursor = offset;
+        for (const Field& f : t.fields()) {
+          const std::uint64_t field_align = align_of(*f.type, p_);
+          const std::uint64_t aligned = round_up(cursor, field_align);
+          pad(cursor, aligned - cursor);
+          if (field_offsets) field_offsets->push_back(aligned - offset);
+          place(*f.type, aligned, nullptr);
+          cursor = aligned + size_of(*f.type, p_);
+        }
+        const std::uint64_t total = size_of(t, p_);
+        pad(cursor, offset + total - cursor);
+        return;
+      }
+    }
+  }
+
+  std::vector<FlatRun> take() { return std::move(runs_); }
+
+ private:
+  void pad(std::uint64_t offset, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    // Merge with a directly preceding padding run.
+    if (!runs_.empty()) {
+      FlatRun& last = runs_.back();
+      if (last.cat == FlatRun::Cat::Padding && last.end() == offset) {
+        last.elem_size += static_cast<std::uint32_t>(bytes);
+        return;
+      }
+    }
+    FlatRun r;
+    r.offset = offset;
+    r.elem_size = static_cast<std::uint32_t>(bytes);
+    r.count = 1;
+    r.cat = FlatRun::Cat::Padding;
+    runs_.push_back(r);
+  }
+
+  void emit(std::uint64_t offset, std::uint32_t elem_size, std::uint64_t count,
+            FlatRun::Cat cat, plat::ScalarKind kind) {
+    FlatRun r;
+    r.offset = offset;
+    r.elem_size = elem_size;
+    r.count = count;
+    r.cat = cat;
+    r.kind = kind;
+    runs_.push_back(r);
+  }
+
+  const plat::PlatformDesc& p_;
+  std::vector<FlatRun> runs_;
+};
+
+}  // namespace
+
+Layout compute_layout(TypePtr t, const plat::PlatformDesc& p) {
+  if (!t) throw std::invalid_argument("compute_layout: null type");
+  Layout l;
+  l.platform = &p;
+  l.type = t;
+  l.size = size_of(*t, p);
+  l.align = align_of(*t, p);
+  Flattener f(p);
+  f.place(*t, 0, t->kind() == TypeDesc::Kind::Struct ? &l.field_offsets
+                                                     : nullptr);
+  l.runs = f.take();
+  return l;
+}
+
+std::size_t Layout::run_at(std::uint64_t offset) const {
+  if (offset >= size) throw std::out_of_range("Layout::run_at: past end");
+  // runs are offset-ordered and gap-free: binary search by end offset.
+  std::size_t lo = 0, hi = runs.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (runs[mid].end() <= offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hdsm::tags

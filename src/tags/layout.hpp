@@ -1,0 +1,67 @@
+// Per-platform memory layout of a TypeDesc: sizes, alignment, field
+// offsets, and a flattened run list covering every byte of the image.
+//
+// This is the information the MigThread preprocessor's generated code
+// computes on each machine (paper §3.2: "rules to calculate structure
+// members' sizes and variant padding patterns"); the index table (Table 1),
+// the (m,n) tags (Figure 3), and the CGT-RMR converter all consume it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "tags/type_desc.hpp"
+
+namespace hdsm::tags {
+
+/// A maximal run of identically-typed leaves (or padding) in the image.
+struct FlatRun {
+  enum class Cat : std::uint8_t {
+    SignedInt,
+    UnsignedInt,
+    Float,
+    Pointer,
+    Padding,
+  };
+
+  std::uint64_t offset = 0;    ///< byte offset from the image start
+  std::uint32_t elem_size = 0; ///< bytes per element (padding: run length, count 1)
+  std::uint64_t count = 0;     ///< elements in the run
+  Cat cat = Cat::Padding;
+  plat::ScalarKind kind = plat::ScalarKind::Int;
+
+  std::uint64_t byte_length() const noexcept {
+    return static_cast<std::uint64_t>(elem_size) * count;
+  }
+  std::uint64_t end() const noexcept { return offset + byte_length(); }
+};
+
+/// Complete layout of one TypeDesc on one platform.
+struct Layout {
+  const plat::PlatformDesc* platform = nullptr;
+  TypePtr type;
+  std::uint64_t size = 0;
+  std::uint32_t align = 1;
+  /// Offset-ordered, gap-free cover of [0, size); adjacent padding merged.
+  std::vector<FlatRun> runs;
+  /// Byte offset of each top-level field (only when type is a Struct).
+  std::vector<std::uint64_t> field_offsets;
+
+  /// Index into `runs` of the run containing byte `offset`; throws
+  /// std::out_of_range when offset >= size.
+  std::size_t run_at(std::uint64_t offset) const;
+};
+
+/// Size and alignment of `t` on `p` without flattening.
+std::uint64_t size_of(const TypeDesc& t, const plat::PlatformDesc& p);
+std::uint32_t align_of(const TypeDesc& t, const plat::PlatformDesc& p);
+
+/// Full layout computation.  Deterministic; array-of-struct images repeat
+/// their element runs per array slot.
+Layout compute_layout(TypePtr t, const plat::PlatformDesc& p);
+
+/// FlatRun category for a scalar kind.
+FlatRun::Cat category_of(plat::ScalarKind k) noexcept;
+
+}  // namespace hdsm::tags

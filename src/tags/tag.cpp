@@ -1,0 +1,353 @@
+#include "tags/tag.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdsm::tags {
+
+bool TagItem::operator==(const TagItem& other) const {
+  return kind == other.kind && size == other.size && count == other.count &&
+         children == other.children;
+}
+
+namespace {
+
+void append_item(std::ostringstream& os, const TagItem& it) {
+  switch (it.kind) {
+    case TagItem::Kind::Scalar:
+      os << '(' << it.size << ',' << it.count << ')';
+      return;
+    case TagItem::Kind::Pointer:
+      os << '(' << it.size << ",-" << it.count << ')';
+      return;
+    case TagItem::Kind::Padding:
+      os << '(' << it.size << ",0)";
+      return;
+    case TagItem::Kind::Aggregate: {
+      os << '(';
+      for (const TagItem& c : it.children) append_item(os, c);
+      os << ',' << it.count << ')';
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  std::vector<TagItem> parse_sequence(bool top_level) {
+    std::vector<TagItem> items;
+    while (pos_ < s_.size() && s_[pos_] == '(') {
+      items.push_back(parse_item());
+    }
+    if (top_level && pos_ != s_.size()) {
+      fail("trailing characters");
+    }
+    return items;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) const {
+    throw std::invalid_argument(std::string("Tag::parse: ") + why +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  std::uint64_t parse_number() {
+    std::uint64_t v = 0;
+    const char* begin = s_.data() + pos_;
+    const char* end = s_.data() + s_.size();
+    auto [p, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || p == begin) fail("expected number");
+    pos_ += static_cast<std::size_t>(p - begin);
+    return v;
+  }
+
+  TagItem parse_item() {
+    expect('(');
+    TagItem it;
+    if (peek() == '(') {
+      // Aggregate: nested sequence, then ",n)".
+      it.kind = TagItem::Kind::Aggregate;
+      it.children = parse_sequence(/*top_level=*/false);
+      expect(',');
+      it.count = parse_number();
+      expect(')');
+      return it;
+    }
+    it.size = parse_number();
+    expect(',');
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    const std::uint64_t n = parse_number();
+    expect(')');
+    if (negative) {
+      if (n == 0) fail("pointer count must be nonzero");
+      it.kind = TagItem::Kind::Pointer;
+      it.count = n;
+    } else if (n == 0) {
+      it.kind = TagItem::Kind::Padding;
+      it.count = 0;
+    } else {
+      it.kind = TagItem::Kind::Scalar;
+      it.count = n;
+    }
+    return it;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t item_bytes(const TagItem& it) {
+  switch (it.kind) {
+    case TagItem::Kind::Scalar:
+    case TagItem::Kind::Pointer:
+      return it.size * it.count;
+    case TagItem::Kind::Padding:
+      return it.size;
+    case TagItem::Kind::Aggregate: {
+      std::uint64_t per = 0;
+      for (const TagItem& c : it.children) per += item_bytes(c);
+      return per * it.count;
+    }
+  }
+  return 0;
+}
+
+// ---- binary codec ---------------------------------------------------------
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+std::uint64_t get_u64(const std::byte*& p, const std::byte* end) {
+  if (end - p < 8) throw std::invalid_argument("Tag::from_binary: truncated");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | std::to_integer<std::uint64_t>(p[i]);
+  }
+  p += 8;
+  return v;
+}
+
+void encode_item(std::vector<std::byte>& out, const TagItem& it) {
+  out.push_back(static_cast<std::byte>(it.kind));
+  put_u64(out, it.size);
+  put_u64(out, it.count);
+  if (it.kind == TagItem::Kind::Aggregate) {
+    put_u64(out, it.children.size());
+    for (const TagItem& c : it.children) encode_item(out, c);
+  }
+}
+
+TagItem decode_item(const std::byte*& p, const std::byte* end, int depth) {
+  if (depth > 64) throw std::invalid_argument("Tag::from_binary: too deep");
+  if (p == end) throw std::invalid_argument("Tag::from_binary: truncated");
+  TagItem it;
+  const auto kind = std::to_integer<std::uint8_t>(*p++);
+  if (kind > static_cast<std::uint8_t>(TagItem::Kind::Aggregate)) {
+    throw std::invalid_argument("Tag::from_binary: bad kind");
+  }
+  it.kind = static_cast<TagItem::Kind>(kind);
+  it.size = get_u64(p, end);
+  it.count = get_u64(p, end);
+  if (it.kind == TagItem::Kind::Aggregate) {
+    const std::uint64_t n = get_u64(p, end);
+    it.children.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      it.children.push_back(decode_item(p, end, depth + 1));
+    }
+  }
+  return it;
+}
+
+}  // namespace
+
+std::string Tag::to_string() const {
+  std::ostringstream os;
+  for (const TagItem& it : items_) append_item(os, it);
+  return os.str();
+}
+
+Tag Tag::parse(std::string_view text) {
+  Parser p(text);
+  return Tag(p.parse_sequence(/*top_level=*/true));
+}
+
+std::vector<std::byte> Tag::to_binary() const {
+  std::vector<std::byte> out;
+  put_u64(out, items_.size());
+  for (const TagItem& it : items_) encode_item(out, it);
+  return out;
+}
+
+Tag Tag::from_binary(const std::byte* data, std::size_t len) {
+  const std::byte* p = data;
+  const std::byte* end = data + len;
+  const std::uint64_t n = get_u64(p, end);
+  std::vector<TagItem> items;
+  items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    items.push_back(decode_item(p, end, 0));
+  }
+  if (p != end) throw std::invalid_argument("Tag::from_binary: trailing data");
+  return Tag(std::move(items));
+}
+
+std::uint64_t Tag::described_bytes() const {
+  std::uint64_t total = 0;
+  for (const TagItem& it : items_) total += item_bytes(it);
+  return total;
+}
+
+namespace {
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+// Emit the item(s) describing one field (no trailing padding tuple).
+void emit_field(std::vector<TagItem>& out, const TypeDesc& t,
+                const plat::PlatformDesc& p);
+
+std::vector<TagItem> struct_items(const TypeDesc& t,
+                                  const plat::PlatformDesc& p) {
+  std::vector<TagItem> out;
+  std::uint64_t cursor = 0;
+  const std::uint64_t total = size_of(t, p);
+  const std::size_t nfields = t.fields().size();
+  for (std::size_t i = 0; i < nfields; ++i) {
+    const Field& f = t.fields()[i];
+    const std::uint64_t aligned = round_up(cursor, align_of(*f.type, p));
+    // Padding *before* a field folds into the preceding field's padding
+    // tuple; the first field of a struct is always at offset 0.
+    emit_field(out, *f.type, p);
+    cursor = aligned + size_of(*f.type, p);
+    std::uint64_t next =
+        (i + 1 < nfields)
+            ? round_up(cursor, align_of(*t.fields()[i + 1].type, p))
+            : total;
+    TagItem padt;
+    padt.kind = TagItem::Kind::Padding;
+    padt.size = next - cursor;
+    padt.count = 0;
+    out.push_back(padt);
+    cursor = next;
+  }
+  return out;
+}
+
+void emit_field(std::vector<TagItem>& out, const TypeDesc& t,
+                const plat::PlatformDesc& p) {
+  switch (t.kind()) {
+    case TypeDesc::Kind::Scalar: {
+      TagItem it;
+      it.kind = TagItem::Kind::Scalar;
+      it.size = p.size_of(t.scalar_kind());
+      it.count = 1;
+      out.push_back(it);
+      return;
+    }
+    case TypeDesc::Kind::Pointer: {
+      TagItem it;
+      it.kind = TagItem::Kind::Pointer;
+      it.size = p.size_of(plat::ScalarKind::Pointer);
+      it.count = 1;
+      out.push_back(it);
+      return;
+    }
+    case TypeDesc::Kind::Reserved: {
+      TagItem it;
+      it.kind = TagItem::Kind::Padding;
+      it.size = t.reserved_bytes();
+      it.count = 0;
+      out.push_back(it);
+      return;
+    }
+    case TypeDesc::Kind::Array: {
+      const TypeDesc& e = *t.element();
+      if (e.kind() == TypeDesc::Kind::Scalar) {
+        TagItem it;
+        it.kind = TagItem::Kind::Scalar;
+        it.size = p.size_of(e.scalar_kind());
+        it.count = t.count();
+        out.push_back(it);
+        return;
+      }
+      if (e.kind() == TypeDesc::Kind::Pointer) {
+        TagItem it;
+        it.kind = TagItem::Kind::Pointer;
+        it.size = p.size_of(plat::ScalarKind::Pointer);
+        it.count = t.count();
+        out.push_back(it);
+        return;
+      }
+      TagItem it;
+      it.kind = TagItem::Kind::Aggregate;
+      it.count = t.count();
+      if (e.kind() == TypeDesc::Kind::Struct) {
+        it.children = struct_items(e, p);
+      } else {
+        emit_field(it.children, e, p);
+      }
+      out.push_back(it);
+      return;
+    }
+    case TypeDesc::Kind::Struct: {
+      TagItem it;
+      it.kind = TagItem::Kind::Aggregate;
+      it.count = 1;
+      it.children = struct_items(t, p);
+      out.push_back(it);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Tag make_tag(const TypeDesc& t, const plat::PlatformDesc& p) {
+  if (t.kind() == TypeDesc::Kind::Struct) {
+    // Top-level GThV/MThV structures print their members inline (Figure 3),
+    // not wrapped in an extra aggregate.
+    return Tag(struct_items(t, p));
+  }
+  std::vector<TagItem> items;
+  emit_field(items, t, p);
+  return Tag(std::move(items));
+}
+
+Tag make_run_tag(std::uint32_t elem_size, std::uint64_t count,
+                 bool is_pointer) {
+  TagItem it;
+  it.kind = is_pointer ? TagItem::Kind::Pointer : TagItem::Kind::Scalar;
+  it.size = elem_size;
+  it.count = count;
+  return Tag({it});
+}
+
+Tag concat(const std::vector<Tag>& tags) {
+  std::vector<TagItem> items;
+  for (const Tag& t : tags) {
+    items.insert(items.end(), t.items().begin(), t.items().end());
+  }
+  return Tag(std::move(items));
+}
+
+}  // namespace hdsm::tags

@@ -1,0 +1,86 @@
+// The CGT-RMR tag grammar of paper §3.2.
+//
+// A tag is a sequence of (m,n) tuples:
+//   (m,n)                 scalar run: size m, count n
+//   (m,-n)                pointer run: pointer size m, count n
+//   (m,0)                 padding slot of m bytes; (0,0) means "no padding"
+//   ((..)(..)...,n)       aggregate: nested tuple sequence repeated n times
+//
+// After every structure member the generated tag carries the padding tuple
+// to the next member (or to the structure end) — hence the characteristic
+// "(4,-1)(0,0)(4,1)(0,0)..." strings of the paper's Figure 3.
+//
+// Tags serve two roles in the DSM: (1) a full-image tag describes a whole
+// GThV / thread-state image; (2) small per-update tags describe the element
+// runs shipped by MTh_unlock.  Homogeneity between two nodes is detected by
+// comparing tag strings for equality, exactly as in the paper; a binary tag
+// encoding is provided for the "less string work" ablation the paper's
+// future-work section speculates about.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "tags/layout.hpp"
+#include "tags/type_desc.hpp"
+
+namespace hdsm::tags {
+
+/// One tuple (or nested aggregate) of a tag.
+struct TagItem {
+  enum class Kind : std::uint8_t { Scalar, Pointer, Padding, Aggregate };
+
+  Kind kind = Kind::Padding;
+  std::uint64_t size = 0;   ///< scalar/pointer elem size, or padding bytes
+  std::uint64_t count = 0;  ///< run length (pointers print negated); aggregate repeat
+  std::vector<TagItem> children;  ///< aggregate members
+
+  bool operator==(const TagItem& other) const;
+};
+
+/// A parsed or generated tag.
+class Tag {
+ public:
+  Tag() = default;
+  explicit Tag(std::vector<TagItem> items) : items_(std::move(items)) {}
+
+  const std::vector<TagItem>& items() const noexcept { return items_; }
+  std::vector<TagItem>& items() noexcept { return items_; }
+  bool empty() const noexcept { return items_.empty(); }
+
+  /// Exact paper text form, e.g. "(4,-1)(0,0)(4,1)(0,0)".
+  std::string to_string() const;
+
+  /// Parse the text form; throws std::invalid_argument on malformed input.
+  static Tag parse(std::string_view text);
+
+  /// Compact binary form (ablation: avoids sprintf/parse string work).
+  std::vector<std::byte> to_binary() const;
+  static Tag from_binary(const std::byte* data, std::size_t len);
+
+  /// Total number of data bytes the tag describes (padding included).
+  std::uint64_t described_bytes() const;
+
+  bool operator==(const Tag& other) const { return items_ == other.items_; }
+
+ private:
+  std::vector<TagItem> items_;
+};
+
+/// Generate the full-image tag of `t` on platform `p` — byte-for-byte what
+/// the preprocessor-emitted sprintf() calls produce at run time (Figure 3).
+Tag make_tag(const TypeDesc& t, const plat::PlatformDesc& p);
+
+/// Tag for a single update run: `(elem_size, count)` or `(elem_size,-count)`
+/// for pointers.
+Tag make_run_tag(std::uint32_t elem_size, std::uint64_t count,
+                 bool is_pointer);
+
+/// Concatenate several run tags into one update tag.
+Tag concat(const std::vector<Tag>& tags);
+
+}  // namespace hdsm::tags

@@ -1,0 +1,137 @@
+#include "tags/type_desc.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace hdsm::tags {
+
+TypePtr TypeDesc::scalar(plat::ScalarKind k) {
+  if (k == plat::ScalarKind::Pointer) return pointer();
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc());
+  t->kind_ = Kind::Scalar;
+  t->scalar_kind_ = k;
+  return t;
+}
+
+TypePtr TypeDesc::pointer() {
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc());
+  t->kind_ = Kind::Pointer;
+  t->scalar_kind_ = plat::ScalarKind::Pointer;
+  return t;
+}
+
+TypePtr TypeDesc::array(TypePtr elem, std::uint64_t count) {
+  if (!elem) throw std::invalid_argument("array element type is null");
+  if (count == 0) throw std::invalid_argument("array count must be > 0");
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc());
+  t->kind_ = Kind::Array;
+  t->element_ = std::move(elem);
+  t->count_ = count;
+  return t;
+}
+
+TypePtr TypeDesc::struct_of(std::string name, std::vector<Field> fields) {
+  if (fields.empty()) throw std::invalid_argument("struct needs fields");
+  for (const Field& f : fields) {
+    if (!f.type) throw std::invalid_argument("struct field type is null");
+  }
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc());
+  t->kind_ = Kind::Struct;
+  t->name_ = std::move(name);
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+TypePtr TypeDesc::reserved(std::uint64_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("reserved bytes must be > 0");
+  auto t = std::shared_ptr<TypeDesc>(new TypeDesc());
+  t->kind_ = Kind::Reserved;
+  t->count_ = bytes;
+  return t;
+}
+
+std::uint64_t TypeDesc::leaf_count() const {
+  switch (kind_) {
+    case Kind::Scalar:
+    case Kind::Pointer:
+      return 1;
+    case Kind::Reserved:
+      return 0;
+    case Kind::Array:
+      return count_ * element_->leaf_count();
+    case Kind::Struct: {
+      std::uint64_t n = 0;
+      for (const Field& f : fields_) n += f.type->leaf_count();
+      return n;
+    }
+  }
+  return 0;
+}
+
+bool TypeDesc::same_shape(const TypeDesc& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::Scalar:
+      return scalar_kind_ == other.scalar_kind_;
+    case Kind::Pointer:
+      return true;
+    case Kind::Reserved:
+      return count_ == other.count_;
+    case Kind::Array:
+      return count_ == other.count_ && element_->same_shape(*other.element_);
+    case Kind::Struct: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (!fields_[i].type->same_shape(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string TypeDesc::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::Scalar:
+      os << plat::scalar_kind_name(scalar_kind_);
+      break;
+    case Kind::Pointer:
+      os << "void*";
+      break;
+    case Kind::Reserved:
+      os << "reserved[" << count_ << "]";
+      break;
+    case Kind::Array:
+      os << element_->to_string() << "[" << count_ << "]";
+      break;
+    case Kind::Struct: {
+      os << "struct " << name_ << "{";
+      bool first = true;
+      for (const Field& f : fields_) {
+        if (!first) os << "; ";
+        first = false;
+        os << f.type->to_string();
+        if (!f.name.empty()) os << " " << f.name;
+      }
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+TypePtr t_int() { return TypeDesc::scalar(plat::ScalarKind::Int); }
+TypePtr t_uint() { return TypeDesc::scalar(plat::ScalarKind::UInt); }
+TypePtr t_long() { return TypeDesc::scalar(plat::ScalarKind::Long); }
+TypePtr t_double() { return TypeDesc::scalar(plat::ScalarKind::Double); }
+TypePtr t_float() { return TypeDesc::scalar(plat::ScalarKind::Float); }
+TypePtr t_char() { return TypeDesc::scalar(plat::ScalarKind::Char); }
+TypePtr t_short() { return TypeDesc::scalar(plat::ScalarKind::Short); }
+TypePtr t_longlong() { return TypeDesc::scalar(plat::ScalarKind::LongLong); }
+TypePtr t_longdouble() {
+  return TypeDesc::scalar(plat::ScalarKind::LongDouble);
+}
+
+}  // namespace hdsm::tags

@@ -1,0 +1,87 @@
+// Type descriptions — the runtime equivalent of what the MigThread
+// preprocessor extracts from source code.
+//
+// The paper's preprocessor scans C declarations, collects all global data
+// into one structure (GThV), and emits sprintf() glue that produces the
+// (m,n) tags at run time.  We model the same information as a TypeDesc
+// tree built through a small builder API; layout, padding, tag strings and
+// index tables are all derived from it per *virtual* platform, exactly as
+// the generated code would have computed them on the real machine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace hdsm::tags {
+
+class TypeDesc;
+using TypePtr = std::shared_ptr<const TypeDesc>;
+
+/// A named member of a structure type.
+struct Field {
+  std::string name;
+  TypePtr type;
+};
+
+/// Immutable description of a C data type (scalar, pointer, array, struct,
+/// or an explicitly reserved byte range).
+class TypeDesc {
+ public:
+  enum class Kind : std::uint8_t {
+    Scalar,    ///< one of plat::ScalarKind except Pointer
+    Pointer,   ///< untyped data pointer; size from the platform
+    Array,     ///< elem type × count
+    Struct,    ///< ordered fields with ABI padding
+    Reserved,  ///< explicit reserved/padding bytes (tagged "(m,0)")
+  };
+
+  static TypePtr scalar(plat::ScalarKind k);
+  static TypePtr pointer();
+  static TypePtr array(TypePtr elem, std::uint64_t count);
+  static TypePtr struct_of(std::string name, std::vector<Field> fields);
+  static TypePtr reserved(std::uint64_t bytes);
+
+  Kind kind() const noexcept { return kind_; }
+  plat::ScalarKind scalar_kind() const noexcept { return scalar_kind_; }
+  const TypePtr& element() const noexcept { return element_; }
+  std::uint64_t count() const noexcept { return count_; }
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Field>& fields() const noexcept { return fields_; }
+  std::uint64_t reserved_bytes() const noexcept { return count_; }
+
+  /// Total number of scalar/pointer leaves (arrays multiply).
+  std::uint64_t leaf_count() const;
+
+  /// Structural equality (field names ignored; shapes and kinds compared).
+  bool same_shape(const TypeDesc& other) const;
+
+  /// A C-like rendering for diagnostics, e.g. "struct GThV_t{void*; int[56169]; int}".
+  std::string to_string() const;
+
+ private:
+  TypeDesc() = default;
+
+  Kind kind_ = Kind::Scalar;
+  plat::ScalarKind scalar_kind_ = plat::ScalarKind::Int;
+  TypePtr element_;       // Array
+  std::uint64_t count_ = 0;  // Array count or Reserved bytes
+  std::string name_;      // Struct
+  std::vector<Field> fields_;
+};
+
+// Convenience shorthands used throughout tests and examples.
+TypePtr t_int();
+TypePtr t_uint();
+TypePtr t_long();
+TypePtr t_double();
+TypePtr t_float();
+TypePtr t_char();
+TypePtr t_short();
+TypePtr t_longlong();
+TypePtr t_longdouble();
+
+}  // namespace hdsm::tags

@@ -1,0 +1,330 @@
+// Tests for the region / write-trap / twin-diff substrate: genuine
+// mprotect + SIGSEGV write detection, twin integrity, concurrent faulting,
+// and the diff engine's byte-exact range computation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <thread>
+
+#include "memory/diff.hpp"
+#include "memory/region.hpp"
+#include "memory/write_trap.hpp"
+
+namespace mem = hdsm::mem;
+
+// ---- Region ----------------------------------------------------------------
+
+TEST(Region, RoundsUpToPages) {
+  mem::Region r(100);
+  EXPECT_EQ(r.requested(), 100u);
+  EXPECT_EQ(r.length(), mem::Region::host_page_size());
+  EXPECT_EQ(r.page_count(), 1u);
+  mem::Region r2(mem::Region::host_page_size() + 1);
+  EXPECT_EQ(r2.page_count(), 2u);
+}
+
+TEST(Region, ZeroLengthRejected) {
+  EXPECT_THROW(mem::Region r(0), std::invalid_argument);
+}
+
+TEST(Region, ContainsAndPageOf) {
+  mem::Region r(3 * mem::Region::host_page_size());
+  EXPECT_TRUE(r.contains(r.data()));
+  EXPECT_TRUE(r.contains(r.data() + r.length() - 1));
+  EXPECT_FALSE(r.contains(r.data() + r.length()));
+  EXPECT_EQ(r.page_of(0), 0u);
+  EXPECT_EQ(r.page_of(mem::Region::host_page_size()), 1u);
+}
+
+TEST(Region, MoveTransfersOwnership) {
+  mem::Region a(64);
+  std::byte* p = a.data();
+  mem::Region b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(Region, WritableByDefault) {
+  mem::Region r(256);
+  std::memset(r.data(), 0x5A, 256);
+  EXPECT_EQ(std::to_integer<int>(r.data()[255]), 0x5A);
+}
+
+// ---- TrackedRegion ---------------------------------------------------------
+
+TEST(TrackedRegion, FirstWriteFaultsOncePerPage) {
+  const std::size_t ps = mem::Region::host_page_size();
+  mem::TrackedRegion r(4 * ps);
+  r.begin_tracking();
+  EXPECT_EQ(r.fault_count(), 0u);
+  r.data()[0] = std::byte{1};
+  EXPECT_EQ(r.fault_count(), 1u);
+  r.data()[1] = std::byte{2};  // same page: no new fault
+  EXPECT_EQ(r.fault_count(), 1u);
+  r.data()[2 * ps] = std::byte{3};  // third page
+  EXPECT_EQ(r.fault_count(), 2u);
+  r.end_tracking();
+  const std::vector<std::size_t> dirty = r.dirty_pages();
+  EXPECT_EQ(dirty, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(TrackedRegion, TwinHoldsPreWriteContent) {
+  const std::size_t ps = mem::Region::host_page_size();
+  mem::TrackedRegion r(ps);
+  std::memset(r.data(), 0x11, ps);
+  r.begin_tracking();
+  r.data()[7] = std::byte{0x99};
+  r.end_tracking();
+  ASSERT_TRUE(r.page_dirty(0));
+  EXPECT_EQ(std::to_integer<int>(r.twin_page(0)[7]), 0x11);
+  EXPECT_EQ(std::to_integer<int>(r.data()[7]), 0x99);
+  // Untouched bytes agree between twin and data.
+  EXPECT_EQ(std::memcmp(r.twin_page(0) + 8, r.data() + 8, ps - 8), 0);
+}
+
+TEST(TrackedRegion, ReadsNeverFault) {
+  mem::TrackedRegion r(1024);
+  std::memset(r.data(), 0x42, 1024);
+  r.begin_tracking();
+  int sum = 0;
+  for (int i = 0; i < 1024; ++i) sum += std::to_integer<int>(r.data()[i]);
+  EXPECT_EQ(sum, 0x42 * 1024);
+  EXPECT_EQ(r.fault_count(), 0u);
+  EXPECT_TRUE(r.dirty_pages().empty());
+  r.end_tracking();
+}
+
+TEST(TrackedRegion, ClearDirtyResets) {
+  mem::TrackedRegion r(256);
+  r.begin_tracking();
+  r.data()[0] = std::byte{1};
+  r.end_tracking();
+  EXPECT_FALSE(r.dirty_pages().empty());
+  r.clear_dirty();
+  EXPECT_TRUE(r.dirty_pages().empty());
+  EXPECT_EQ(r.fault_count(), 0u);
+}
+
+TEST(TrackedRegion, RetrackingAfterEndWorks) {
+  mem::TrackedRegion r(256);
+  for (int round = 0; round < 5; ++round) {
+    r.begin_tracking();
+    r.data()[round] = static_cast<std::byte>(round + 1);
+    EXPECT_EQ(r.fault_count(), 1u) << round;
+    r.end_tracking();
+    EXPECT_EQ(r.dirty_pages().size(), 1u);
+  }
+}
+
+TEST(TrackedRegion, ApplyUpdateIsInvisibleToDiff) {
+  const std::size_t ps = mem::Region::host_page_size();
+  mem::TrackedRegion r(ps);
+  r.begin_tracking();
+  // Local write first: page twinned.
+  r.data()[0] = std::byte{1};
+  // Incoming DSM update elsewhere on the page.
+  const std::byte upd[2] = {std::byte{0xAB}, std::byte{0xCD}};
+  r.apply_update(100, upd, 2);
+  r.end_tracking();
+  std::vector<mem::ByteRange> ranges;
+  mem::diff_bytes(r.data(), r.twin_page(0), ps, 0, ranges);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (mem::ByteRange{0, 1}));  // only the local write
+  EXPECT_EQ(std::to_integer<int>(r.data()[100]), 0xAB);
+}
+
+TEST(TrackedRegion, ApplyUpdateOnCleanProtectedPage) {
+  const std::size_t ps = mem::Region::host_page_size();
+  mem::TrackedRegion r(2 * ps);
+  r.begin_tracking();
+  const std::byte upd[4] = {std::byte{1}, std::byte{2}, std::byte{3},
+                            std::byte{4}};
+  // Applied through the alias view: lands without tripping the trap and
+  // without dirtying the page.
+  r.apply_update(ps + 8, upd, 4);
+  EXPECT_FALSE(r.page_dirty(1));
+  EXPECT_EQ(std::to_integer<int>(r.data()[ps + 8]), 1);
+  // A subsequent application write twins the *post-update* content, so the
+  // diff reports only the application write.
+  r.data()[ps + 100] = std::byte{0x55};
+  ASSERT_TRUE(r.page_dirty(1));
+  std::vector<mem::ByteRange> ranges;
+  mem::diff_bytes(r.data() + ps, r.twin_page(1), ps, ps, ranges);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (mem::ByteRange{ps + 100, ps + 101}));
+  r.end_tracking();
+}
+
+TEST(TrackedRegion, ApplyUpdateBoundsChecked) {
+  mem::TrackedRegion r(128);
+  const std::byte b{0};
+  EXPECT_THROW(r.apply_update(r.length(), &b, 1), std::out_of_range);
+}
+
+TEST(TrackedRegion, ConcurrentWritersAllPagesTwinnedCorrectly) {
+  const std::size_t ps = mem::Region::host_page_size();
+  const std::size_t pages = 8;
+  mem::TrackedRegion r(pages * ps);
+  std::memset(r.data(), 0x33, pages * ps);
+  r.begin_tracking();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&r, t, ps] {
+      // All threads hammer all pages concurrently.
+      for (std::size_t p = 0; p < pages; ++p) {
+        for (int i = 0; i < 64; ++i) {
+          r.data()[p * ps + t * 64 + i] = static_cast<std::byte>(t + 1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  r.end_tracking();
+  EXPECT_EQ(r.dirty_pages().size(), pages);
+  for (std::size_t p = 0; p < pages; ++p) {
+    // Twin is the pristine pre-write page regardless of race winners.
+    for (std::size_t i = 0; i < ps; ++i) {
+      ASSERT_EQ(std::to_integer<int>(r.twin_page(p)[i]), 0x33);
+    }
+  }
+}
+
+TEST(TrackedRegion, ManyRegionsIndependent) {
+  mem::TrackedRegion a(256), b(256);
+  a.begin_tracking();
+  b.begin_tracking();
+  a.data()[0] = std::byte{1};
+  EXPECT_EQ(a.fault_count(), 1u);
+  EXPECT_EQ(b.fault_count(), 0u);
+  b.data()[10] = std::byte{2};
+  EXPECT_EQ(b.fault_count(), 1u);
+  a.end_tracking();
+  b.end_tracking();
+  EXPECT_EQ(a.dirty_pages().size(), 1u);
+  EXPECT_EQ(b.dirty_pages().size(), 1u);
+}
+
+TEST(TrackedRegion, RegistryTracksLifetime) {
+  const std::size_t before = mem::trap_internal::registered_count();
+  {
+    mem::TrackedRegion r(64);
+    EXPECT_EQ(mem::trap_internal::registered_count(), before + 1);
+  }
+  EXPECT_EQ(mem::trap_internal::registered_count(), before);
+}
+
+// ---- diff engine -----------------------------------------------------------
+
+TEST(Diff, IdenticalBuffersNoRanges) {
+  std::vector<std::byte> a(1000, std::byte{7}), b(1000, std::byte{7});
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(a.data(), b.data(), 1000, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Diff, SingleByteChange) {
+  std::vector<std::byte> a(1000), b(1000);
+  a[537] = std::byte{1};
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(a.data(), b.data(), 1000, 0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (mem::ByteRange{537, 538}));
+}
+
+TEST(Diff, RangesAreByteExact) {
+  std::vector<std::byte> a(256), b(256);
+  for (int i = 40; i < 60; ++i) a[i] = std::byte{1};
+  for (int i = 61; i < 64; ++i) a[i] = std::byte{2};
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(a.data(), b.data(), 256, 0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (mem::ByteRange{40, 60}));
+  EXPECT_EQ(out[1], (mem::ByteRange{61, 64}));
+}
+
+TEST(Diff, MergeSlackJoinsNearbyRanges) {
+  std::vector<std::byte> a(256), b(256);
+  a[10] = std::byte{1};
+  a[13] = std::byte{1};  // gap of 2
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(a.data(), b.data(), 256, 0, out, /*merge_slack=*/2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (mem::ByteRange{10, 14}));
+}
+
+TEST(Diff, BaseOffsetApplied) {
+  std::vector<std::byte> a(64), b(64);
+  a[5] = std::byte{9};
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(a.data(), b.data(), 64, 4096, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (mem::ByteRange{4101, 4102}));
+}
+
+TEST(Diff, ChangesAtBufferEdges) {
+  std::vector<std::byte> a(128), b(128);
+  a[0] = std::byte{1};
+  a[127] = std::byte{1};
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(a.data(), b.data(), 128, 0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (mem::ByteRange{0, 1}));
+  EXPECT_EQ(out[1], (mem::ByteRange{127, 128}));
+}
+
+TEST(Diff, UnalignedLengths) {
+  for (const std::size_t len : {1u, 3u, 7u, 9u, 15u, 63u, 65u}) {
+    std::vector<std::byte> a(len), b(len);
+    a[len - 1] = std::byte{1};
+    std::vector<mem::ByteRange> out;
+    mem::diff_bytes(a.data(), b.data(), len, 0, out);
+    ASSERT_EQ(out.size(), 1u) << len;
+    EXPECT_EQ(out[0], (mem::ByteRange{len - 1, len}));
+  }
+}
+
+TEST(Diff, RandomPropertyRangesReconstructChanges) {
+  std::mt19937_64 rng(4242);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t len = 1 + rng() % 5000;
+    std::vector<std::byte> twin(len), cur(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      twin[i] = static_cast<std::byte>(rng());
+    }
+    cur = twin;
+    std::vector<bool> changed(len, false);
+    const std::size_t nmods = rng() % 20;
+    for (std::size_t m = 0; m < nmods; ++m) {
+      const std::size_t pos = rng() % len;
+      const std::byte nv = static_cast<std::byte>(rng());
+      if (nv != twin[pos]) {
+        cur[pos] = nv;
+        changed[pos] = true;
+      }
+    }
+    std::vector<mem::ByteRange> out;
+    mem::diff_bytes(cur.data(), twin.data(), len, 0, out);
+    // Every reported byte really differs; every differing byte is reported.
+    std::vector<bool> reported(len, false);
+    for (const mem::ByteRange& r : out) {
+      ASSERT_LE(r.begin, r.end);
+      ASSERT_LE(r.end, len);
+      for (std::size_t i = r.begin; i < r.end; ++i) reported[i] = true;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(reported[i], changed[i]) << "iter " << iter << " byte " << i;
+    }
+  }
+}
+
+TEST(Diff, CoalesceRanges) {
+  std::vector<mem::ByteRange> r = {{0, 4}, {4, 8}, {10, 12}, {13, 20}};
+  mem::coalesce_ranges(r, 0);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (mem::ByteRange{0, 8}));
+  mem::coalesce_ranges(r, 1);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1], (mem::ByteRange{10, 20}));
+  EXPECT_EQ(mem::total_bytes(r), 18u);
+}

@@ -1,0 +1,230 @@
+// Tests for the message layer: frame codec, in-process channels, and the
+// loopback TCP transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "msg/endpoint.hpp"
+#include "msg/message.hpp"
+#include "msg/tcp.hpp"
+
+namespace msg = hdsm::msg;
+namespace plat = hdsm::plat;
+
+namespace {
+
+msg::Message sample_message() {
+  msg::Message m;
+  m.type = msg::MsgType::UnlockRequest;
+  m.sync_id = 3;
+  m.rank = 7;
+  m.sender.endian = plat::Endian::Big;
+  m.sender.long_double_format = plat::LongDoubleFormat::Binary128;
+  m.tag = "(4,56169)";
+  m.payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+  return m;
+}
+
+void expect_equal(const msg::Message& a, const msg::Message& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.sync_id, b.sync_id);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.sender.endian, b.sender.endian);
+  EXPECT_EQ(a.sender.long_double_format, b.sender.long_double_format);
+  EXPECT_EQ(a.tag, b.tag);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+}  // namespace
+
+TEST(Framing, RoundTrip) {
+  const msg::Message m = sample_message();
+  const std::vector<std::byte> frame = msg::encode_frame(m);
+  EXPECT_EQ(frame.size(), m.wire_size());
+  msg::FrameDecoder dec;
+  dec.feed(frame.data(), frame.size());
+  msg::Message out;
+  ASSERT_TRUE(dec.next(out));
+  expect_equal(m, out);
+  EXPECT_FALSE(dec.next(out));
+}
+
+TEST(Framing, ByteAtATimeFeeding) {
+  const msg::Message m = sample_message();
+  const std::vector<std::byte> frame = msg::encode_frame(m);
+  msg::FrameDecoder dec;
+  msg::Message out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    dec.feed(&frame[i], 1);
+    ASSERT_FALSE(dec.next(out)) << "complete too early at byte " << i;
+  }
+  dec.feed(&frame[frame.size() - 1], 1);
+  ASSERT_TRUE(dec.next(out));
+  expect_equal(m, out);
+}
+
+TEST(Framing, MultipleMessagesInOneBuffer) {
+  msg::Message a = sample_message();
+  msg::Message b = sample_message();
+  b.type = msg::MsgType::LockGrant;
+  b.payload.clear();
+  std::vector<std::byte> buf = msg::encode_frame(a);
+  const std::vector<std::byte> fb = msg::encode_frame(b);
+  buf.insert(buf.end(), fb.begin(), fb.end());
+  msg::FrameDecoder dec;
+  dec.feed(buf.data(), buf.size());
+  msg::Message out;
+  ASSERT_TRUE(dec.next(out));
+  expect_equal(a, out);
+  ASSERT_TRUE(dec.next(out));
+  expect_equal(b, out);
+  EXPECT_FALSE(dec.next(out));
+}
+
+TEST(Framing, BadMagicRejected) {
+  std::vector<std::byte> junk(64, std::byte{0x5A});
+  msg::FrameDecoder dec;
+  dec.feed(junk.data(), junk.size());
+  msg::Message out;
+  EXPECT_THROW(dec.next(out), std::runtime_error);
+}
+
+TEST(Framing, BadTypeRejected) {
+  msg::Message m = sample_message();
+  std::vector<std::byte> frame = msg::encode_frame(m);
+  frame[4] = std::byte{200};  // type field
+  msg::FrameDecoder dec;
+  dec.feed(frame.data(), frame.size());
+  msg::Message out;
+  EXPECT_THROW(dec.next(out), std::runtime_error);
+}
+
+TEST(Framing, EmptyTagAndPayload) {
+  msg::Message m;
+  m.type = msg::MsgType::JoinAck;
+  const std::vector<std::byte> frame = msg::encode_frame(m);
+  msg::FrameDecoder dec;
+  dec.feed(frame.data(), frame.size());
+  msg::Message out;
+  ASSERT_TRUE(dec.next(out));
+  EXPECT_TRUE(out.tag.empty());
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Framing, LargePayload) {
+  msg::Message m = sample_message();
+  m.payload.assign(1 << 20, std::byte{0x77});
+  const std::vector<std::byte> frame = msg::encode_frame(m);
+  msg::FrameDecoder dec;
+  dec.feed(frame.data(), frame.size());
+  msg::Message out;
+  ASSERT_TRUE(dec.next(out));
+  EXPECT_EQ(out.payload.size(), std::size_t{1 << 20});
+  EXPECT_EQ(out.payload, m.payload);
+}
+
+// ---- channels ---------------------------------------------------------------
+
+TEST(Channel, PingPong) {
+  auto [a, b] = msg::make_channel_pair();
+  a->send(sample_message());
+  const msg::Message m = b->recv();
+  expect_equal(sample_message(), m);
+  msg::Message reply;
+  reply.type = msg::MsgType::UnlockAck;
+  b->send(reply);
+  EXPECT_EQ(a->recv().type, msg::MsgType::UnlockAck);
+}
+
+TEST(Channel, FifoOrder) {
+  auto [a, b] = msg::make_channel_pair();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    msg::Message m;
+    m.type = msg::MsgType::Hello;
+    m.sync_id = i;
+    a->send(m);
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(b->recv().sync_id, i);
+  }
+}
+
+TEST(Channel, RecvForTimesOut) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::Message out;
+  EXPECT_FALSE(b->recv_for(out, std::chrono::milliseconds(20)));
+  a->send(sample_message());
+  EXPECT_TRUE(b->recv_for(out, std::chrono::milliseconds(1000)));
+}
+
+TEST(Channel, CloseUnblocksPeer) {
+  auto [a, b] = msg::make_channel_pair();
+  std::thread t([ep = b.get()] {
+    EXPECT_THROW(ep->recv(), msg::ChannelClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  a->close();
+  t.join();
+  EXPECT_THROW(a->send(sample_message()), msg::ChannelClosed);
+}
+
+TEST(Channel, ByteCountersAdvance) {
+  auto [a, b] = msg::make_channel_pair();
+  a->send(sample_message());
+  b->recv();
+  EXPECT_GT(a->bytes_sent(), 0u);
+  EXPECT_EQ(a->bytes_sent(), b->bytes_received());
+}
+
+TEST(Channel, CrossThreadTraffic) {
+  auto [a, b] = msg::make_channel_pair();
+  constexpr int kCount = 500;
+  std::thread producer([ep = a.get()] {
+    for (int i = 0; i < kCount; ++i) {
+      msg::Message m;
+      m.type = msg::MsgType::Hello;
+      m.sync_id = static_cast<std::uint32_t>(i);
+      ep->send(m);
+    }
+  });
+  int received = 0;
+  while (received < kCount) {
+    EXPECT_EQ(b->recv().sync_id, static_cast<std::uint32_t>(received));
+    ++received;
+  }
+  producer.join();
+}
+
+// ---- TCP --------------------------------------------------------------------
+
+TEST(Tcp, LoopbackRoundTrip) {
+  msg::TcpListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+  msg::EndpointPtr client_ep;
+  std::thread client([&] { client_ep = msg::tcp_connect(listener.port()); });
+  msg::EndpointPtr server_ep = listener.accept();
+  client.join();
+
+  client_ep->send(sample_message());
+  expect_equal(sample_message(), server_ep->recv());
+
+  msg::Message big = sample_message();
+  big.payload.assign(300000, std::byte{0x42});
+  server_ep->send(big);
+  const msg::Message got = client_ep->recv();
+  EXPECT_EQ(got.payload.size(), big.payload.size());
+  EXPECT_EQ(got.payload, big.payload);
+}
+
+TEST(Tcp, RecvForTimeoutAndClose) {
+  msg::TcpListener listener(0);
+  msg::EndpointPtr client_ep;
+  std::thread client([&] { client_ep = msg::tcp_connect(listener.port()); });
+  msg::EndpointPtr server_ep = listener.accept();
+  client.join();
+
+  msg::Message out;
+  EXPECT_FALSE(server_ep->recv_for(out, std::chrono::milliseconds(30)));
+  client_ep->close();
+  EXPECT_THROW(server_ep->recv(), msg::ChannelClosed);
+}

@@ -1,0 +1,333 @@
+// Unit tests for the platform ABI models, byte-swap primitives, and the
+// integer / IEEE-754 codecs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "platform/byteswap.hpp"
+#include "platform/float_codec.hpp"
+#include "platform/int_codec.hpp"
+#include "platform/platform.hpp"
+
+namespace plat = hdsm::plat;
+using plat::Endian;
+using plat::LongDoubleFormat;
+using plat::ScalarKind;
+
+TEST(PlatformPresets, LinuxIa32MatchesSysVAbi) {
+  const plat::PlatformDesc& p = plat::linux_ia32();
+  EXPECT_EQ(p.endian, Endian::Little);
+  EXPECT_EQ(p.size_of(ScalarKind::Int), 4);
+  EXPECT_EQ(p.size_of(ScalarKind::Long), 4);
+  EXPECT_EQ(p.size_of(ScalarKind::Pointer), 4);
+  EXPECT_EQ(p.size_of(ScalarKind::LongLong), 8);
+  EXPECT_EQ(p.align_of(ScalarKind::LongLong), 4);  // IA-32 quirk
+  EXPECT_EQ(p.align_of(ScalarKind::Double), 4);    // IA-32 quirk
+  EXPECT_EQ(p.size_of(ScalarKind::LongDouble), 12);
+  EXPECT_EQ(p.page_size, 4096u);
+}
+
+TEST(PlatformPresets, SolarisSparc32) {
+  const plat::PlatformDesc& p = plat::solaris_sparc32();
+  EXPECT_EQ(p.endian, Endian::Big);
+  EXPECT_EQ(p.size_of(ScalarKind::Int), 4);
+  EXPECT_EQ(p.size_of(ScalarKind::Pointer), 4);
+  EXPECT_EQ(p.align_of(ScalarKind::Double), 8);
+  EXPECT_EQ(p.size_of(ScalarKind::LongDouble), 16);
+  EXPECT_EQ(p.long_double_format, LongDoubleFormat::Binary128);
+  EXPECT_EQ(p.page_size, 8192u);
+}
+
+TEST(PlatformPresets, Lp64Variants) {
+  EXPECT_EQ(plat::linux_x86_64().size_of(ScalarKind::Long), 8);
+  EXPECT_EQ(plat::linux_x86_64().size_of(ScalarKind::Pointer), 8);
+  EXPECT_EQ(plat::solaris_sparc64().size_of(ScalarKind::Long), 8);
+  EXPECT_EQ(plat::solaris_sparc64().endian, Endian::Big);
+}
+
+TEST(PlatformPresets, WindowsX64IsLlp64) {
+  const plat::PlatformDesc& p = plat::windows_x64();
+  EXPECT_EQ(p.endian, Endian::Little);
+  EXPECT_EQ(p.size_of(ScalarKind::Long), 4);     // LLP64: long is 32-bit
+  EXPECT_EQ(p.size_of(ScalarKind::Pointer), 8);  // ...but pointers are 64
+  EXPECT_EQ(p.size_of(ScalarKind::LongDouble), 8);
+  EXPECT_EQ(p.long_double_format, LongDoubleFormat::Binary64);
+  EXPECT_FALSE(p.homogeneous_with(plat::linux_x86_64()));
+}
+
+TEST(PlatformPresets, Mips64BigEndian) {
+  const plat::PlatformDesc& p = plat::mips64_be();
+  EXPECT_EQ(p.endian, Endian::Big);
+  EXPECT_EQ(p.size_of(ScalarKind::Long), 8);
+  EXPECT_EQ(p.size_of(ScalarKind::LongDouble), 16);
+  EXPECT_EQ(p.long_double_format, LongDoubleFormat::Binary128);
+  EXPECT_EQ(p.page_size, 16384u);
+  // Same widths as SPARC64 -> structurally homogeneous to it.
+  EXPECT_TRUE(p.homogeneous_with(plat::solaris_sparc64()));
+}
+
+TEST(PlatformPresets, HomogeneityIsStructural) {
+  EXPECT_TRUE(plat::linux_ia32().homogeneous_with(plat::linux_ia32()));
+  EXPECT_FALSE(plat::linux_ia32().homogeneous_with(plat::solaris_sparc32()));
+  EXPECT_FALSE(plat::linux_ia32().homogeneous_with(plat::linux_x86_64()));
+  // A renamed copy stays homogeneous.
+  plat::PlatformDesc copy = plat::linux_ia32();
+  copy.name = "renamed";
+  EXPECT_TRUE(copy.homogeneous_with(plat::linux_ia32()));
+}
+
+TEST(PlatformPresets, LookupByName) {
+  EXPECT_EQ(plat::preset_by_name("linux-ia32").name, "linux-ia32");
+  EXPECT_EQ(plat::preset_by_name("solaris-sparc64").name, "solaris-sparc64");
+  EXPECT_THROW(plat::preset_by_name("vax"), std::out_of_range);
+}
+
+TEST(PlatformPresets, KindPredicates) {
+  EXPECT_TRUE(plat::is_signed_int(ScalarKind::Int));
+  EXPECT_TRUE(plat::is_signed_int(ScalarKind::LongLong));
+  EXPECT_TRUE(plat::is_unsigned_int(ScalarKind::UInt));
+  EXPECT_TRUE(plat::is_unsigned_int(ScalarKind::Bool));
+  EXPECT_TRUE(plat::is_floating(ScalarKind::LongDouble));
+  EXPECT_FALSE(plat::is_floating(ScalarKind::Int));
+  EXPECT_FALSE(plat::is_signed_int(ScalarKind::Float));
+  EXPECT_STREQ(plat::scalar_kind_name(ScalarKind::ULong), "unsigned long");
+}
+
+TEST(Byteswap, Primitives) {
+  EXPECT_EQ(plat::bswap16(0x1234), 0x3412);
+  EXPECT_EQ(plat::bswap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(plat::bswap64(0x0102030405060708ull), 0x0807060504030201ull);
+  EXPECT_EQ(plat::bswap32(plat::bswap32(0xdeadbeefu)), 0xdeadbeefu);
+}
+
+TEST(Byteswap, SwapElementsInPlaceAllWidths) {
+  for (const std::size_t width : {2u, 4u, 8u, 3u, 12u, 16u}) {
+    std::vector<std::byte> buf(width * 5);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<std::byte>(i * 7 + 1);
+    }
+    std::vector<std::byte> orig = buf;
+    plat::swap_elements_inplace(buf.data(), width, 5);
+    for (std::size_t e = 0; e < 5; ++e) {
+      for (std::size_t i = 0; i < width; ++i) {
+        EXPECT_EQ(buf[e * width + i], orig[e * width + (width - 1 - i)]);
+      }
+    }
+    plat::swap_elements_inplace(buf.data(), width, 5);
+    EXPECT_EQ(buf, orig);
+  }
+}
+
+TEST(Byteswap, Width1IsNoop) {
+  std::byte b[3] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  plat::swap_elements_inplace(b, 1, 3);
+  EXPECT_EQ(std::to_integer<int>(b[0]), 1);
+  EXPECT_EQ(std::to_integer<int>(b[2]), 3);
+}
+
+// ---- integer codec ---------------------------------------------------------
+
+struct IntCodecCase {
+  std::int64_t value;
+  std::size_t size;
+};
+
+class IntCodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::size_t,
+                                                 Endian>> {};
+
+TEST_P(IntCodecRoundTrip, SignedRoundTrips) {
+  const auto [value, size, endian] = GetParam();
+  // Only test values representable at this width.
+  const std::int64_t lo = size == 8 ? std::numeric_limits<std::int64_t>::min()
+                                    : -(std::int64_t{1} << (size * 8 - 1));
+  const std::int64_t hi =
+      size == 8 ? std::numeric_limits<std::int64_t>::max()
+                : (std::int64_t{1} << (size * 8 - 1)) - 1;
+  if (value < lo || value > hi) GTEST_SKIP();
+  std::byte buf[8];
+  plat::write_sint(buf, size, endian, value);
+  EXPECT_EQ(plat::read_sint(buf, size, endian), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntCodecRoundTrip,
+    ::testing::Combine(
+        ::testing::Values<std::int64_t>(0, 1, -1, 127, -128, 255, -32768,
+                                        32767, 1 << 20, -(1 << 20),
+                                        2147483647LL, -2147483648LL,
+                                        123456789012345LL,
+                                        -123456789012345LL),
+        ::testing::Values<std::size_t>(1, 2, 4, 8),
+        ::testing::Values(Endian::Little, Endian::Big)));
+
+TEST(IntCodec, SignExtensionOnWidening) {
+  std::byte buf[2];
+  plat::write_sint(buf, 2, Endian::Big, -2);
+  EXPECT_EQ(plat::read_sint(buf, 2, Endian::Big), -2);
+  // Raw unsigned read sees the two's complement pattern.
+  EXPECT_EQ(plat::read_uint(buf, 2, Endian::Big), 0xfffeu);
+}
+
+TEST(IntCodec, TruncationOnNarrowing) {
+  std::byte buf[2];
+  plat::write_sint(buf, 2, Endian::Little, 0x12345);  // truncates to 0x2345
+  EXPECT_EQ(plat::read_sint(buf, 2, Endian::Little), 0x2345);
+}
+
+TEST(IntCodec, EndianBytesAreMirrored) {
+  std::byte le[4], be[4];
+  plat::write_uint(le, 4, Endian::Little, 0x01020304u);
+  plat::write_uint(be, 4, Endian::Big, 0x01020304u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(le[i], be[3 - i]);
+  EXPECT_EQ(std::to_integer<int>(be[0]), 1);
+  EXPECT_EQ(std::to_integer<int>(le[0]), 4);
+}
+
+TEST(IntCodec, UnsignedFullRange) {
+  std::byte buf[8];
+  const std::uint64_t v = 0xfedcba9876543210ull;
+  plat::write_uint(buf, 8, Endian::Big, v);
+  EXPECT_EQ(plat::read_uint(buf, 8, Endian::Big), v);
+  plat::write_uint(buf, 8, Endian::Little, v);
+  EXPECT_EQ(plat::read_uint(buf, 8, Endian::Little), v);
+}
+
+// ---- float codec -----------------------------------------------------------
+
+struct FloatFormatCase {
+  std::size_t size;
+  Endian endian;
+  LongDoubleFormat ldf;
+};
+
+class FloatCodecRoundTrip : public ::testing::TestWithParam<FloatFormatCase> {
+};
+
+TEST_P(FloatCodecRoundTrip, DoublesSurviveExactly) {
+  const FloatFormatCase c = GetParam();
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0,
+                           3.14159265358979,
+                           -2.5e-10,
+                           1e100,
+                           -1e-100,
+                           6.02214076e23,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (const double v : values) {
+    if (c.size == 4) continue;  // binary32 is lossy; tested separately
+    std::byte buf[16] = {};
+    plat::encode_float(v, buf, c.size, c.endian, c.ldf);
+    const double back = plat::decode_float(buf, c.size, c.endian, c.ldf);
+    EXPECT_EQ(back, v) << "size=" << c.size;
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+  }
+}
+
+TEST_P(FloatCodecRoundTrip, NanSurvives) {
+  const FloatFormatCase c = GetParam();
+  std::byte buf[16] = {};
+  plat::encode_float(std::numeric_limits<double>::quiet_NaN(), buf, c.size,
+                     c.endian, c.ldf);
+  EXPECT_TRUE(std::isnan(plat::decode_float(buf, c.size, c.endian, c.ldf)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FloatCodecRoundTrip,
+    ::testing::Values(
+        FloatFormatCase{8, Endian::Little, LongDoubleFormat::Binary64},
+        FloatFormatCase{8, Endian::Big, LongDoubleFormat::Binary64},
+        FloatFormatCase{12, Endian::Little, LongDoubleFormat::X87Extended},
+        FloatFormatCase{16, Endian::Little, LongDoubleFormat::X87Extended},
+        FloatFormatCase{16, Endian::Big, LongDoubleFormat::Binary128},
+        FloatFormatCase{16, Endian::Little, LongDoubleFormat::Binary128}));
+
+TEST(FloatCodec, Binary32RoundTripsFloats) {
+  const float values[] = {0.0f, 1.5f, -3.25f, 1e30f, -1e-30f,
+                          std::numeric_limits<float>::max()};
+  for (const float v : values) {
+    for (const Endian e : {Endian::Little, Endian::Big}) {
+      std::byte buf[4];
+      plat::encode_float(static_cast<double>(v), buf, 4, e,
+                         LongDoubleFormat::Binary64);
+      EXPECT_EQ(static_cast<float>(
+                    plat::decode_float(buf, 4, e, LongDoubleFormat::Binary64)),
+                v);
+    }
+  }
+}
+
+TEST(FloatCodec, Binary64BigEndianLayoutIsReversed) {
+  std::byte le[8], be[8];
+  plat::encode_float(1234.5678, le, 8, Endian::Little,
+                     LongDoubleFormat::Binary64);
+  plat::encode_float(1234.5678, be, 8, Endian::Big,
+                     LongDoubleFormat::Binary64);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(le[i], be[7 - i]);
+}
+
+TEST(FloatCodec, Binary128MatchesKnownEncoding) {
+  // 1.0 in binary128 big-endian: sign 0, exponent 0x3FFF, fraction 0.
+  std::byte buf[16];
+  plat::encode_float(1.0, buf, 16, Endian::Big, LongDoubleFormat::Binary128);
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0x3f);
+  EXPECT_EQ(std::to_integer<int>(buf[1]), 0xff);
+  for (int i = 2; i < 16; ++i) EXPECT_EQ(std::to_integer<int>(buf[i]), 0);
+}
+
+TEST(FloatCodec, X87ExplicitIntegerBitPresent) {
+  // x87 stores the leading 1 explicitly: for 1.0 the mantissa's top bit is
+  // set.  Little-endian layout: mantissa bytes 0..7, sign+exp bytes 8..9.
+  std::byte buf[12] = {};
+  plat::encode_float(1.0, buf, 12, Endian::Little,
+                     LongDoubleFormat::X87Extended);
+  EXPECT_EQ(std::to_integer<int>(buf[7]), 0x80);
+  EXPECT_EQ(std::to_integer<int>(buf[8]), 0xff);
+  EXPECT_EQ(std::to_integer<int>(buf[9]), 0x3f);
+}
+
+TEST(FloatCodec, SubnormalDoublesRoundTripThroughWideFormats) {
+  const double tiny = std::numeric_limits<double>::denorm_min() * 371;
+  for (const auto ldf :
+       {LongDoubleFormat::X87Extended, LongDoubleFormat::Binary128}) {
+    std::byte buf[16] = {};
+    plat::encode_float(tiny, buf, 16, Endian::Little, ldf);
+    EXPECT_EQ(plat::decode_float(buf, 16, Endian::Little, ldf), tiny);
+  }
+}
+
+TEST(FloatCodec, RandomDoublesPropertySweep) {
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::uint64_t bits = rng();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    if (std::isnan(v)) continue;
+    for (const FloatFormatCase c :
+         {FloatFormatCase{8, Endian::Big, LongDoubleFormat::Binary64},
+          FloatFormatCase{12, Endian::Little, LongDoubleFormat::X87Extended},
+          FloatFormatCase{16, Endian::Big, LongDoubleFormat::Binary128}}) {
+      std::byte buf[16] = {};
+      plat::encode_float(v, buf, c.size, c.endian, c.ldf);
+      EXPECT_EQ(plat::decode_float(buf, c.size, c.endian, c.ldf), v);
+    }
+  }
+}
+
+TEST(FloatCodec, RejectsBadSizes) {
+  std::byte buf[16] = {};
+  EXPECT_THROW(plat::encode_float(1.0, buf, 7, Endian::Little,
+                                  LongDoubleFormat::Binary64),
+               std::invalid_argument);
+  EXPECT_THROW(
+      plat::decode_float(buf, 3, Endian::Little, LongDoubleFormat::Binary64),
+      std::invalid_argument);
+}
