@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_array_fastpath"
+  "../bench/bench_abl_array_fastpath.pdb"
+  "CMakeFiles/bench_abl_array_fastpath.dir/bench_abl_array_fastpath.cpp.o"
+  "CMakeFiles/bench_abl_array_fastpath.dir/bench_abl_array_fastpath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_array_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_binary_tags"
+  "../bench/bench_abl_binary_tags.pdb"
+  "CMakeFiles/bench_abl_binary_tags.dir/bench_abl_binary_tags.cpp.o"
+  "CMakeFiles/bench_abl_binary_tags.dir/bench_abl_binary_tags.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_binary_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

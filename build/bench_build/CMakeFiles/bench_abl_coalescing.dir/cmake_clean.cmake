@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_coalescing"
+  "../bench/bench_abl_coalescing.pdb"
+  "CMakeFiles/bench_abl_coalescing.dir/bench_abl_coalescing.cpp.o"
+  "CMakeFiles/bench_abl_coalescing.dir/bench_abl_coalescing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_diff_threshold"
+  "../bench/bench_abl_diff_threshold.pdb"
+  "CMakeFiles/bench_abl_diff_threshold.dir/bench_abl_diff_threshold.cpp.o"
+  "CMakeFiles/bench_abl_diff_threshold.dir/bench_abl_diff_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_diff_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_false_sharing.cpp" "bench_build/CMakeFiles/bench_abl_false_sharing.dir/bench_abl_false_sharing.cpp.o" "gcc" "bench_build/CMakeFiles/bench_abl_false_sharing.dir/bench_abl_false_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/hdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hdsm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mig/CMakeFiles/hdsm_mig.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/hdsm_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdsm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hdsm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/hdsm_tags.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/hdsm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hdsm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_rmr_vs_xdr"
+  "../bench/bench_abl_rmr_vs_xdr.pdb"
+  "CMakeFiles/bench_abl_rmr_vs_xdr.dir/bench_abl_rmr_vs_xdr.cpp.o"
+  "CMakeFiles/bench_abl_rmr_vs_xdr.dir/bench_abl_rmr_vs_xdr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_rmr_vs_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_rmr_vs_xdr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_sor"
+  "../bench/bench_ext_sor.pdb"
+  "CMakeFiles/bench_ext_sor.dir/bench_ext_sor.cpp.o"
+  "CMakeFiles/bench_ext_sor.dir/bench_ext_sor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_conversion_mm"
+  "../bench/bench_fig10_conversion_mm.pdb"
+  "CMakeFiles/bench_fig10_conversion_mm.dir/bench_fig10_conversion_mm.cpp.o"
+  "CMakeFiles/bench_fig10_conversion_mm.dir/bench_fig10_conversion_mm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_conversion_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_tags"
+  "../bench/bench_fig3_tags.pdb"
+  "CMakeFiles/bench_fig3_tags.dir/bench_fig3_tags.cpp.o"
+  "CMakeFiles/bench_fig3_tags.dir/bench_fig3_tags.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_percentage"
+  "../bench/bench_fig7_percentage.pdb"
+  "CMakeFiles/bench_fig7_percentage.dir/bench_fig7_percentage.cpp.o"
+  "CMakeFiles/bench_fig7_percentage.dir/bench_fig7_percentage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

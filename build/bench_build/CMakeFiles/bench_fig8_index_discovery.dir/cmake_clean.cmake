@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_index_discovery"
+  "../bench/bench_fig8_index_discovery.pdb"
+  "CMakeFiles/bench_fig8_index_discovery.dir/bench_fig8_index_discovery.cpp.o"
+  "CMakeFiles/bench_fig8_index_discovery.dir/bench_fig8_index_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_index_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

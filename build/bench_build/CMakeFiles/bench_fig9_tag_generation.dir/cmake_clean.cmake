@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_tag_generation"
+  "../bench/bench_fig9_tag_generation.pdb"
+  "CMakeFiles/bench_fig9_tag_generation.dir/bench_fig9_tag_generation.cpp.o"
+  "CMakeFiles/bench_fig9_tag_generation.dir/bench_fig9_tag_generation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tag_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_convert.cpp" "bench_build/CMakeFiles/bench_micro_convert.dir/bench_micro_convert.cpp.o" "gcc" "bench_build/CMakeFiles/bench_micro_convert.dir/bench_micro_convert.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/convert/CMakeFiles/hdsm_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/hdsm_tags.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hdsm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

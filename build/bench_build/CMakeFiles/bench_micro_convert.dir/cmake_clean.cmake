@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_convert"
+  "../bench/bench_micro_convert.pdb"
+  "CMakeFiles/bench_micro_convert.dir/bench_micro_convert.cpp.o"
+  "CMakeFiles/bench_micro_convert.dir/bench_micro_convert.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

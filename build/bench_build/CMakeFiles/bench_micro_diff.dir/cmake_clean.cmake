@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_diff"
+  "../bench/bench_micro_diff.pdb"
+  "CMakeFiles/bench_micro_diff.dir/bench_micro_diff.cpp.o"
+  "CMakeFiles/bench_micro_diff.dir/bench_micro_diff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

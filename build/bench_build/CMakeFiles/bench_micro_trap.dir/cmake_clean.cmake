@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_trap"
+  "../bench/bench_micro_trap.pdb"
+  "CMakeFiles/bench_micro_trap.dir/bench_micro_trap.cpp.o"
+  "CMakeFiles/bench_micro_trap.dir/bench_micro_trap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_index_table"
+  "../bench/bench_table1_index_table.pdb"
+  "CMakeFiles/bench_table1_index_table.dir/bench_table1_index_table.cpp.o"
+  "CMakeFiles/bench_table1_index_table.dir/bench_table1_index_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_index_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_pair.dir/heterogeneous_pair.cpp.o"
+  "CMakeFiles/heterogeneous_pair.dir/heterogeneous_pair.cpp.o.d"
+  "heterogeneous_pair"
+  "heterogeneous_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

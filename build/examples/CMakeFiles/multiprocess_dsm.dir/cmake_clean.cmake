@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_dsm.dir/multiprocess_dsm.cpp.o"
+  "CMakeFiles/multiprocess_dsm.dir/multiprocess_dsm.cpp.o.d"
+  "multiprocess_dsm"
+  "multiprocess_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_migration.dir/thread_migration.cpp.o"
+  "CMakeFiles/thread_migration.dir/thread_migration.cpp.o.d"
+  "thread_migration"
+  "thread_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

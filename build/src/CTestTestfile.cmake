@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("platform")
+subdirs("tags")
+subdirs("convert")
+subdirs("memory")
+subdirs("index")
+subdirs("msg")
+subdirs("dsm")
+subdirs("mig")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("sched")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_baseline.dir/page_dsm.cpp.o"
+  "CMakeFiles/hdsm_baseline.dir/page_dsm.cpp.o.d"
+  "libhdsm_baseline.a"
+  "libhdsm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdsm_baseline.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_convert.dir/converter.cpp.o"
+  "CMakeFiles/hdsm_convert.dir/converter.cpp.o.d"
+  "CMakeFiles/hdsm_convert.dir/xdr.cpp.o"
+  "CMakeFiles/hdsm_convert.dir/xdr.cpp.o.d"
+  "libhdsm_convert.a"
+  "libhdsm_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/arena.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/arena.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/arena.cpp.o.d"
+  "/root/repo/src/dsm/cluster.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/cluster.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/cluster.cpp.o.d"
+  "/root/repo/src/dsm/home.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/home.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/home.cpp.o.d"
+  "/root/repo/src/dsm/image_io.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/image_io.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/image_io.cpp.o.d"
+  "/root/repo/src/dsm/mth.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/mth.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/mth.cpp.o.d"
+  "/root/repo/src/dsm/rehome.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/rehome.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/rehome.cpp.o.d"
+  "/root/repo/src/dsm/remote.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/remote.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/remote.cpp.o.d"
+  "/root/repo/src/dsm/stats.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/stats.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/stats.cpp.o.d"
+  "/root/repo/src/dsm/sync_engine.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/sync_engine.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/sync_engine.cpp.o.d"
+  "/root/repo/src/dsm/trace.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/trace.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/trace.cpp.o.d"
+  "/root/repo/src/dsm/update.cpp" "src/dsm/CMakeFiles/hdsm_dsm.dir/update.cpp.o" "gcc" "src/dsm/CMakeFiles/hdsm_dsm.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mig/CMakeFiles/hdsm_mig.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/hdsm_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdsm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/hdsm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hdsm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/hdsm_tags.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hdsm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_dsm.dir/arena.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/arena.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/cluster.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/cluster.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/home.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/home.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/image_io.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/image_io.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/mth.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/mth.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/rehome.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/rehome.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/remote.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/remote.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/stats.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/stats.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/sync_engine.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/sync_engine.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/trace.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/trace.cpp.o.d"
+  "CMakeFiles/hdsm_dsm.dir/update.cpp.o"
+  "CMakeFiles/hdsm_dsm.dir/update.cpp.o.d"
+  "libhdsm_dsm.a"
+  "libhdsm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

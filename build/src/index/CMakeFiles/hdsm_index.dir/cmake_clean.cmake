@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_index.dir/index_table.cpp.o"
+  "CMakeFiles/hdsm_index.dir/index_table.cpp.o.d"
+  "libhdsm_index.a"
+  "libhdsm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/diff.cpp" "src/memory/CMakeFiles/hdsm_memory.dir/diff.cpp.o" "gcc" "src/memory/CMakeFiles/hdsm_memory.dir/diff.cpp.o.d"
+  "/root/repo/src/memory/region.cpp" "src/memory/CMakeFiles/hdsm_memory.dir/region.cpp.o" "gcc" "src/memory/CMakeFiles/hdsm_memory.dir/region.cpp.o.d"
+  "/root/repo/src/memory/write_trap.cpp" "src/memory/CMakeFiles/hdsm_memory.dir/write_trap.cpp.o" "gcc" "src/memory/CMakeFiles/hdsm_memory.dir/write_trap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/hdsm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

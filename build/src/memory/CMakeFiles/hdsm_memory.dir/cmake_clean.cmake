@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_memory.dir/diff.cpp.o"
+  "CMakeFiles/hdsm_memory.dir/diff.cpp.o.d"
+  "CMakeFiles/hdsm_memory.dir/region.cpp.o"
+  "CMakeFiles/hdsm_memory.dir/region.cpp.o.d"
+  "CMakeFiles/hdsm_memory.dir/write_trap.cpp.o"
+  "CMakeFiles/hdsm_memory.dir/write_trap.cpp.o.d"
+  "libhdsm_memory.a"
+  "libhdsm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mig/checkpoint.cpp" "src/mig/CMakeFiles/hdsm_mig.dir/checkpoint.cpp.o" "gcc" "src/mig/CMakeFiles/hdsm_mig.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/mig/io_state.cpp" "src/mig/CMakeFiles/hdsm_mig.dir/io_state.cpp.o" "gcc" "src/mig/CMakeFiles/hdsm_mig.dir/io_state.cpp.o.d"
+  "/root/repo/src/mig/portable_heap.cpp" "src/mig/CMakeFiles/hdsm_mig.dir/portable_heap.cpp.o" "gcc" "src/mig/CMakeFiles/hdsm_mig.dir/portable_heap.cpp.o.d"
+  "/root/repo/src/mig/roles.cpp" "src/mig/CMakeFiles/hdsm_mig.dir/roles.cpp.o" "gcc" "src/mig/CMakeFiles/hdsm_mig.dir/roles.cpp.o.d"
+  "/root/repo/src/mig/struct_image.cpp" "src/mig/CMakeFiles/hdsm_mig.dir/struct_image.cpp.o" "gcc" "src/mig/CMakeFiles/hdsm_mig.dir/struct_image.cpp.o.d"
+  "/root/repo/src/mig/tagged_convert.cpp" "src/mig/CMakeFiles/hdsm_mig.dir/tagged_convert.cpp.o" "gcc" "src/mig/CMakeFiles/hdsm_mig.dir/tagged_convert.cpp.o.d"
+  "/root/repo/src/mig/thread_state.cpp" "src/mig/CMakeFiles/hdsm_mig.dir/thread_state.cpp.o" "gcc" "src/mig/CMakeFiles/hdsm_mig.dir/thread_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/convert/CMakeFiles/hdsm_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hdsm_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/hdsm_tags.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hdsm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_mig.dir/checkpoint.cpp.o"
+  "CMakeFiles/hdsm_mig.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hdsm_mig.dir/io_state.cpp.o"
+  "CMakeFiles/hdsm_mig.dir/io_state.cpp.o.d"
+  "CMakeFiles/hdsm_mig.dir/portable_heap.cpp.o"
+  "CMakeFiles/hdsm_mig.dir/portable_heap.cpp.o.d"
+  "CMakeFiles/hdsm_mig.dir/roles.cpp.o"
+  "CMakeFiles/hdsm_mig.dir/roles.cpp.o.d"
+  "CMakeFiles/hdsm_mig.dir/struct_image.cpp.o"
+  "CMakeFiles/hdsm_mig.dir/struct_image.cpp.o.d"
+  "CMakeFiles/hdsm_mig.dir/tagged_convert.cpp.o"
+  "CMakeFiles/hdsm_mig.dir/tagged_convert.cpp.o.d"
+  "CMakeFiles/hdsm_mig.dir/thread_state.cpp.o"
+  "CMakeFiles/hdsm_mig.dir/thread_state.cpp.o.d"
+  "libhdsm_mig.a"
+  "libhdsm_mig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_mig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/channel.cpp" "src/msg/CMakeFiles/hdsm_msg.dir/channel.cpp.o" "gcc" "src/msg/CMakeFiles/hdsm_msg.dir/channel.cpp.o.d"
+  "/root/repo/src/msg/message.cpp" "src/msg/CMakeFiles/hdsm_msg.dir/message.cpp.o" "gcc" "src/msg/CMakeFiles/hdsm_msg.dir/message.cpp.o.d"
+  "/root/repo/src/msg/tcp.cpp" "src/msg/CMakeFiles/hdsm_msg.dir/tcp.cpp.o" "gcc" "src/msg/CMakeFiles/hdsm_msg.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/hdsm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_msg.dir/channel.cpp.o"
+  "CMakeFiles/hdsm_msg.dir/channel.cpp.o.d"
+  "CMakeFiles/hdsm_msg.dir/message.cpp.o"
+  "CMakeFiles/hdsm_msg.dir/message.cpp.o.d"
+  "CMakeFiles/hdsm_msg.dir/tcp.cpp.o"
+  "CMakeFiles/hdsm_msg.dir/tcp.cpp.o.d"
+  "libhdsm_msg.a"
+  "libhdsm_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_platform.dir/float_codec.cpp.o"
+  "CMakeFiles/hdsm_platform.dir/float_codec.cpp.o.d"
+  "CMakeFiles/hdsm_platform.dir/platform.cpp.o"
+  "CMakeFiles/hdsm_platform.dir/platform.cpp.o.d"
+  "libhdsm_platform.a"
+  "libhdsm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_sched.dir/policy.cpp.o"
+  "CMakeFiles/hdsm_sched.dir/policy.cpp.o.d"
+  "libhdsm_sched.a"
+  "libhdsm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tags/layout.cpp" "src/tags/CMakeFiles/hdsm_tags.dir/layout.cpp.o" "gcc" "src/tags/CMakeFiles/hdsm_tags.dir/layout.cpp.o.d"
+  "/root/repo/src/tags/tag.cpp" "src/tags/CMakeFiles/hdsm_tags.dir/tag.cpp.o" "gcc" "src/tags/CMakeFiles/hdsm_tags.dir/tag.cpp.o.d"
+  "/root/repo/src/tags/type_desc.cpp" "src/tags/CMakeFiles/hdsm_tags.dir/type_desc.cpp.o" "gcc" "src/tags/CMakeFiles/hdsm_tags.dir/type_desc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/hdsm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

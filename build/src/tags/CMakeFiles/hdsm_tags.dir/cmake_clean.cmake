@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_tags.dir/layout.cpp.o"
+  "CMakeFiles/hdsm_tags.dir/layout.cpp.o.d"
+  "CMakeFiles/hdsm_tags.dir/tag.cpp.o"
+  "CMakeFiles/hdsm_tags.dir/tag.cpp.o.d"
+  "CMakeFiles/hdsm_tags.dir/type_desc.cpp.o"
+  "CMakeFiles/hdsm_tags.dir/type_desc.cpp.o.d"
+  "libhdsm_tags.a"
+  "libhdsm_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

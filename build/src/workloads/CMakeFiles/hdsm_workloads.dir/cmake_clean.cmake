@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdsm_workloads.dir/experiment.cpp.o"
+  "CMakeFiles/hdsm_workloads.dir/experiment.cpp.o.d"
+  "CMakeFiles/hdsm_workloads.dir/lu.cpp.o"
+  "CMakeFiles/hdsm_workloads.dir/lu.cpp.o.d"
+  "CMakeFiles/hdsm_workloads.dir/matmul.cpp.o"
+  "CMakeFiles/hdsm_workloads.dir/matmul.cpp.o.d"
+  "CMakeFiles/hdsm_workloads.dir/sor.cpp.o"
+  "CMakeFiles/hdsm_workloads.dir/sor.cpp.o.d"
+  "libhdsm_workloads.a"
+  "libhdsm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdsm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

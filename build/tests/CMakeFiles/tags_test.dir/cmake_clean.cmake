@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_test.dir/tags_test.cpp.o"
+  "CMakeFiles/tags_test.dir/tags_test.cpp.o.d"
+  "tags_test"
+  "tags_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
