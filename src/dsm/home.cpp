@@ -29,9 +29,10 @@ void HomeNode::attach_endpoint(std::uint32_t rank, msg::EndpointPtr ep) {
     throw std::invalid_argument("rank 0 is the master thread at home");
   }
   // A migrating thread re-attaches its rank from the destination node
-  // moments after the source detached; wait out that window, then reap the
-  // old receiver thread outside the lock (it may still need the mutex on
-  // its way out).
+  // moments after the source detached; wait out that window, close the old
+  // endpoint so its receiver (which may still be parked in recv serving
+  // post-join retransmits) unblocks, then reap the old receiver thread
+  // outside the lock (it may still need the mutex on its way out).
   std::thread old_receiver;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -42,6 +43,7 @@ void HomeNode::attach_endpoint(std::uint32_t rank, msg::EndpointPtr ep) {
       throw std::invalid_argument("rank already attached: " +
                                   std::to_string(rank));
     }
+    if (peer.endpoint) peer.endpoint->close();
     old_receiver = std::move(peer.receiver);
   }
   if (old_receiver.joinable()) old_receiver.join();
@@ -183,6 +185,12 @@ void HomeNode::wait_all_joined() {
 
 // ---- shared internals (mutex held) ----------------------------------------
 
+void HomeNode::send_reply_locked(Peer& peer, msg::Message reply) {
+  reply.seq = peer.last_seq;
+  peer.last_reply = reply;
+  peer.endpoint->send(reply);
+}
+
 void HomeNode::grant_locked(std::uint32_t index, std::uint32_t rank) {
   LockState& ls = locks_[index];
   ls.holder = rank;
@@ -220,7 +228,7 @@ void HomeNode::grant_locked(std::uint32_t index, std::uint32_t rank) {
   }
   trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
         grant.payload.size());
-  peer.endpoint->send(grant);
+  send_reply_locked(peer, std::move(grant));
 }
 
 void HomeNode::release_locked(std::uint32_t index) {
@@ -309,7 +317,7 @@ void HomeNode::maybe_release_barrier_locked(std::uint32_t index) {
     peer.pending.clear();
     trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
           release.payload.size());
-    peer.endpoint->send(release);
+    send_reply_locked(peer, std::move(release));
   }
   trace(TraceEvent::Kind::BarrierReleased, kMasterRank, index);
   b.entered.clear();
@@ -349,11 +357,14 @@ void HomeNode::receiver_loop(std::uint32_t rank) {
     ep = peers_.at(rank).endpoint.get();
   }
   try {
+    // Keep receiving past a JoinRequest: the remote's retry layer may
+    // retransmit it if the JoinAck was lost, and the duplicate handler
+    // answers from the reply cache.  The loop ends when the remote closes
+    // its endpoint (or stop()/attach_endpoint close this side).
     for (;;) {
       const msg::Message m = ep->recv();
       std::unique_lock<std::mutex> lock(mutex_);
       handle_message(rank, m, lock);
-      if (m.type == msg::MsgType::JoinRequest) return;
     }
   } catch (const msg::ChannelClosed&) {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -373,9 +384,70 @@ void HomeNode::receiver_loop(std::uint32_t rank) {
   }
 }
 
+bool HomeNode::handle_duplicate_locked(std::uint32_t rank, Peer& peer,
+                                       const msg::Message& m) {
+  if (m.seq == 0 || m.seq > peer.last_seq) return false;  // fresh or legacy
+  const auto dropped = [&] {
+    ++stats_.duplicates_dropped;
+    trace(TraceEvent::Kind::DuplicateDropped, rank, m.sync_id, 0, 0, m.seq);
+  };
+  if (m.seq < peer.last_seq) {
+    dropped();  // stale retransmit of an already-answered request
+    return true;
+  }
+  // Retransmit of the outstanding request.
+  if (m.type == msg::MsgType::LockRequest && m.sync_id < locks_.size()) {
+    const LockState& ls = locks_[m.sync_id];
+    if (ls.holder == static_cast<std::int64_t>(rank) &&
+        peer.last_reply.has_value()) {
+      // The grant was sent and lost: replay it.
+      dropped();
+      send_reply_locked(peer, *peer.last_reply);
+      trace(TraceEvent::Kind::ReplyResent, rank, m.sync_id, 0, 0, m.seq);
+      return true;
+    }
+    if (std::find(ls.waiters.begin(), ls.waiters.end(), rank) !=
+        ls.waiters.end()) {
+      dropped();  // already queued; the eventual grant answers it
+      return true;
+    }
+    // Neither holder nor waiter: the grant (or queue slot) was invalidated
+    // when this peer detached and its locks were reclaimed.  Re-process the
+    // request as fresh under the same seq.
+    peer.last_reply.reset();
+    return false;
+  }
+  dropped();
+  if (peer.last_reply.has_value()) {
+    send_reply_locked(peer, *peer.last_reply);
+    trace(TraceEvent::Kind::ReplyResent, rank, m.sync_id, 0, 0, m.seq);
+  }
+  // else: the reply is still pending (lock queue / open barrier episode) —
+  // the original request was recorded, so just drop the duplicate.
+  return true;
+}
+
 void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
                               std::unique_lock<std::mutex>&) {
   Peer& peer = peers_.at(rank);
+  if (m.type == msg::MsgType::Hello) {
+    // A Hello bypasses duplicate detection — it is the session signal
+    // itself, and must never advance the dedup horizon (a reconnect Hello
+    // echoes the still-outstanding request seq; advancing last_seq to it
+    // would make the upcoming retransmit look like an answered duplicate).
+    // seq == 0 on a tag-ful Hello marks a brand-new incarnation of this
+    // rank (thread churn, migration): its requests restart at #1, so the
+    // previous incarnation's reliability state must be discarded.
+    if (m.seq == 0 && !m.tag.empty()) {
+      peer.last_seq = 0;
+      peer.last_reply.reset();
+    }
+  } else if (handle_duplicate_locked(rank, peer, m)) {
+    return;
+  } else if (m.seq != 0 && m.seq > peer.last_seq) {
+    peer.last_seq = m.seq;
+    peer.last_reply.reset();
+  }
   switch (m.type) {
     case msg::MsgType::Hello: {
       if (m.tag.empty()) return;  // tag-less Hello (application traffic)
@@ -426,22 +498,34 @@ void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
       if (m.sync_id >= locks_.size()) {
         throw std::out_of_range("remote unlock index");
       }
-      if (locks_[m.sync_id].holder != static_cast<std::int64_t>(rank)) {
+      const bool is_holder =
+          locks_[m.sync_id].holder == static_cast<std::int64_t>(rank);
+      if (!is_holder && (m.seq == 0 || locks_[m.sync_id].holder != -1)) {
+        // Unsequenced, or someone else legitimately holds the mutex: a real
+        // protocol violation (or unrecoverable reset race) — detach.
         throw std::logic_error("remote unlock without holding the lock");
       }
+      // `!is_holder && holder == -1` on a sequenced request is the
+      // reset-recovery case: the unlock was sent, the connection died
+      // before it arrived, and the home reclaimed the lock when the peer
+      // detached.  The diffs were made under mutual exclusion and nobody
+      // has re-acquired the mutex since, so applying them now is safe; only
+      // the release bookkeeping is skipped.
       const std::vector<idx::UpdateRun> runs =
           engine_.apply_payload(m.payload, m.sender);
       trace(TraceEvent::Kind::UpdatesApplied, rank, m.sync_id, runs.size(),
-            m.payload.size());
+            m.payload.size(), m.seq);
       merge_pending_locked(rank, runs);
-      trace(TraceEvent::Kind::LockReleased, rank, m.sync_id);
-      release_locked(m.sync_id);
+      if (is_holder) {
+        trace(TraceEvent::Kind::LockReleased, rank, m.sync_id);
+        release_locked(m.sync_id);
+      }
       msg::Message ack;
       ack.type = msg::MsgType::UnlockAck;
       ack.sync_id = m.sync_id;
       ack.rank = kMasterRank;
       ack.sender = msg::PlatformSummary::of(space_.platform());
-      peer.endpoint->send(ack);
+      send_reply_locked(peer, std::move(ack));
       return;
     }
     case msg::MsgType::BarrierEnter: {
@@ -451,7 +535,7 @@ void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
       const std::vector<idx::UpdateRun> runs =
           engine_.apply_payload(m.payload, m.sender);
       trace(TraceEvent::Kind::UpdatesApplied, rank, m.sync_id, runs.size(),
-            m.payload.size());
+            m.payload.size(), m.seq);
       merge_pending_locked(rank, runs);
       trace(TraceEvent::Kind::BarrierEntered, rank, m.sync_id);
       enter_barrier_locked(barriers_[m.sync_id], rank);
@@ -462,13 +546,13 @@ void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
       const std::vector<idx::UpdateRun> runs =
           engine_.apply_payload(m.payload, m.sender);
       trace(TraceEvent::Kind::UpdatesApplied, rank, 0, runs.size(),
-            m.payload.size());
+            m.payload.size(), m.seq);
       merge_pending_locked(rank, runs);
       msg::Message ack;
       ack.type = msg::MsgType::JoinAck;
       ack.rank = kMasterRank;
       ack.sender = msg::PlatformSummary::of(space_.platform());
-      peer.endpoint->send(ack);
+      send_reply_locked(peer, std::move(ack));
       trace(TraceEvent::Kind::Joined, rank, 0);
       detach_locked(rank, /*trace_detach=*/false);
       return;
@@ -481,9 +565,9 @@ void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
 
 void HomeNode::trace(TraceEvent::Kind kind, std::uint32_t rank,
                      std::uint32_t sync_id, std::uint64_t blocks,
-                     std::uint64_t bytes) {
+                     std::uint64_t bytes, std::uint64_t req) {
   if (opts_.trace != nullptr) {
-    opts_.trace->append(kind, rank, sync_id, blocks, bytes);
+    opts_.trace->append(kind, rank, sync_id, blocks, bytes, req);
   }
 }
 

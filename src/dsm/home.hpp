@@ -19,6 +19,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -108,6 +109,11 @@ class HomeNode {
     std::thread receiver;
     bool active = false;
     std::vector<idx::UpdateRun> pending;
+    // Reliability state — persists across detach/re-attach so a remote that
+    // reconnects after a reset can retransmit its outstanding request and
+    // be answered from the cache instead of re-executed.
+    std::uint32_t last_seq = 0;  ///< highest request seq handled
+    std::optional<msg::Message> last_reply;  ///< reply sent for last_seq
   };
 
   struct LockState {
@@ -132,6 +138,14 @@ class HomeNode {
   void receiver_loop(std::uint32_t rank);
   void handle_message(std::uint32_t rank, const msg::Message& m,
                       std::unique_lock<std::mutex>& lock);
+  /// Duplicate detection for sequenced requests.  Returns true when the
+  /// message was fully handled (dropped, or answered from the reply cache)
+  /// and must not reach the normal handler.
+  bool handle_duplicate_locked(std::uint32_t rank, Peer& peer,
+                               const msg::Message& m);
+  /// Stamp `reply` with the peer's outstanding request seq, cache it for
+  /// retransmits, and send it.
+  void send_reply_locked(Peer& peer, msg::Message reply);
   void grant_locked(std::uint32_t index, std::uint32_t rank);
   void release_locked(std::uint32_t index);
   void merge_pending_locked(std::uint32_t source_rank,
@@ -142,7 +156,7 @@ class HomeNode {
   void detach_locked(std::uint32_t rank, bool trace_detach = true);
   void trace(TraceEvent::Kind kind, std::uint32_t rank,
              std::uint32_t sync_id, std::uint64_t blocks = 0,
-             std::uint64_t bytes = 0);
+             std::uint64_t bytes = 0, std::uint64_t req = 0);
 
   HomeOptions opts_;
   GlobalSpace space_;

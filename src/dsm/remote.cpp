@@ -1,52 +1,192 @@
 #include "dsm/remote.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "msg/message.hpp"
 
 namespace hdsm::dsm {
+
+namespace {
+
+std::uint64_t jitter_seed(const RetryPolicy& p, std::uint32_t rank) {
+  // Distinct per-rank default so a cluster constructed with identical
+  // options still desynchronizes its retry schedules.
+  return p.seed != 0 ? p.seed : 0x726574727921ull + rank;
+}
+
+}  // namespace
+
+RemoteThread::RemoteThread(tags::TypePtr gthv,
+                           const plat::PlatformDesc& platform,
+                           std::uint32_t rank, msg::EndpointPtr endpoint,
+                           RemoteOptions opts)
+    : space_(gthv, platform),
+      engine_(space_, opts.dsd, stats_),
+      rank_(rank),
+      endpoint_(std::move(endpoint)),
+      opts_(std::move(opts)),
+      jitter_rng_(jitter_seed(opts_.retry, rank)) {
+  send_hello();
+  space_.region().begin_tracking();
+}
 
 RemoteThread::RemoteThread(tags::TypePtr gthv,
                            const plat::PlatformDesc& platform,
                            std::uint32_t rank, msg::EndpointPtr endpoint,
                            DsdOptions opts)
-    : space_(gthv, platform),
-      engine_(space_, opts, stats_),
-      rank_(rank),
-      endpoint_(std::move(endpoint)) {
-  msg::Message hello;
-  hello.type = msg::MsgType::Hello;
-  hello.rank = rank_;
-  hello.sender = msg::PlatformSummary::of(platform);
-  // The image tag travels with the Hello so the home node can verify both
-  // sides describe the same logical GThV before any updates flow (string
-  // equality additionally tells it the pair is homogeneous).
-  hello.tag = space_.image_tag_text();
-  endpoint_->send(hello);
-  space_.region().begin_tracking();
-}
+    : RemoteThread(gthv, platform, rank, std::move(endpoint),
+                   RemoteOptions{.dsd = opts}) {}
 
 RemoteThread::~RemoteThread() {
   if (space_.region().tracking()) space_.region().end_tracking();
   if (endpoint_) endpoint_->close();
 }
 
-msg::Message RemoteThread::expect(msg::MsgType type) {
-  const msg::Message m = endpoint_->recv();
-  if (m.type != type) {
-    throw std::logic_error(std::string("remote: expected ") +
-                           msg::msg_type_name(type) + ", got " +
-                           msg::msg_type_name(m.type));
+void RemoteThread::send_hello(bool resume) {
+  msg::Message hello;
+  hello.type = msg::MsgType::Hello;
+  hello.rank = rank_;
+  // seq 0 announces a fresh incarnation (the home resets this rank's dedup
+  // state: requests restart at #1).  A reconnect Hello echoes the current
+  // seq instead, telling the home to keep its cache so the outstanding
+  // request can be retransmitted — or answered from the cache — safely.
+  hello.seq = resume ? send_seq_ : 0;
+  hello.sender = msg::PlatformSummary::of(space_.platform());
+  // The image tag travels with the Hello so the home node can verify both
+  // sides describe the same logical GThV before any updates flow (string
+  // equality additionally tells it the pair is homogeneous).
+  hello.tag = space_.image_tag_text();
+  endpoint_->send(hello);
+}
+
+void RemoteThread::trace(TraceEvent::Kind kind, std::uint32_t sync_id,
+                         std::uint64_t req) {
+  if (opts_.trace) opts_.trace->append(kind, rank_, sync_id, 0, 0, req);
+}
+
+void RemoteThread::detach_self() {
+  detached_ = true;
+  if (space_.region().tracking()) space_.region().end_tracking();
+  if (endpoint_) endpoint_->close();
+  trace(TraceEvent::Kind::TimeoutDetached, 0, send_seq_);
+}
+
+bool RemoteThread::try_reconnect() {
+  if (!opts_.reconnect) return false;
+  while (reconnects_used_ < opts_.max_reconnects) {
+    ++reconnects_used_;
+    try {
+      msg::EndpointPtr fresh = opts_.reconnect();
+      if (!fresh) continue;
+      if (endpoint_) endpoint_->close();
+      endpoint_ = std::move(fresh);
+      ++stats_.reconnects;
+      trace(TraceEvent::Kind::Reconnected, 0, send_seq_);
+      send_hello(/*resume=*/true);
+      return true;
+    } catch (const std::exception&) {
+      // Dial failed (listener momentarily down, backlog full, ...): burn
+      // one reconnect credit and try again.
+    }
   }
-  return m;
+  return false;
+}
+
+msg::Message RemoteThread::rpc(msg::Message req, msg::MsgType want) {
+  if (detached_) {
+    throw HomeUnreachable("remote rank " + std::to_string(rank_) +
+                          ": already detached");
+  }
+  req.seq = ++send_seq_;  // requests are numbered from 1; 0 = unsequenced
+  req.rank = rank_;
+  req.sender = msg::PlatformSummary::of(space_.platform());
+
+  const RetryPolicy& p = opts_.retry;
+  std::uniform_real_distribution<double> jitter(1.0 - p.jitter,
+                                                1.0 + p.jitter);
+  auto wait = p.timeout;
+  std::uint32_t attempt = 0;
+  bool need_send = true;
+  for (;;) {
+    bool timed_out = false;
+    bool channel_died = false;
+    try {
+      if (need_send) {
+        endpoint_->send(req);
+        need_send = false;
+      }
+      // Wait out this attempt's (jittered) window; duplicate replies from
+      // earlier retransmits may land first and are discarded here.
+      const auto jittered = std::chrono::milliseconds(std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(static_cast<double>(wait.count()) *
+                                       jitter(jitter_rng_))));
+      const auto deadline = std::chrono::steady_clock::now() + jittered;
+      for (;;) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          timed_out = true;
+          break;
+        }
+        msg::Message m;
+        if (!endpoint_->recv_for(
+                m, std::chrono::duration_cast<std::chrono::milliseconds>(
+                       deadline - now))) {
+          timed_out = true;
+          break;
+        }
+        if (m.seq != 0 && m.seq < req.seq) {
+          // Stale reply to a retransmitted earlier request.
+          ++stats_.duplicates_dropped;
+          trace(TraceEvent::Kind::DuplicateDropped, m.sync_id, m.seq);
+          continue;
+        }
+        if (m.type != want) {
+          throw std::logic_error(std::string("remote: expected ") +
+                                 msg::msg_type_name(want) + ", got " +
+                                 msg::msg_type_name(m.type));
+        }
+        return m;
+      }
+    } catch (const msg::ChannelClosed&) {
+      channel_died = true;
+    }
+    if (channel_died) {
+      if (!try_reconnect()) {
+        detach_self();
+        throw HomeUnreachable("remote rank " + std::to_string(rank_) +
+                              ": transport closed and reconnect exhausted");
+      }
+      need_send = true;
+      continue;
+    }
+    if (timed_out) {
+      ++stats_.timeouts;
+      if (attempt >= p.max_retries) {
+        detach_self();
+        throw HomeUnreachable(
+            "remote rank " + std::to_string(rank_) + ": no reply to " +
+            msg::msg_type_name(req.type) + " #" + std::to_string(req.seq) +
+            " after " + std::to_string(attempt + 1) + " attempts");
+      }
+      ++attempt;
+      ++stats_.retries;
+      trace(TraceEvent::Kind::RetrySent, req.sync_id, req.seq);
+      wait = std::min(std::chrono::milliseconds(static_cast<std::int64_t>(
+                          static_cast<double>(wait.count()) * p.backoff)),
+                      p.max_timeout);
+      need_send = true;  // retransmit the identical encoded request
+    }
+  }
 }
 
 void RemoteThread::lock(std::uint32_t index) {
   msg::Message req;
   req.type = msg::MsgType::LockRequest;
   req.sync_id = index;
-  req.rank = rank_;
-  req.sender = msg::PlatformSummary::of(space_.platform());
-  endpoint_->send(req);
-  const msg::Message grant = expect(msg::MsgType::LockGrant);
+  const msg::Message grant = rpc(std::move(req), msg::MsgType::LockGrant);
   if (space_.region().dirty_pages().empty()) {
     // Clean interval (typical for the first lock, whose grant carries the
     // whole image): apply through the fault-free unprotected window.
@@ -61,11 +201,10 @@ void RemoteThread::unlock(std::uint32_t index) {
   msg::Message req;
   req.type = msg::MsgType::UnlockRequest;
   req.sync_id = index;
-  req.rank = rank_;
-  req.sender = msg::PlatformSummary::of(space_.platform());
+  // Collect exactly once: collect_updates() restarts the tracking interval,
+  // so a retransmit must carry the same payload, not a fresh (empty) one.
   req.payload = encode_update_blocks(engine_.collect_updates());
-  endpoint_->send(req);
-  expect(msg::MsgType::UnlockAck);
+  rpc(std::move(req), msg::MsgType::UnlockAck);
   ++stats_.unlocks;
 }
 
@@ -73,24 +212,19 @@ void RemoteThread::barrier(std::uint32_t index) {
   msg::Message enter;
   enter.type = msg::MsgType::BarrierEnter;
   enter.sync_id = index;
-  enter.rank = rank_;
-  enter.sender = msg::PlatformSummary::of(space_.platform());
   enter.payload = encode_update_blocks(engine_.collect_updates());
-  endpoint_->send(enter);
-  const msg::Message release = expect(msg::MsgType::BarrierRelease);
+  const msg::Message release =
+      rpc(std::move(enter), msg::MsgType::BarrierRelease);
   engine_.apply_payload_bulk(release.payload, release.sender);
   ++stats_.barriers;
 }
 
 void RemoteThread::join() {
-  if (joined_) return;
+  if (joined_ || detached_) return;
   msg::Message req;
   req.type = msg::MsgType::JoinRequest;
-  req.rank = rank_;
-  req.sender = msg::PlatformSummary::of(space_.platform());
   req.payload = encode_update_blocks(engine_.collect_updates());
-  endpoint_->send(req);
-  expect(msg::MsgType::JoinAck);
+  rpc(std::move(req), msg::MsgType::JoinAck);
   space_.region().end_tracking();
   joined_ = true;
 }

@@ -2,20 +2,76 @@
 // thread pair, running on its own (virtual) platform with its own GThV
 // image, synchronizing with the home node through MTh_lock / MTh_unlock /
 // MTh_barrier / MTh_join.
+//
+// Every request is sequenced and retransmitted on timeout with exponential
+// backoff + jitter (the home deduplicates, so retries are idempotent); a
+// remote whose transport dies can re-dial through a user-supplied reconnect
+// hook, and one that exhausts its budget detaches cleanly with
+// HomeUnreachable so the rest of the cluster keeps making progress.  See
+// docs/RELIABILITY.md.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <random>
+#include <stdexcept>
 
 #include "dsm/global_space.hpp"
 #include "dsm/stats.hpp"
 #include "dsm/sync_engine.hpp"
+#include "dsm/trace.hpp"
 #include "msg/endpoint.hpp"
 
 namespace hdsm::dsm {
 
+/// Thrown by a remote's synchronization calls when the home node stopped
+/// answering: every retry timed out (and every permitted reconnect failed).
+/// The remote has already detached itself — tracking is stopped and the
+/// endpoint closed — so the application thread can terminate cleanly.
+/// Derives from msg::ChannelClosed: to the application this *is* a dead
+/// channel, just diagnosed at the protocol layer instead of the transport.
+class HomeUnreachable : public msg::ChannelClosed {
+ public:
+  explicit HomeUnreachable(const std::string& what) : msg::ChannelClosed(what) {}
+};
+
+/// Per-request timeout/backoff schedule.  Attempt k waits
+/// `min(timeout * backoff^k, max_timeout)`, each wait scaled by a seeded
+/// uniform jitter in [1-jitter, 1+jitter] so a cluster of remotes does not
+/// retry in lockstep.  Defaults give ~1+2+4+8+8+8+8 s ≈ 39 s of patience.
+struct RetryPolicy {
+  std::chrono::milliseconds timeout{1000};  ///< first reply wait
+  double backoff = 2.0;                     ///< wait growth per retry
+  std::chrono::milliseconds max_timeout{8000};  ///< wait ceiling
+  std::uint32_t max_retries = 6;  ///< retransmissions before giving up
+  double jitter = 0.1;            ///< ± fraction applied to each wait
+  std::uint64_t seed = 0;         ///< jitter seed (0 = derive from rank)
+};
+
+struct RemoteOptions {
+  DsdOptions dsd;
+  RetryPolicy retry;
+  /// Optional reliability trace sink (RetrySent / DuplicateDropped /
+  /// Reconnected / TimeoutDetached events); not owned, must outlive the
+  /// remote.  Keep it separate from the home's log: each log is validated
+  /// on its own.
+  TraceLog* trace = nullptr;
+  /// Re-dial hook for transports that can reconnect (e.g. TCP: dial the
+  /// listener again; the home re-attaches the rank and replays or resumes
+  /// the outstanding request via its dedup cache).  Null = a dead transport
+  /// is fatal after the retry budget.
+  std::function<msg::EndpointPtr()> reconnect;
+  std::uint32_t max_reconnects = 3;  ///< reconnect budget per remote
+};
+
 class RemoteThread {
  public:
   /// `endpoint` must be connected to a HomeNode that attached `rank`.
+  RemoteThread(tags::TypePtr gthv, const plat::PlatformDesc& platform,
+               std::uint32_t rank, msg::EndpointPtr endpoint,
+               RemoteOptions opts);
+  /// Engine-knobs-only overload (the common fault-free construction).
   RemoteThread(tags::TypePtr gthv, const plat::PlatformDesc& platform,
                std::uint32_t rank, msg::EndpointPtr endpoint,
                DsdOptions opts = {});
@@ -37,23 +93,39 @@ class RemoteThread {
   void barrier(std::uint32_t index);
 
   /// MTh_join(): ship final writes and detach; call immediately before
-  /// thread termination.
+  /// thread termination.  No-op on a remote that already timed out.
   void join();
 
   GlobalSpace& space() noexcept { return space_; }
   const ShareStats& stats() const noexcept { return stats_; }
   std::uint32_t rank() const noexcept { return rank_; }
   bool joined() const noexcept { return joined_; }
+  /// True after retry exhaustion detached this remote (HomeUnreachable).
+  bool detached() const noexcept { return detached_; }
 
  private:
-  msg::Message expect(msg::MsgType type);
+  /// Send `req` (stamped with the next sequence number) and wait for the
+  /// matching `want` reply, retransmitting per the RetryPolicy and
+  /// reconnecting through the hook on transport death.
+  msg::Message rpc(msg::Message req, msg::MsgType want);
+  /// `resume` = this is a reconnect Hello: echo the outstanding request seq
+  /// so the home keeps this rank's dedup state instead of resetting it.
+  void send_hello(bool resume = false);
+  bool try_reconnect();
+  void detach_self();
+  void trace(TraceEvent::Kind kind, std::uint32_t sync_id, std::uint64_t req);
 
   GlobalSpace space_;
   ShareStats stats_;
   SyncEngine engine_;
   std::uint32_t rank_;
   msg::EndpointPtr endpoint_;
+  RemoteOptions opts_;
+  std::mt19937_64 jitter_rng_;
+  std::uint32_t send_seq_ = 0;
+  std::uint32_t reconnects_used_ = 0;
   bool joined_ = false;
+  bool detached_ = false;
 };
 
 }  // namespace hdsm::dsm

@@ -21,13 +21,20 @@ std::string ShareStats::to_string() const {
      << " bytes_sent=" << update_bytes_sent
      << " bytes_received=" << update_bytes_received
      << " dirty_pages=" << dirty_pages << " tags=" << tags_generated;
+  if (retries != 0 || timeouts != 0 || duplicates_dropped != 0 ||
+      reconnects != 0) {
+    os << " retries=" << retries << " timeouts=" << timeouts
+       << " dups_dropped=" << duplicates_dropped
+       << " reconnects=" << reconnects;
+  }
   return os.str();
 }
 
 std::string ShareStats::csv_header() {
   return "index_ns,tag_ns,pack_ns,unpack_ns,conv_ns,share_ns,locks,unlocks,"
          "barriers,updates_sent,updates_received,update_bytes_sent,"
-         "update_bytes_received,dirty_pages,tags_generated";
+         "update_bytes_received,dirty_pages,tags_generated,retries,timeouts,"
+         "duplicates_dropped,reconnects";
 }
 
 std::string ShareStats::to_csv_row() const {
@@ -36,7 +43,8 @@ std::string ShareStats::to_csv_row() const {
      << conv_ns << ',' << share_ns() << ',' << locks << ',' << unlocks << ','
      << barriers << ',' << updates_sent << ',' << updates_received << ','
      << update_bytes_sent << ',' << update_bytes_received << ','
-     << dirty_pages << ',' << tags_generated;
+     << dirty_pages << ',' << tags_generated << ',' << retries << ','
+     << timeouts << ',' << duplicates_dropped << ',' << reconnects;
   return os.str();
 }
 

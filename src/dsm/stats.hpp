@@ -20,21 +20,31 @@
 namespace hdsm::dsm {
 
 struct ShareStats {
-  std::uint64_t index_ns = 0;
-  std::uint64_t tag_ns = 0;
-  std::uint64_t pack_ns = 0;
-  std::uint64_t unpack_ns = 0;
-  std::uint64_t conv_ns = 0;
+  // -- Eq.-1 cost buckets, all in nanoseconds of CPU-side work --
+  std::uint64_t index_ns = 0;   ///< ns: twin/diff scan + range→run mapping
+  std::uint64_t tag_ns = 0;     ///< ns: (m,n) tag generation for runs
+  std::uint64_t pack_ns = 0;    ///< ns: copying run bytes into wire blocks
+  std::uint64_t unpack_ns = 0;  ///< ns: payload decode + tag parsing
+  std::uint64_t conv_ns = 0;    ///< ns: CGT-RMR conversion / memcpy apply
 
-  std::uint64_t locks = 0;
-  std::uint64_t unlocks = 0;
-  std::uint64_t barriers = 0;
-  std::uint64_t updates_sent = 0;      ///< update blocks shipped
-  std::uint64_t updates_received = 0;  ///< update blocks applied
-  std::uint64_t update_bytes_sent = 0;
-  std::uint64_t update_bytes_received = 0;
-  std::uint64_t dirty_pages = 0;  ///< pages diffed across all unlocks
-  std::uint64_t tags_generated = 0;
+  // -- Synchronization operation counts (events) --
+  std::uint64_t locks = 0;     ///< count: MTh_lock acquisitions completed
+  std::uint64_t unlocks = 0;   ///< count: MTh_unlock releases completed
+  std::uint64_t barriers = 0;  ///< count: MTh_barrier episodes completed
+
+  // -- Update traffic (blocks are tagged runs; bytes are element data) --
+  std::uint64_t updates_sent = 0;      ///< count: update blocks shipped
+  std::uint64_t updates_received = 0;  ///< count: update blocks applied
+  std::uint64_t update_bytes_sent = 0;      ///< bytes: element data shipped
+  std::uint64_t update_bytes_received = 0;  ///< bytes: element data applied
+  std::uint64_t dirty_pages = 0;     ///< count: pages diffed across intervals
+  std::uint64_t tags_generated = 0;  ///< count: run tags rendered
+
+  // -- Reliability layer (docs/RELIABILITY.md) --
+  std::uint64_t retries = 0;  ///< count: requests retransmitted after timeout
+  std::uint64_t timeouts = 0;  ///< count: reply waits that expired
+  std::uint64_t duplicates_dropped = 0;  ///< count: sequenced dups discarded
+  std::uint64_t reconnects = 0;  ///< count: transport re-establishments
 
   std::uint64_t share_ns() const noexcept {
     return index_ns + tag_ns + pack_ns + unpack_ns + conv_ns;
@@ -55,6 +65,10 @@ struct ShareStats {
     update_bytes_received += o.update_bytes_received;
     dirty_pages += o.dirty_pages;
     tags_generated += o.tags_generated;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    duplicates_dropped += o.duplicates_dropped;
+    reconnects += o.reconnects;
     return *this;
   }
 

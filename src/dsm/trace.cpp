@@ -18,13 +18,18 @@ const char* trace_kind_name(TraceEvent::Kind k) noexcept {
     case TraceEvent::Kind::Joined: return "Joined";
     case TraceEvent::Kind::Attached: return "Attached";
     case TraceEvent::Kind::Detached: return "Detached";
+    case TraceEvent::Kind::RetrySent: return "RetrySent";
+    case TraceEvent::Kind::DuplicateDropped: return "DuplicateDropped";
+    case TraceEvent::Kind::ReplyResent: return "ReplyResent";
+    case TraceEvent::Kind::Reconnected: return "Reconnected";
+    case TraceEvent::Kind::TimeoutDetached: return "TimeoutDetached";
   }
   return "?";
 }
 
 void TraceLog::append(TraceEvent::Kind kind, std::uint32_t rank,
                       std::uint32_t sync_id, std::uint64_t blocks,
-                      std::uint64_t bytes) {
+                      std::uint64_t bytes, std::uint64_t req) {
   std::lock_guard<std::mutex> lock(mutex_);
   TraceEvent e;
   e.seq = next_seq_++;
@@ -33,6 +38,7 @@ void TraceLog::append(TraceEvent::Kind kind, std::uint32_t rank,
   e.sync_id = sync_id;
   e.blocks = blocks;
   e.bytes = bytes;
+  e.req = req;
   events_.push_back(e);
 }
 
@@ -60,6 +66,7 @@ std::string TraceLog::to_string() const {
     if (e.blocks != 0 || e.bytes != 0) {
       os << " blocks=" << e.blocks << " bytes=" << e.bytes;
     }
+    if (e.req != 0) os << " req=" << e.req;
     os << "\n";
   }
   return os.str();
@@ -76,10 +83,20 @@ std::optional<std::string> validate_trace(
   std::map<std::uint32_t, std::int64_t> holder;      // mutex -> rank or -1
   std::map<std::uint32_t, std::set<std::uint32_t>> entered;  // barrier -> ranks
   std::set<std::uint32_t> gone;  // joined or detached, not re-attached
+  std::map<std::uint32_t, std::uint64_t> applied_req;  // rank -> last req
+
+  const auto is_reliability_bookkeeping = [](TraceEvent::Kind k) {
+    // Retransmits of a gone rank's final request legitimately reach the
+    // home after its Join/Detach; dropping or re-answering them is not
+    // "activity" in the lifecycle sense.
+    return k == TraceEvent::Kind::RetrySent ||
+           k == TraceEvent::Kind::DuplicateDropped ||
+           k == TraceEvent::Kind::ReplyResent;
+  };
 
   for (const TraceEvent& e : events) {
     if (e.kind != TraceEvent::Kind::Attached && e.rank != 0 &&
-        gone.count(e.rank) != 0) {
+        !is_reliability_bookkeeping(e.kind) && gone.count(e.rank) != 0) {
       return fail(e, "activity from a joined/detached rank");
     }
     switch (e.kind) {
@@ -126,12 +143,38 @@ std::optional<std::string> validate_trace(
       }
       case TraceEvent::Kind::Joined:
       case TraceEvent::Kind::Detached:
+      case TraceEvent::Kind::TimeoutDetached:
         gone.insert(e.rank);
+        // The home reclaims a departed rank's mutexes (graceful
+        // degradation), without a separate LockReleased event: model the
+        // implicit release so the next grant does not read as a double
+        // grant.
+        for (auto& [sync_id, h] : holder) {
+          if (h == static_cast<std::int64_t>(e.rank)) h = -1;
+        }
         break;
       case TraceEvent::Kind::Attached:
         gone.erase(e.rank);
+        // A re-attach starts a new incarnation of the rank (thread churn,
+        // migration, reconnect): its request numbering may restart at #1,
+        // so the idempotency horizon resets with it.
+        applied_req.erase(e.rank);
         break;
-      case TraceEvent::Kind::UpdatesApplied:
+      case TraceEvent::Kind::UpdatesApplied: {
+        if (e.req != 0) {
+          auto [it, inserted] = applied_req.try_emplace(e.rank, 0);
+          if (!inserted && e.req <= it->second) {
+            return fail(e, "request #" + std::to_string(e.req) +
+                               " applied twice (duplicate application)");
+          }
+          it->second = e.req;
+        }
+        break;
+      }
+      case TraceEvent::Kind::RetrySent:
+      case TraceEvent::Kind::DuplicateDropped:
+      case TraceEvent::Kind::ReplyResent:
+      case TraceEvent::Kind::Reconnected:
       case TraceEvent::Kind::UpdatesShipped:
         break;
     }

@@ -29,6 +29,12 @@ struct TraceEvent {
     Joined,
     Attached,
     Detached,
+    // Reliability-layer events (see docs/RELIABILITY.md):
+    RetrySent,         ///< a request was retransmitted after a timeout
+    DuplicateDropped,  ///< a sequenced duplicate was discarded, not re-run
+    ReplyResent,       ///< home re-sent the cached reply for a duplicate
+    Reconnected,       ///< a remote re-established its transport
+    TimeoutDetached,   ///< a remote detached after exhausting its retries
   };
 
   std::uint64_t seq = 0;  ///< global order at the home node
@@ -37,6 +43,9 @@ struct TraceEvent {
   std::uint32_t sync_id = 0;
   std::uint64_t blocks = 0;  ///< update blocks involved
   std::uint64_t bytes = 0;   ///< payload bytes involved
+  /// Request sequence number the event concerns (0 = unsequenced).  Lets
+  /// the validator prove each request was applied at most once.
+  std::uint64_t req = 0;
 
   bool operator==(const TraceEvent&) const = default;
 };
@@ -48,7 +57,7 @@ class TraceLog {
  public:
   void append(TraceEvent::Kind kind, std::uint32_t rank,
               std::uint32_t sync_id, std::uint64_t blocks = 0,
-              std::uint64_t bytes = 0);
+              std::uint64_t bytes = 0, std::uint64_t req = 0);
 
   std::vector<TraceEvent> snapshot() const;
   std::size_t size() const;
@@ -72,8 +81,14 @@ class TraceLog {
 ///   2. Barrier episodes: a BarrierReleased is preceded by a BarrierEntered
 ///      from every rank that participates in the episode, and no rank
 ///      enters twice in one episode.
-///   3. Lifecycle: no protocol activity from a rank after it Joined or
-///      Detached (until re-Attached).
+///   3. Lifecycle: no protocol activity from a rank after it Joined,
+///      Detached, or TimeoutDetached (until re-Attached).  Reliability
+///      bookkeeping (RetrySent / DuplicateDropped / ReplyResent) is exempt:
+///      retransmits of a joined rank's last request legitimately arrive
+///      after its Join and are dropped or re-answered from the cache.
+///   4. Idempotency: UpdatesApplied events carrying a request sequence
+///      number (req != 0) are strictly increasing per rank — the same
+///      request's payload is never applied twice.
 std::optional<std::string> validate_trace(
     const std::vector<TraceEvent>& events);
 

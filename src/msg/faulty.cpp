@@ -1,0 +1,218 @@
+#include "msg/faulty.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <thread>
+
+namespace hdsm::msg {
+
+namespace {
+
+bool kind_eligible(const FaultSpec& spec, MsgType t) {
+  return spec.only.empty() ||
+         std::find(spec.only.begin(), spec.only.end(), t) != spec.only.end();
+}
+
+/// One direction's deterministic fault schedule.  Every message consumes
+/// the same number of draws whichever faults are enabled, so flipping one
+/// knob does not reshuffle the rest of the schedule.
+struct Draws {
+  bool drop, duplicate, delay, reorder;
+};
+
+Draws draw(std::mt19937_64& rng, const FaultSpec& spec) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Draws d;
+  d.drop = u(rng) < spec.drop;
+  d.duplicate = u(rng) < spec.duplicate;
+  d.delay = u(rng) < spec.delay;
+  d.reorder = u(rng) < spec.reorder;
+  return d;
+}
+
+class FaultyEndpointImpl final : public FaultyEndpoint {
+ public:
+  FaultyEndpointImpl(EndpointPtr inner, const FaultOptions& opts)
+      : inner_(std::move(inner)),
+        opts_(opts),
+        send_rng_(opts.seed),
+        recv_rng_(opts.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  ~FaultyEndpointImpl() override { close(); }
+
+  void send(const Message& m) override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    maybe_reset(opts_.send, send_ops_);
+    ++send_ops_;
+    const Draws d = draw(send_rng_, opts_.send);
+    if (kind_eligible(opts_.send, m.type)) {
+      if (d.drop) {
+        bump([](FaultCounters& c) { ++c.dropped; });
+      } else {
+        if (d.delay) {
+          bump([](FaultCounters& c) { ++c.delayed; });
+          std::this_thread::sleep_for(opts_.send.delay_ms);
+        }
+        if (d.reorder && opts_.send.reorder_window > 0) {
+          bump([](FaultCounters& c) { ++c.reordered; });
+          held_.push_back({m, 0});
+        } else {
+          inner_->send(m);
+          if (d.duplicate) {
+            bump([](FaultCounters& c) { ++c.duplicated; });
+            inner_->send(m);
+          }
+        }
+      }
+    } else {
+      inner_->send(m);
+    }
+    // Age the holdback: an entry is released once `reorder_window` newer
+    // messages have passed it.
+    for (Held& h : held_) ++h.age;
+    flush_aged();
+  }
+
+  Message recv() override {
+    for (;;) {
+      Message m;
+      if (recv_step(m, nullptr)) return m;
+    }
+  }
+
+  bool recv_for(Message& out, std::chrono::milliseconds timeout) override {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      if (recv_step(out, &deadline)) return true;
+    }
+  }
+
+  void close() override {
+    {
+      // Held messages are "in flight": deliver them before tearing down,
+      // best-effort (the peer may already be gone).
+      std::lock_guard<std::mutex> lock(send_mutex_);
+      try {
+        for (Held& h : held_) inner_->send(h.m);
+      } catch (const ChannelClosed&) {
+      }
+      held_.clear();
+    }
+    inner_->close();
+  }
+
+  std::uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
+  std::uint64_t bytes_received() const override {
+    return inner_->bytes_received();
+  }
+
+  FaultCounters counters() const override {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    return counters_;
+  }
+
+  Endpoint& inner() noexcept override { return *inner_; }
+
+ private:
+  struct Held {
+    Message m;
+    std::uint32_t age;
+  };
+
+  template <typename Fn>
+  void bump(Fn fn) {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    fn(counters_);
+  }
+
+  void maybe_reset(const FaultSpec& spec, std::uint64_t ops) {
+    if (spec.reset_after != 0 && ops >= spec.reset_after) {
+      bump([](FaultCounters& c) { ++c.resets; });
+      inner_->close();
+      throw ChannelClosed();
+    }
+  }
+
+  void flush_aged() {
+    while (!held_.empty() && held_.front().age >= opts_.send.reorder_window) {
+      inner_->send(held_.front().m);
+      held_.pop_front();
+    }
+  }
+
+  /// One receive attempt: pops a pending duplicate or pulls from the inner
+  /// endpoint (bounded by `deadline` if given).  Returns false when the
+  /// pulled message was dropped (caller loops) or the wait timed out at the
+  /// inner layer (caller re-checks the deadline).
+  bool recv_step(Message& out,
+                 const std::chrono::steady_clock::time_point* deadline) {
+    std::unique_lock<std::mutex> lock(recv_mutex_);
+    if (!pending_.empty()) {
+      out = std::move(pending_.front());
+      pending_.pop_front();
+      return true;
+    }
+    maybe_reset(opts_.recv, recv_ops_);
+    Message m;
+    if (deadline == nullptr) {
+      m = inner_->recv();
+    } else {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= *deadline) return false;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - now);
+      if (!inner_->recv_for(m, std::max(left, std::chrono::milliseconds(1)))) {
+        return false;
+      }
+    }
+    ++recv_ops_;
+    const Draws d = draw(recv_rng_, opts_.recv);
+    if (!kind_eligible(opts_.recv, m.type)) {
+      out = std::move(m);
+      return true;
+    }
+    if (d.drop) {
+      bump([](FaultCounters& c) { ++c.dropped; });
+      return false;
+    }
+    if (d.delay) {
+      bump([](FaultCounters& c) { ++c.delayed; });
+      std::this_thread::sleep_for(opts_.recv.delay_ms);
+    }
+    if (d.duplicate) {
+      bump([](FaultCounters& c) { ++c.duplicated; });
+      pending_.push_back(m);
+    }
+    out = std::move(m);
+    return true;
+  }
+
+  EndpointPtr inner_;
+  FaultOptions opts_;
+
+  std::mutex send_mutex_;
+  std::mt19937_64 send_rng_;
+  std::uint64_t send_ops_ = 0;
+  std::deque<Held> held_;
+
+  std::mutex recv_mutex_;
+  std::mt19937_64 recv_rng_;
+  std::uint64_t recv_ops_ = 0;
+  std::deque<Message> pending_;
+
+  mutable std::mutex counters_mutex_;
+  FaultCounters counters_;
+};
+
+}  // namespace
+
+std::unique_ptr<FaultyEndpoint> make_faulty(EndpointPtr inner,
+                                            const FaultOptions& opts) {
+  return std::make_unique<FaultyEndpointImpl>(std::move(inner), opts);
+}
+
+}  // namespace hdsm::msg

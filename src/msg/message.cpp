@@ -7,7 +7,7 @@ namespace hdsm::msg {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4844534du;  // "HDSM"
-constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 4 + 8;
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 8;
 
 void put_u32be(std::vector<std::byte>& out, std::uint32_t v) {
   out.push_back(static_cast<std::byte>(v >> 24));
@@ -66,6 +66,7 @@ std::vector<std::byte> encode_frame(const Message& m) {
   out.push_back(std::byte{0});  // reserved
   put_u32be(out, m.sync_id);
   put_u32be(out, m.rank);
+  put_u32be(out, m.seq);
   put_u32be(out, static_cast<std::uint32_t>(m.tag.size()));
   put_u64be(out, m.payload.size());
   const std::byte* tag_bytes = reinterpret_cast<const std::byte*>(m.tag.data());
@@ -96,8 +97,9 @@ bool FrameDecoder::next(Message& out) {
   }
   const std::uint32_t sync_id = get_u32be(p + 8);
   const std::uint32_t rank = get_u32be(p + 12);
-  const std::uint32_t tag_len = get_u32be(p + 16);
-  const std::uint64_t payload_len = get_u64be(p + 20);
+  const std::uint32_t seq = get_u32be(p + 16);
+  const std::uint32_t tag_len = get_u32be(p + 20);
+  const std::uint64_t payload_len = get_u64be(p + 24);
   const std::size_t total = kHeaderSize + tag_len + payload_len;
   if (buf_.size() < total) return false;
 
@@ -106,6 +108,7 @@ bool FrameDecoder::next(Message& out) {
   out.sender.long_double_format = static_cast<plat::LongDoubleFormat>(ldf);
   out.sync_id = sync_id;
   out.rank = rank;
+  out.seq = seq;
   out.tag.assign(reinterpret_cast<const char*>(p + kHeaderSize), tag_len);
   out.payload.assign(buf_.begin() + kHeaderSize + tag_len,
                      buf_.begin() + total);

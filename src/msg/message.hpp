@@ -53,6 +53,10 @@ struct Message {
   MsgType type = MsgType::Hello;
   std::uint32_t sync_id = 0;  ///< mutex or barrier index
   std::uint32_t rank = 0;     ///< sender thread rank
+  /// Request sequence number for the reliability protocol: monotonic per
+  /// remote on requests, echoed on the matching reply.  0 = unsequenced
+  /// (legacy application traffic; exempt from duplicate detection).
+  std::uint32_t seq = 0;
   PlatformSummary sender;
   std::string tag;                 ///< ASCII (m,n) tag text
   std::vector<std::byte> payload;  ///< raw data, sender's representation
@@ -75,10 +79,16 @@ class FrameDecoder {
   std::vector<std::byte> buf_;
 };
 
-/// Thrown by endpoints when the peer has closed.
+/// Thrown by endpoints when the peer has closed.  Subclassed by
+/// higher-level "connection is gone for good" conditions (e.g.
+/// dsm::HomeUnreachable) so callers that only care about "the channel died"
+/// can catch the base.
 class ChannelClosed : public std::runtime_error {
  public:
   ChannelClosed() : std::runtime_error("hdsm channel closed") {}
+
+ protected:
+  explicit ChannelClosed(const std::string& what) : std::runtime_error(what) {}
 };
 
 }  // namespace hdsm::msg

@@ -7,10 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
 #include <system_error>
+#include <thread>
 
 namespace hdsm::msg {
 
@@ -184,6 +186,20 @@ EndpointPtr tcp_connect(std::uint16_t port) {
     throw_errno("connect");
   }
   return std::make_unique<TcpEndpoint>(fd);
+}
+
+EndpointPtr tcp_connect_retry(std::uint16_t port,
+                              const TcpConnectOptions& opts) {
+  std::chrono::milliseconds backoff = opts.initial_backoff;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      return tcp_connect(port);
+    } catch (const std::system_error&) {
+      if (attempt >= opts.attempts) throw;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, opts.max_backoff);
+  }
 }
 
 }  // namespace hdsm::msg

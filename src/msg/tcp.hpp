@@ -34,4 +34,17 @@ class TcpListener {
 /// Connect to a listener on 127.0.0.1.
 EndpointPtr tcp_connect(std::uint16_t port);
 
+/// Bounded-retry dialing for racing startups and post-reset reconnects.
+struct TcpConnectOptions {
+  std::uint32_t attempts = 5;  ///< total connect() attempts before giving up
+  std::chrono::milliseconds initial_backoff{20};  ///< doubles per attempt
+  std::chrono::milliseconds max_backoff{500};
+};
+
+/// Connect to a listener on 127.0.0.1, retrying refused/unreachable
+/// connections with exponential backoff.  Throws std::system_error with the
+/// last errno after `opts.attempts` failures.
+EndpointPtr tcp_connect_retry(std::uint16_t port,
+                              const TcpConnectOptions& opts = {});
+
 }  // namespace hdsm::msg

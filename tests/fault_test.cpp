@@ -1,0 +1,543 @@
+// Fault-injection tests for the reliability layer (docs/RELIABILITY.md):
+// FaultyEndpoint semantics, and the DSD protocol's recovery — retransmit,
+// duplicate suppression, reconnect, graceful degradation — under every
+// fault mode, over in-process channels and over real loopback TCP.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "dsm/home.hpp"
+#include "dsm/remote.hpp"
+#include "dsm/trace.hpp"
+#include "msg/faulty.hpp"
+#include "msg/tcp.hpp"
+
+namespace dsm = hdsm::dsm;
+namespace tags = hdsm::tags;
+namespace plat = hdsm::plat;
+namespace msg = hdsm::msg;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr std::uint64_t kElems = 64;
+
+tags::TypePtr gthv() {
+  return tags::TypeDesc::struct_of(
+      "G", {{"A", tags::TypeDesc::array(tags::t_longlong(), kElems)}});
+}
+
+msg::Message tagged(int n) {
+  msg::Message m;
+  m.type = msg::MsgType::Hello;
+  m.sync_id = static_cast<std::uint32_t>(n);
+  return m;
+}
+
+/// Tight schedule so fault tests finish in milliseconds, with enough
+/// retries to ride out high loss rates.
+dsm::RetryPolicy fast_retry() {
+  dsm::RetryPolicy p;
+  p.timeout = 25ms;
+  p.backoff = 1.5;
+  p.max_timeout = 200ms;
+  p.max_retries = 12;
+  return p;
+}
+
+/// The increments-under-one-lock workload every convergence test runs:
+/// deterministic per-rank op streams, so the expected array is computable
+/// without running the cluster.
+std::vector<std::pair<std::uint64_t, std::int64_t>> ops_of(
+    std::uint32_t rank, int ops) {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> v;
+  std::mt19937_64 rng(500 + rank);
+  for (int i = 0; i < ops; ++i) {
+    v.emplace_back(rng() % kElems,
+                   static_cast<std::int64_t>(rng() % 100) - 50);
+  }
+  return v;
+}
+
+void run_workload(dsm::RemoteThread& remote, int ops) {
+  for (const auto& [idx, delta] : ops_of(remote.rank(), ops)) {
+    remote.lock(0);
+    auto a = remote.space().view<std::int64_t>("A");
+    a.set(idx, a.get(idx) + delta);
+    remote.unlock(0);
+  }
+  remote.barrier(0);
+  remote.join();
+}
+
+std::vector<std::int64_t> expected_array(std::uint32_t num_remotes, int ops) {
+  std::vector<std::int64_t> e(kElems, 0);
+  for (std::uint32_t r = 1; r <= num_remotes; ++r) {
+    for (const auto& [idx, delta] : ops_of(r, ops)) e[idx] += delta;
+  }
+  return e;
+}
+
+/// Run `num_remotes` faulty remotes to completion against one home and
+/// check the master image matches the fault-free expectation and the
+/// protocol trace validates.
+void converge_under(const msg::FaultOptions& fault, std::uint32_t num_remotes,
+                    int ops) {
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  home.set_barrier_count(0, num_remotes + 1);
+
+  std::vector<std::unique_ptr<dsm::RemoteThread>> remotes;
+  for (std::uint32_t r = 1; r <= num_remotes; ++r) {
+    msg::FaultOptions per_remote = fault;
+    per_remote.seed = fault.seed + r;  // distinct schedules per remote
+    dsm::RemoteOptions ropts;
+    ropts.retry = fast_retry();
+    remotes.push_back(std::make_unique<dsm::RemoteThread>(
+        gthv(), plat::linux_ia32(), r,
+        msg::make_faulty(home.attach(r), per_remote), ropts));
+  }
+  home.start();
+
+  std::vector<std::thread> threads;
+  for (auto& remote : remotes) {
+    threads.emplace_back([&remote, ops] { run_workload(*remote, ops); });
+  }
+  home.barrier(0);
+  for (std::thread& t : threads) t.join();
+  home.wait_all_joined();
+
+  const std::vector<std::int64_t> expected = expected_array(num_remotes, ops);
+  auto a = home.space().view<std::int64_t>("A");
+  for (std::uint64_t i = 0; i < kElems; ++i) {
+    EXPECT_EQ(a.get(i), expected[i]) << "element " << i;
+  }
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+}  // namespace
+
+// ---- FaultyEndpoint unit tests ---------------------------------------------
+
+TEST(FaultyEndpoint, SameSeedSameSchedule) {
+  const auto run = [](std::uint64_t seed) {
+    auto [a, b] = msg::make_channel_pair();
+    msg::FaultOptions opts;
+    opts.seed = seed;
+    opts.send.drop = 0.3;
+    opts.send.duplicate = 0.3;
+    auto faulty = msg::make_faulty(std::move(a), opts);
+    for (int i = 0; i < 64; ++i) faulty->send(tagged(i));
+    std::vector<std::uint32_t> seen;
+    msg::Message m;
+    while (b->recv_for(m, 1ms)) seen.push_back(m.sync_id);
+    return std::make_pair(faulty->counters(), seen);
+  };
+  const auto [c1, seen1] = run(7);
+  const auto [c2, seen2] = run(7);
+  EXPECT_EQ(c1.dropped, c2.dropped);
+  EXPECT_EQ(c1.duplicated, c2.duplicated);
+  EXPECT_EQ(seen1, seen2);  // identical delivery schedule
+  EXPECT_GT(c1.dropped, 0u);
+  EXPECT_GT(c1.duplicated, 0u);
+  const auto [c3, seen3] = run(8);
+  EXPECT_NE(seen1, seen3);  // a different seed reshuffles the schedule
+}
+
+TEST(FaultyEndpoint, DropDiscardsSilently) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.send.drop = 1.0;
+  auto faulty = msg::make_faulty(std::move(a), opts);
+  for (int i = 0; i < 5; ++i) faulty->send(tagged(i));  // must not throw
+  msg::Message m;
+  EXPECT_FALSE(b->recv_for(m, 5ms));
+  EXPECT_EQ(faulty->counters().dropped, 5u);
+}
+
+TEST(FaultyEndpoint, DuplicateDeliversTwice) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.send.duplicate = 1.0;
+  auto faulty = msg::make_faulty(std::move(a), opts);
+  for (int i = 0; i < 3; ++i) faulty->send(tagged(i));
+  std::vector<std::uint32_t> seen;
+  msg::Message m;
+  while (b->recv_for(m, 1ms)) seen.push_back(m.sync_id);
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 0, 1, 1, 2, 2}));
+  EXPECT_EQ(faulty->counters().duplicated, 3u);
+}
+
+TEST(FaultyEndpoint, DelayDefersDelivery) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.recv.delay = 1.0;
+  opts.recv.delay_ms = 20ms;
+  auto faulty = msg::make_faulty(std::move(b), opts);
+  a->send(tagged(1));
+  const auto t0 = std::chrono::steady_clock::now();
+  const msg::Message m = faulty->recv();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(m.sync_id, 1u);
+  EXPECT_GE(elapsed, 20ms);
+  EXPECT_EQ(faulty->counters().delayed, 1u);
+}
+
+TEST(FaultyEndpoint, ReorderPermutesWithinWindow) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.seed = 3;
+  opts.send.reorder = 0.5;
+  opts.send.reorder_window = 2;
+  auto faulty = msg::make_faulty(std::move(a), opts);
+  constexpr int kMsgs = 24;
+  for (int i = 0; i < kMsgs; ++i) faulty->send(tagged(i));
+  faulty->close();  // flushes any still-held messages
+  std::vector<std::uint32_t> seen;
+  msg::Message m;
+  for (;;) {
+    try {
+      seen.push_back(b->recv().sync_id);
+    } catch (const msg::ChannelClosed&) {
+      break;
+    }
+  }
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kMsgs));
+  std::vector<std::uint32_t> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> identity(kMsgs);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(sorted, identity);  // nothing lost, nothing duplicated
+  EXPECT_NE(seen, identity);    // but the order changed
+  EXPECT_GT(faulty->counters().reordered, 0u);
+  // A held message overtakes at most `reorder_window` successors.
+  for (int i = 0; i < kMsgs; ++i) {
+    const int at = static_cast<int>(
+        std::find(seen.begin(), seen.end(), static_cast<std::uint32_t>(i)) -
+        seen.begin());
+    EXPECT_LE(at - i, static_cast<int>(opts.send.reorder_window))
+        << "message " << i << " delivered at position " << at;
+  }
+}
+
+TEST(FaultyEndpoint, ResetClosesBothSides) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.send.reset_after = 3;
+  auto faulty = msg::make_faulty(std::move(a), opts);
+  for (int i = 0; i < 3; ++i) faulty->send(tagged(i));
+  EXPECT_THROW(faulty->send(tagged(3)), msg::ChannelClosed);
+  EXPECT_EQ(faulty->counters().resets, 1u);
+  msg::Message m;
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(b->recv_for(m, 5ms));
+  EXPECT_THROW(b->recv(), msg::ChannelClosed);  // peer observes EOF
+}
+
+TEST(FaultyEndpoint, KindFilterSparesOtherTraffic) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.send.drop = 1.0;
+  opts.send.only = {msg::MsgType::LockRequest};
+  auto faulty = msg::make_faulty(std::move(a), opts);
+  msg::Message lock_req;
+  lock_req.type = msg::MsgType::LockRequest;
+  faulty->send(lock_req);   // eligible: dropped
+  faulty->send(tagged(9));  // Hello: passes untouched
+  const msg::Message m = b->recv();
+  EXPECT_EQ(m.type, msg::MsgType::Hello);
+  EXPECT_EQ(m.sync_id, 9u);
+  EXPECT_EQ(faulty->counters().dropped, 1u);
+}
+
+// ---- protocol recovery over in-process channels ----------------------------
+
+TEST(Reliability, ConvergesUnderDrop) {
+  msg::FaultOptions f;
+  f.send.drop = 0.25;
+  f.recv.drop = 0.25;
+  converge_under(f, 2, 12);
+}
+
+TEST(Reliability, ConvergesUnderDuplication) {
+  msg::FaultOptions f;
+  f.send.duplicate = 1.0;  // every request sent twice
+  f.recv.duplicate = 0.5;
+  converge_under(f, 2, 12);
+}
+
+TEST(Reliability, ConvergesUnderDelay) {
+  msg::FaultOptions f;
+  f.send.delay = 0.5;
+  f.send.delay_ms = 2ms;
+  f.recv.delay = 0.5;
+  f.recv.delay_ms = 2ms;
+  converge_under(f, 2, 10);
+}
+
+TEST(Reliability, ConvergesUnderReorder) {
+  msg::FaultOptions f;
+  f.send.reorder = 0.4;
+  f.send.reorder_window = 2;
+  converge_under(f, 2, 12);
+}
+
+TEST(Reliability, ConvergesUnderCombinedFaults) {
+  msg::FaultOptions f;
+  f.send.drop = 0.15;
+  f.send.duplicate = 0.25;
+  f.send.delay = 0.2;
+  f.send.delay_ms = 1ms;
+  f.send.reorder = 0.2;
+  f.recv.drop = 0.15;
+  f.recv.duplicate = 0.25;
+  converge_under(f, 3, 10);
+}
+
+TEST(Reliability, DuplicatedRequestsApplyExactlyOnce) {
+  // Force every request to be sent twice and verify via both the final
+  // array (exactly-once application) and the home's duplicate counter
+  // (the second copies really arrived and were dropped).
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  msg::FaultOptions f;
+  f.send.duplicate = 1.0;
+  dsm::RemoteOptions ropts;
+  ropts.retry = fast_retry();
+  dsm::RemoteThread remote(gthv(), plat::linux_ia32(), 1,
+                           msg::make_faulty(home.attach(1), f), ropts);
+  home.start();
+  constexpr int kOps = 20;
+  for (int i = 0; i < kOps; ++i) {
+    remote.lock(0);
+    auto a = remote.space().view<std::int64_t>("A");
+    a.set(0, a.get(0) + 1);
+    remote.unlock(0);
+  }
+  remote.join();
+  home.wait_all_joined();
+  EXPECT_EQ(home.space().view<std::int64_t>("A").get(0), kOps);
+  EXPECT_GT(home.stats().duplicates_dropped, 0u);
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+TEST(Reliability, RetriesAreCountedAndTraced) {
+  dsm::TraceLog remote_log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32());
+  msg::FaultOptions f;
+  f.seed = 11;
+  f.send.drop = 0.5;
+  f.send.only = {msg::MsgType::LockRequest, msg::MsgType::UnlockRequest};
+  dsm::RemoteOptions ropts;
+  ropts.retry = fast_retry();
+  ropts.trace = &remote_log;
+  dsm::RemoteThread remote(gthv(), plat::linux_ia32(), 1,
+                           msg::make_faulty(home.attach(1), f), ropts);
+  home.start();
+  for (int i = 0; i < 10; ++i) {
+    remote.lock(0);
+    remote.unlock(0);
+  }
+  remote.join();
+  EXPECT_GT(remote.stats().retries, 0u);
+  EXPECT_EQ(remote.stats().retries, remote.stats().timeouts);
+  bool saw_retry_event = false;
+  for (const dsm::TraceEvent& e : remote_log.snapshot()) {
+    if (e.kind == dsm::TraceEvent::Kind::RetrySent) saw_retry_event = true;
+  }
+  EXPECT_TRUE(saw_retry_event);
+  const auto err = dsm::validate_trace(remote_log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+TEST(Reliability, ExhaustedRetriesDetachCleanly) {
+  // Black-hole every request: the remote must give up with HomeUnreachable
+  // after exactly max_retries retransmissions, record the episode in its
+  // trace, and end up detached with tracking stopped.
+  dsm::TraceLog remote_log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32());
+  msg::FaultOptions f;
+  f.send.drop = 1.0;
+  f.send.only = {msg::MsgType::LockRequest};
+  dsm::RetryPolicy retry;
+  retry.timeout = 5ms;
+  retry.backoff = 1.0;
+  retry.max_retries = 3;
+  dsm::RemoteOptions ropts;
+  ropts.retry = retry;
+  ropts.trace = &remote_log;
+  dsm::RemoteThread remote(gthv(), plat::linux_ia32(), 1,
+                           msg::make_faulty(home.attach(1), f), ropts);
+  home.start();
+  EXPECT_THROW(remote.lock(0), dsm::HomeUnreachable);
+  EXPECT_TRUE(remote.detached());
+  EXPECT_EQ(remote.stats().retries, retry.max_retries);
+  EXPECT_EQ(remote.stats().timeouts, retry.max_retries + 1u);
+  bool saw_timeout_detach = false;
+  for (const dsm::TraceEvent& e : remote_log.snapshot()) {
+    if (e.kind == dsm::TraceEvent::Kind::TimeoutDetached) {
+      saw_timeout_detach = true;
+    }
+  }
+  EXPECT_TRUE(saw_timeout_detach);
+  // Further synchronization fails fast rather than hanging.
+  EXPECT_THROW(remote.lock(0), dsm::HomeUnreachable);
+  home.stop();
+}
+
+TEST(Reliability, HomeReclaimsLocksOfDeadRemoteAndClusterProgresses) {
+  // Remote 1 acquires the mutex, then every one of its UnlockRequests is
+  // black-holed: it exhausts retries and detaches.  The home must reclaim
+  // the mutex so the master and remote 2 keep working.
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  msg::FaultOptions f;
+  f.send.drop = 1.0;
+  f.send.only = {msg::MsgType::UnlockRequest};
+  dsm::RetryPolicy retry;
+  retry.timeout = 5ms;
+  retry.backoff = 1.0;
+  retry.max_retries = 3;
+  dsm::RemoteOptions faulty_opts;
+  faulty_opts.retry = retry;
+  dsm::RemoteThread doomed(gthv(), plat::linux_ia32(), 1,
+                           msg::make_faulty(home.attach(1), f), faulty_opts);
+  dsm::RemoteThread healthy(gthv(), plat::linux_ia32(), 2, home.attach(2));
+  home.start();
+
+  doomed.lock(0);
+  doomed.space().view<std::int64_t>("A").set(0, 111);
+  EXPECT_THROW(doomed.unlock(0), dsm::HomeUnreachable);
+  EXPECT_TRUE(doomed.detached());
+
+  // The doomed remote's endpoint closed on detach; once the home's receiver
+  // reaps it the mutex is reclaimed and others can take it.
+  healthy.lock(0);
+  auto a = healthy.space().view<std::int64_t>("A");
+  a.set(1, 222);
+  healthy.unlock(0);
+  healthy.join();
+  home.lock(0);
+  home.unlock(0);
+  home.wait_all_joined();
+
+  EXPECT_EQ(home.space().view<std::int64_t>("A").get(1), 222);
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+// ---- faults over real TCP --------------------------------------------------
+
+TEST(Reliability, TcpConvergesUnderDropAndDuplication) {
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  msg::TcpListener listener(0);
+  std::thread acceptor([&] { home.attach_endpoint(1, listener.accept()); });
+  msg::FaultOptions f;
+  f.send.drop = 0.25;
+  f.send.duplicate = 0.5;
+  f.recv.drop = 0.25;
+  dsm::RemoteOptions ropts;
+  ropts.retry = fast_retry();
+  dsm::RemoteThread remote(
+      gthv(), plat::linux_ia32(), 1,
+      msg::make_faulty(msg::tcp_connect(listener.port()), f), ropts);
+  acceptor.join();
+  home.start();
+
+  constexpr int kOps = 15;
+  for (const auto& [idx, delta] : ops_of(1, kOps)) {
+    remote.lock(0);
+    auto a = remote.space().view<std::int64_t>("A");
+    a.set(idx, a.get(idx) + delta);
+    remote.unlock(0);
+  }
+  remote.join();
+  home.wait_all_joined();
+
+  const std::vector<std::int64_t> expected = expected_array(1, kOps);
+  auto a = home.space().view<std::int64_t>("A");
+  for (std::uint64_t i = 0; i < kElems; ++i) {
+    EXPECT_EQ(a.get(i), expected[i]) << "element " << i;
+  }
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+TEST(Reliability, TcpResetRecoversThroughReconnect) {
+  // The transport dies mid-run (connection reset after a fixed number of
+  // sends); the remote re-dials through its reconnect hook, resumes its
+  // outstanding request, and the run converges with no lost or doubled
+  // updates.
+  dsm::TraceLog log;
+  dsm::TraceLog remote_log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  msg::TcpListener listener(0);
+  // The home keeps accepting: each new connection re-attaches rank 1
+  // (dedup state survives, so a retransmitted in-flight request is safe).
+  std::thread acceptor([&] {
+    for (int conn = 0; conn < 2; ++conn) {
+      home.attach_endpoint(1, listener.accept());
+    }
+  });
+
+  msg::FaultOptions f;
+  f.send.reset_after = 13;  // dies partway through the workload
+  dsm::RemoteOptions ropts;
+  ropts.retry = fast_retry();
+  ropts.trace = &remote_log;
+  ropts.reconnect = [&listener] {
+    // Resume hint travels in the Hello; a plain (fault-free) endpoint is
+    // fine for the second life.
+    return msg::tcp_connect_retry(listener.port());
+  };
+  dsm::RemoteThread remote(
+      gthv(), plat::linux_ia32(), 1,
+      msg::make_faulty(msg::tcp_connect(listener.port()), f), ropts);
+  home.start();
+
+  constexpr int kOps = 20;
+  for (int i = 0; i < kOps; ++i) {
+    remote.lock(0);
+    auto a = remote.space().view<std::int64_t>("A");
+    a.set(0, a.get(0) + 1);
+    remote.unlock(0);
+  }
+  remote.join();
+  acceptor.join();
+  home.wait_all_joined();
+
+  EXPECT_EQ(remote.stats().reconnects, 1u);
+  bool saw_reconnect_event = false;
+  for (const dsm::TraceEvent& e : remote_log.snapshot()) {
+    if (e.kind == dsm::TraceEvent::Kind::Reconnected) {
+      saw_reconnect_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_reconnect_event);
+  EXPECT_EQ(home.space().view<std::int64_t>("A").get(0), kOps);
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}

@@ -18,6 +18,7 @@ msg::Message sample_message() {
   m.type = msg::MsgType::UnlockRequest;
   m.sync_id = 3;
   m.rank = 7;
+  m.seq = 42;
   m.sender.endian = plat::Endian::Big;
   m.sender.long_double_format = plat::LongDoubleFormat::Binary128;
   m.tag = "(4,56169)";
@@ -29,6 +30,7 @@ void expect_equal(const msg::Message& a, const msg::Message& b) {
   EXPECT_EQ(a.type, b.type);
   EXPECT_EQ(a.sync_id, b.sync_id);
   EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.seq, b.seq);
   EXPECT_EQ(a.sender.endian, b.sender.endian);
   EXPECT_EQ(a.sender.long_double_format, b.sender.long_double_format);
   EXPECT_EQ(a.tag, b.tag);

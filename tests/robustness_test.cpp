@@ -291,3 +291,30 @@ TEST(Csv, ShareStatsRowsAreWellFormed) {
   EXPECT_EQ(commas(header), commas(row));
   EXPECT_NE(row.find("1,2,0,0,5,8,7"), std::string::npos);
 }
+
+TEST(Csv, ReliabilityCountersSerialize) {
+  // Every ShareStats field — including the reliability counters — must make
+  // it into the bench emitters' CSV, in header order.
+  const std::string header = dsm::ShareStats::csv_header();
+  for (const char* col :
+       {"retries", "timeouts", "duplicates_dropped", "reconnects"}) {
+    EXPECT_NE(header.find(col), std::string::npos) << col;
+  }
+  dsm::ShareStats s;
+  s.retries = 3;
+  s.timeouts = 4;
+  s.duplicates_dropped = 5;
+  s.reconnects = 6;
+  const std::string row = s.to_csv_row();
+  EXPECT_NE(row.find(",3,4,5,6"), std::string::npos) << row;
+  // The counters aggregate across nodes like every other field.
+  dsm::ShareStats sum;
+  sum += s;
+  sum += s;
+  EXPECT_EQ(sum.retries, 6u);
+  EXPECT_EQ(sum.reconnects, 12u);
+  // And the human rendering mentions them once any is nonzero.
+  EXPECT_NE(s.to_string().find("retries=3"), std::string::npos);
+  EXPECT_EQ(dsm::ShareStats{}.to_string().find("retries="),
+            std::string::npos);
+}

@@ -142,6 +142,96 @@ TEST(Validator, ReattachClearsGoneState) {
   EXPECT_FALSE(dsm::validate_trace(events).has_value());
 }
 
+TEST(Validator, RetryStormValidates) {
+  // A lossy network: the request is retransmitted three times, the home
+  // drops two late copies and re-sends its reply once.  All of that is
+  // legitimate reliability bookkeeping — the episode must validate.
+  const auto events = make_events({{Kind::Attached, 1, 0},
+                                   {Kind::LockRequested, 1, 0},
+                                   {Kind::RetrySent, 1, 0},
+                                   {Kind::RetrySent, 1, 0},
+                                   {Kind::RetrySent, 1, 0},
+                                   {Kind::DuplicateDropped, 1, 0},
+                                   {Kind::DuplicateDropped, 1, 0},
+                                   {Kind::LockGranted, 1, 0},
+                                   {Kind::ReplyResent, 1, 0},
+                                   {Kind::LockReleased, 1, 0},
+                                   {Kind::Joined, 1, 0},
+                                   // Straggler retransmits arriving after the
+                                   // join are still only bookkeeping.
+                                   {Kind::DuplicateDropped, 1, 0},
+                                   {Kind::ReplyResent, 1, 0}});
+  EXPECT_FALSE(dsm::validate_trace(events).has_value());
+}
+
+TEST(Validator, DuplicateApplicationCaught) {
+  // Idempotency invariant: the same sequenced request must never be applied
+  // twice.  Forge a trace where request #5 lands two UpdatesApplied events.
+  auto events = make_events({{Kind::UpdatesApplied, 1, 0},
+                             {Kind::UpdatesApplied, 1, 0}});
+  events[0].req = 5;
+  events[1].req = 5;
+  const auto err = dsm::validate_trace(events);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("applied twice"), std::string::npos);
+
+  // A lower req after a higher one is equally a replay.
+  events[1].req = 4;
+  ASSERT_TRUE(dsm::validate_trace(events).has_value());
+
+  // Unsequenced (req=0) events are exempt — legacy traffic carries no seq.
+  events[0].req = 0;
+  events[1].req = 0;
+  EXPECT_FALSE(dsm::validate_trace(events).has_value());
+}
+
+TEST(Validator, TimeoutDetachEpisodeRules) {
+  // A remote that times out while holding a mutex: TimeoutDetached marks it
+  // gone and implicitly releases its mutexes (home-side reclamation), so a
+  // later grant to another rank is clean...
+  const auto ok = make_events({{Kind::LockGranted, 1, 0},
+                               {Kind::TimeoutDetached, 1, 0},
+                               {Kind::LockGranted, 2, 0},
+                               {Kind::LockReleased, 2, 0}});
+  EXPECT_FALSE(dsm::validate_trace(ok).has_value());
+
+  // ...but real protocol activity from the detached rank is a violation.
+  const auto bad = make_events({{Kind::TimeoutDetached, 1, 0},
+                                {Kind::LockRequested, 1, 0}});
+  const auto err = dsm::validate_trace(bad);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("joined/detached"), std::string::npos);
+}
+
+TEST(Validator, ReattachResetsIdempotencyHorizon) {
+  // A new incarnation of a rank restarts request numbering at #1; after an
+  // Attached event the lower req is not a replay.
+  auto events = make_events({{Kind::UpdatesApplied, 1, 0},
+                             {Kind::Joined, 1, 0},
+                             {Kind::Attached, 1, 0},
+                             {Kind::UpdatesApplied, 1, 0}});
+  events[0].req = 3;
+  events[3].req = 1;
+  EXPECT_FALSE(dsm::validate_trace(events).has_value());
+
+  // Without the re-attach the same pair fails.
+  auto replay = make_events({{Kind::UpdatesApplied, 1, 0},
+                             {Kind::UpdatesApplied, 1, 0}});
+  replay[0].req = 3;
+  replay[1].req = 1;
+  EXPECT_TRUE(dsm::validate_trace(replay).has_value());
+}
+
+TEST(TraceLog, RendersReqWhenSequenced) {
+  dsm::TraceLog log;
+  log.append(Kind::UpdatesApplied, 1, 0, 2, 64, 9);
+  log.append(Kind::RetrySent, 1, 0, 0, 0, 9);
+  const std::string s = log.to_string();
+  EXPECT_NE(s.find("UpdatesApplied rank=1 sync=0 blocks=2 bytes=64 req=9"),
+            std::string::npos);
+  EXPECT_NE(s.find("RetrySent rank=1 sync=0 req=9"), std::string::npos);
+}
+
 TEST(TraceEndToEnd, LiveLockTrafficValidates) {
   dsm::TraceLog log;
   dsm::HomeOptions opts;
