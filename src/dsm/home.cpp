@@ -137,6 +137,7 @@ void HomeNode::lock(std::uint32_t index) {
   trace(TraceEvent::Kind::LockRequested, kMasterRank, index);
   if (ls.holder == -1) {
     ls.holder = kMasterRank;
+    ++ls.generation;
     trace(TraceEvent::Kind::LockGranted, kMasterRank, index);
   } else {
     ls.waiters.push_back(kMasterRank);
@@ -194,12 +195,14 @@ void HomeNode::send_reply_locked(Peer& peer, msg::Message reply) {
 void HomeNode::grant_locked(std::uint32_t index, std::uint32_t rank) {
   LockState& ls = locks_[index];
   ls.holder = rank;
+  ++ls.generation;
   trace(TraceEvent::Kind::LockGranted, rank, index);
   if (rank == kMasterRank) {
     cv_.notify_all();
     return;
   }
   Peer& peer = peers_.at(rank);
+  peer.granted_gen[index] = ls.generation;
   msg::Message grant;
   grant.type = msg::MsgType::LockGrant;
   grant.sync_id = index;
@@ -228,7 +231,16 @@ void HomeNode::grant_locked(std::uint32_t index, std::uint32_t rank) {
   }
   trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
         grant.payload.size());
-  send_reply_locked(peer, std::move(grant));
+  // This send targets a *different* peer than the one whose message (or
+  // master call) is being handled; its failure must detach the dead
+  // grantee, not unwind into the releaser's receiver thread (which would
+  // detach a healthy rank) or out of the master's unlock().
+  try {
+    send_reply_locked(peer, std::move(grant));
+  } catch (const msg::ChannelClosed&) {
+    if (peer.endpoint) peer.endpoint->close();
+    detach_locked(rank);  // reclaims the lock and grants the next waiter
+  }
 }
 
 void HomeNode::release_locked(std::uint32_t index) {
@@ -303,6 +315,7 @@ void HomeNode::maybe_release_barrier_locked(std::uint32_t index) {
   if (!barrier_complete_locked(b)) return;
   // Release exactly the remotes that entered this episode; a mid-episode
   // joiner must not receive a BarrierRelease it never asked for.
+  std::vector<std::uint32_t> unreachable;
   for (const std::uint32_t rank : b.entered) {
     if (rank == kMasterRank) continue;
     Peer& peer = peers_.at(rank);
@@ -317,13 +330,24 @@ void HomeNode::maybe_release_barrier_locked(std::uint32_t index) {
     peer.pending.clear();
     trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
           release.payload.size());
-    send_reply_locked(peer, std::move(release));
+    try {
+      send_reply_locked(peer, std::move(release));
+    } catch (const msg::ChannelClosed&) {
+      // Dead peer: letting this unwind would detach whichever rank's
+      // message completed the episode.  Detach the dead one instead —
+      // deferred past the episode teardown, because detach_locked
+      // re-enters this function and must not see the episode half-closed
+      // while we iterate b.entered.
+      if (peer.endpoint) peer.endpoint->close();
+      unreachable.push_back(rank);
+    }
   }
   trace(TraceEvent::Kind::BarrierReleased, kMasterRank, index);
   b.entered.clear();
   b.participants.clear();
   ++b.generation;
   cv_.notify_all();
+  for (const std::uint32_t rank : unreachable) detach_locked(rank);
 }
 
 void HomeNode::detach_locked(std::uint32_t rank, bool trace_detach) {
@@ -437,10 +461,18 @@ void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
     // would make the upcoming retransmit look like an answered duplicate).
     // seq == 0 on a tag-ful Hello marks a brand-new incarnation of this
     // rank (thread churn, migration): its requests restart at #1, so the
-    // previous incarnation's reliability state must be discarded.
-    if (m.seq == 0 && !m.tag.empty()) {
+    // previous incarnation's reliability state must be discarded.  The
+    // Hello's sync_id carries an incarnation epoch nonce: a duplicated or
+    // reordered copy of an already-seen Hello repeats the recorded epoch
+    // and must NOT reset the state again (doing so mid-session would make
+    // a retransmit of an already-executed request look fresh).  Epoch 0 is
+    // a legacy epoch-less Hello, which always resets.
+    if (m.seq == 0 && !m.tag.empty() &&
+        (m.sync_id == 0 || m.sync_id != peer.hello_epoch)) {
       peer.last_seq = 0;
       peer.last_reply.reset();
+      peer.granted_gen.clear();
+      peer.hello_epoch = m.sync_id;
     }
   } else if (handle_duplicate_locked(rank, peer, m)) {
     return;
@@ -498,24 +530,36 @@ void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
       if (m.sync_id >= locks_.size()) {
         throw std::out_of_range("remote unlock index");
       }
-      const bool is_holder =
-          locks_[m.sync_id].holder == static_cast<std::int64_t>(rank);
-      if (!is_holder && (m.seq == 0 || locks_[m.sync_id].holder != -1)) {
-        // Unsequenced, or someone else legitimately holds the mutex: a real
-        // protocol violation (or unrecoverable reset race) — detach.
-        throw std::logic_error("remote unlock without holding the lock");
+      LockState& ls = locks_[m.sync_id];
+      const bool is_holder = ls.holder == static_cast<std::int64_t>(rank);
+      if (!is_holder) {
+        if (m.seq == 0 || ls.holder != -1) {
+          // Unsequenced, or someone else legitimately holds the mutex: a
+          // real protocol violation (or unrecoverable reset race) — detach.
+          throw std::logic_error("remote unlock without holding the lock");
+        }
+        // `holder == -1` on a sequenced request is the reset-recovery
+        // case: the unlock was sent, the connection died before it
+        // arrived, and the home reclaimed the lock when the peer detached.
+        // The diffs were made under mutual exclusion, so applying them is
+        // safe only while nobody has been granted the mutex since — i.e.
+        // the lock generation still matches the one recorded at this
+        // peer's grant.  A changed generation means another thread
+        // acquired, wrote, and released in the meantime: the stale diffs
+        // would overwrite its writes, so drop them and detach the sender.
+        const auto it = peer.granted_gen.find(m.sync_id);
+        if (it == peer.granted_gen.end() || it->second != ls.generation) {
+          throw std::logic_error(
+              "remote unlock after the mutex was re-granted (stale "
+              "reset-recovery diffs dropped)");
+        }
       }
-      // `!is_holder && holder == -1` on a sequenced request is the
-      // reset-recovery case: the unlock was sent, the connection died
-      // before it arrived, and the home reclaimed the lock when the peer
-      // detached.  The diffs were made under mutual exclusion and nobody
-      // has re-acquired the mutex since, so applying them now is safe; only
-      // the release bookkeeping is skipped.
       const std::vector<idx::UpdateRun> runs =
           engine_.apply_payload(m.payload, m.sender);
       trace(TraceEvent::Kind::UpdatesApplied, rank, m.sync_id, runs.size(),
             m.payload.size(), m.seq);
       merge_pending_locked(rank, runs);
+      peer.granted_gen.erase(m.sync_id);  // the grant is consumed
       if (is_holder) {
         trace(TraceEvent::Kind::LockReleased, rank, m.sync_id);
         release_locked(m.sync_id);

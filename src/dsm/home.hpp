@@ -114,11 +114,26 @@ class HomeNode {
     // be answered from the cache instead of re-executed.
     std::uint32_t last_seq = 0;  ///< highest request seq handled
     std::optional<msg::Message> last_reply;  ///< reply sent for last_seq
+    /// Incarnation epoch from the last fresh-incarnation Hello (its
+    /// sync_id field); the dedup state above is reset only when a Hello
+    /// carries a *different* epoch, so duplicated or reordered copies of
+    /// the same Hello cannot reset it mid-session.  0 = none seen yet.
+    std::uint32_t hello_epoch = 0;
+    /// Lock generation under which this peer was granted each mutex
+    /// (see LockState::generation); consulted by the unlock
+    /// reset-recovery path to prove nobody re-acquired the mutex since.
+    std::map<std::uint32_t, std::uint64_t> granted_gen;
   };
 
   struct LockState {
     std::int64_t holder = -1;  // rank, or -1 when free
     std::deque<std::uint32_t> waiters;
+    /// Bumped on every grant.  A reset-recovery unlock (holder already
+    /// reclaimed) is only safe while the generation still matches the one
+    /// recorded at the sender's grant: a changed generation means another
+    /// thread held the mutex in between and the stale diffs must not
+    /// overwrite its writes.
+    std::uint64_t generation = 0;
     /// Entry consistency: rows this mutex guards (empty = guards all).
     std::vector<std::uint32_t> bound_rows;
   };

@@ -1,6 +1,7 @@
 #include "dsm/remote.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -17,6 +18,21 @@ std::uint64_t jitter_seed(const RetryPolicy& p, std::uint32_t rank) {
   return p.seed != 0 ? p.seed : 0x726574727921ull + rank;
 }
 
+std::uint32_t incarnation_epoch(std::uint32_t rank) {
+  // Nonzero nonce distinguishing this incarnation of `rank` from any
+  // earlier one (thread churn, migration): clock + process-wide counter,
+  // mixed so successive incarnations never repeat an epoch.
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t h = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  h += (static_cast<std::uint64_t>(rank) << 20) +
+       counter.fetch_add(1, std::memory_order_relaxed);
+  h *= 0x9e3779b97f4a7c15ull;
+  h ^= h >> 32;
+  const auto epoch = static_cast<std::uint32_t>(h);
+  return epoch == 0 ? 1u : epoch;
+}
+
 }  // namespace
 
 RemoteThread::RemoteThread(tags::TypePtr gthv,
@@ -26,6 +42,7 @@ RemoteThread::RemoteThread(tags::TypePtr gthv,
     : space_(gthv, platform),
       engine_(space_, opts.dsd, stats_),
       rank_(rank),
+      epoch_(incarnation_epoch(rank)),
       endpoint_(std::move(endpoint)),
       opts_(std::move(opts)),
       jitter_rng_(jitter_seed(opts_.retry, rank)) {
@@ -54,6 +71,10 @@ void RemoteThread::send_hello(bool resume) {
   // seq instead, telling the home to keep its cache so the outstanding
   // request can be retransmitted — or answered from the cache — safely.
   hello.seq = resume ? send_seq_ : 0;
+  // The incarnation epoch rides in sync_id (unused on a Hello): the home
+  // resets dedup state at most once per epoch, so a duplicated or
+  // reordered copy of this Hello cannot reset it again mid-session.
+  hello.sync_id = epoch_;
   hello.sender = msg::PlatformSummary::of(space_.platform());
   // The image tag travels with the Hello so the home node can verify both
   // sides describe the same logical GThV before any updates flow (string

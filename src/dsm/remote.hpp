@@ -119,6 +119,11 @@ class RemoteThread {
   ShareStats stats_;
   SyncEngine engine_;
   std::uint32_t rank_;
+  /// Incarnation epoch nonce, generated per RemoteThread and carried in
+  /// every Hello's sync_id: the home resets this rank's dedup state only
+  /// when the epoch changes, so duplicated or reordered Hellos are
+  /// harmless (see docs/RELIABILITY.md §2).
+  std::uint32_t epoch_;
   msg::EndpointPtr endpoint_;
   RemoteOptions opts_;
   std::mt19937_64 jitter_rng_;

@@ -1,8 +1,10 @@
 #include "msg/faulty.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <random>
 #include <thread>
 
@@ -57,7 +59,9 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
         }
         if (d.reorder && opts_.send.reorder_window > 0) {
           bump([](FaultCounters& c) { ++c.reordered; });
-          held_.push_back({m, 0});
+          held_.push_back({m, 0,
+                           std::chrono::steady_clock::now() +
+                               opts_.send.reorder_hold_ms});
         } else {
           inner_->send(m);
           if (d.duplicate) {
@@ -121,6 +125,8 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
   struct Held {
     Message m;
     std::uint32_t age;
+    /// Force-flush time: a held message may not outlive reorder_hold_ms.
+    std::chrono::steady_clock::time_point expiry;
   };
 
   template <typename Fn>
@@ -138,10 +144,27 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
   }
 
   void flush_aged() {
-    while (!held_.empty() && held_.front().age >= opts_.send.reorder_window) {
+    const auto now = std::chrono::steady_clock::now();
+    while (!held_.empty() && (held_.front().age >= opts_.send.reorder_window ||
+                              now >= held_.front().expiry)) {
       inner_->send(held_.front().m);
       held_.pop_front();
     }
+  }
+
+  /// Flush holdback entries past their time bound and report the next
+  /// expiry (entries are FIFO with a uniform hold, so the front expires
+  /// first).  Called from the recv path: a held message may be the very
+  /// request whose reply the caller is waiting for.
+  std::optional<std::chrono::steady_clock::time_point> flush_expired() {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    while (!held_.empty() && now >= held_.front().expiry) {
+      inner_->send(held_.front().m);
+      held_.pop_front();
+    }
+    if (held_.empty()) return std::nullopt;
+    return held_.front().expiry;
   }
 
   /// One receive attempt: pops a pending duplicate or pulls from the inner
@@ -157,16 +180,22 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
       return true;
     }
     maybe_reset(opts_.recv, recv_ops_);
+    // Release any expired send-holdback entries and bound the wait below
+    // to the next expiry: the held message may be the request whose reply
+    // this recv is waiting for, and nothing else would flush it.
+    const auto hold = flush_expired();
     Message m;
-    if (deadline == nullptr) {
+    if (deadline == nullptr && !hold.has_value()) {
       m = inner_->recv();
     } else {
       const auto now = std::chrono::steady_clock::now();
-      if (now >= *deadline) return false;
+      if (deadline != nullptr && now >= *deadline) return false;
+      auto until = deadline != nullptr ? *deadline : now + std::chrono::hours(1);
+      if (hold.has_value() && *hold < until) until = *hold;
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          *deadline - now);
+          until - now);
       if (!inner_->recv_for(m, std::max(left, std::chrono::milliseconds(1)))) {
-        return false;
+        return false;  // timed out: the caller loops, re-checking both bounds
       }
     }
     ++recv_ops_;

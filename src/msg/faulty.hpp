@@ -37,6 +37,13 @@ struct FaultSpec {
   /// messages) — send direction only; the recv path stays FIFO.
   double reorder = 0.0;
   std::uint32_t reorder_window = 2;
+  /// Ceiling on how long a reordered message may sit in the holdback: an
+  /// entry older than this is force-flushed by the next send(), by any
+  /// recv()/recv_for() attempt on this wrapper (whose wait is bounded to
+  /// the next expiry), or by close() — so held traffic is delivered even
+  /// when it is the last message in its direction and the caller never
+  /// retransmits.
+  std::chrono::milliseconds reorder_hold_ms{50};
   /// Reset the connection after this many messages have passed through this
   /// direction (0 = never): the Nth+1 operation throws ChannelClosed and
   /// closes the inner endpoint, so the peer observes EOF.

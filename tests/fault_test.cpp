@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <future>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "dsm/home.hpp"
 #include "dsm/remote.hpp"
 #include "dsm/trace.hpp"
+#include "dsm/update.hpp"
 #include "msg/faulty.hpp"
 #include "msg/tcp.hpp"
 
@@ -37,6 +39,37 @@ msg::Message tagged(int n) {
   m.type = msg::MsgType::Hello;
   m.sync_id = static_cast<std::uint32_t>(n);
   return m;
+}
+
+/// A hand-crafted protocol frame from rank 1, for driving a HomeNode
+/// directly (no RemoteThread) in the targeted reliability tests below.
+msg::Message raw(msg::MsgType t, std::uint32_t seq, std::uint32_t sync_id,
+                 const std::string& tag = "",
+                 std::vector<std::byte> payload = {}) {
+  msg::Message m;
+  m.type = t;
+  m.seq = seq;
+  m.sync_id = sync_id;
+  m.rank = 1;
+  m.sender = msg::PlatformSummary::of(plat::linux_ia32());
+  m.tag = tag;
+  m.payload = std::move(payload);
+  return m;
+}
+
+/// An UnlockRequest/BarrierEnter payload carrying zero update blocks.
+std::vector<std::byte> no_blocks() { return dsm::encode_update_blocks({}); }
+
+/// Poll `log` until `pred(snapshot)` holds (the home's receiver threads
+/// run asynchronously from the test body).
+template <typename Pred>
+bool wait_for_trace(const dsm::TraceLog& log, Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred(log.snapshot())) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return false;
 }
 
 /// Tight schedule so fault tests finish in milliseconds, with enough
@@ -537,6 +570,212 @@ TEST(Reliability, TcpResetRecoversThroughReconnect) {
   }
   EXPECT_TRUE(saw_reconnect_event);
   EXPECT_EQ(home.space().view<std::int64_t>("A").get(0), kOps);
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+// ---- targeted regressions for reliability edge cases -----------------------
+
+TEST(FaultyEndpoint, HeldReorderMessageFlushedByTimeBound) {
+  // A reorder-held message whose window never fills (no later sends) must
+  // still be delivered: the time bound flushes it during the sender's next
+  // recv wait, without relying on a retrying peer.
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.send.reorder = 1.0;
+  opts.send.reorder_window = 8;  // never fills in this test
+  opts.send.reorder_hold_ms = 10ms;
+  auto faulty = msg::make_faulty(std::move(a), opts);
+  std::thread echo([&b] {
+    try {
+      for (;;) {
+        msg::Message m = b->recv();
+        b->send(m);
+      }
+    } catch (const msg::ChannelClosed&) {
+    }
+  });
+  faulty->send(tagged(7));  // held back; no further sends will age it out
+  msg::Message m;
+  ASSERT_TRUE(faulty->recv_for(m, 2000ms));  // echo proves delivery
+  EXPECT_EQ(m.sync_id, 7u);
+  EXPECT_EQ(faulty->counters().reordered, 1u);
+  faulty->close();
+  echo.join();
+}
+
+TEST(Reliability, DuplicatedHelloDoesNotResetDedup) {
+  // A duplicated (or reordered) copy of the initial Hello delivered after
+  // request #1 must not reset the dedup horizon: it carries the same
+  // incarnation epoch, so a later retransmit of an already-executed
+  // request is still answered from the reply cache, not re-executed.
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  msg::EndpointPtr ep = home.attach(1);
+  home.start();
+  const std::string tag = home.space().image_tag_text();
+
+  ep->send(raw(msg::MsgType::Hello, 0, /*epoch=*/42, tag));
+  ep->send(raw(msg::MsgType::LockRequest, 1, 0));
+  msg::Message reply = ep->recv();
+  ASSERT_EQ(reply.type, msg::MsgType::LockGrant);
+  ep->send(raw(msg::MsgType::UnlockRequest, 2, 0, "", no_blocks()));
+  reply = ep->recv();
+  ASSERT_EQ(reply.type, msg::MsgType::UnlockAck);
+
+  // The late duplicate of the session-opening Hello...
+  ep->send(raw(msg::MsgType::Hello, 0, 42, tag));
+  // ...followed by a timeout retransmit of the already-executed unlock.
+  ep->send(raw(msg::MsgType::UnlockRequest, 2, 0, "", no_blocks()));
+  reply = ep->recv();
+  EXPECT_EQ(reply.type, msg::MsgType::UnlockAck);  // cached, not re-run
+  EXPECT_EQ(reply.seq, 2u);
+  EXPECT_GE(home.stats().duplicates_dropped, 1u);
+
+  // The dedup horizon is intact: genuinely fresh requests still work.
+  ep->send(raw(msg::MsgType::LockRequest, 3, 0));
+  reply = ep->recv();
+  EXPECT_EQ(reply.type, msg::MsgType::LockGrant);
+  ep->send(raw(msg::MsgType::UnlockRequest, 4, 0, "", no_blocks()));
+  reply = ep->recv();
+  EXPECT_EQ(reply.type, msg::MsgType::UnlockAck);
+
+  EXPECT_EQ(home.active_ranks(), std::vector<std::uint32_t>{1});
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  ep->close();
+  home.stop();
+}
+
+TEST(Reliability, StaleUnlockAfterMutexMovedOnIsDropped) {
+  // Remote 1's UnlockRequest dies with its connection; while it is away
+  // reconnecting, the home reclaims the mutex and remote 2 acquires,
+  // writes, and releases it.  Remote 1's late retransmit must NOT
+  // overwrite remote 2's write: the lock generation moved on, so the home
+  // drops the stale diffs and detaches remote 1.
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  std::promise<void> gate;
+  std::shared_future<void> gate_f = gate.get_future().share();
+  msg::FaultOptions f;
+  f.send.reset_after = 2;  // sends: Hello, LockRequest, then reset
+  dsm::RemoteOptions r1opts;
+  r1opts.retry = fast_retry();
+  r1opts.max_reconnects = 1;
+  r1opts.reconnect = [&gate_f, &home] {
+    gate_f.wait();  // hold the reconnect until remote 2 is done
+    return home.attach(1);
+  };
+  dsm::RemoteThread r1(gthv(), plat::linux_ia32(), 1,
+                       msg::make_faulty(home.attach(1), f), r1opts);
+  dsm::RemoteThread r2(gthv(), plat::linux_ia32(), 2, home.attach(2));
+  home.start();
+
+  r1.lock(0);
+  r1.space().view<std::int64_t>("A").set(0, 111);
+  std::thread t1([&r1] { EXPECT_THROW(r1.unlock(0), dsm::HomeUnreachable); });
+
+  r2.lock(0);  // granted once the home reaps remote 1's dead connection
+  r2.space().view<std::int64_t>("A").set(0, 222);
+  r2.unlock(0);
+  gate.set_value();  // now let remote 1 retransmit its stale unlock
+  t1.join();
+
+  EXPECT_TRUE(r1.detached());
+  EXPECT_EQ(home.space().view<std::int64_t>("A").get(0), 222);
+  r2.join();
+  home.wait_all_joined();
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+TEST(Reliability, DeadWaiterGrantDoesNotUnwindIntoMaster) {
+  // The master's unlock() hands the mutex to a queued remote whose
+  // connection is dead.  The failed cross-peer send must detach that
+  // remote, not throw out of the master's call (or detach whichever
+  // healthy rank's receiver was executing the release).
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  auto [home_side, remote_side] = msg::make_channel_pair();
+  msg::FaultOptions f;
+  f.send.reset_after = 2;  // home sends: grant, ack, then reset
+  home.attach_endpoint(1, msg::make_faulty(std::move(home_side), f));
+  home.start();
+  const std::string tag = home.space().image_tag_text();
+
+  remote_side->send(raw(msg::MsgType::Hello, 0, /*epoch=*/7, tag));
+  remote_side->send(raw(msg::MsgType::LockRequest, 1, 0));
+  msg::Message reply = remote_side->recv();
+  ASSERT_EQ(reply.type, msg::MsgType::LockGrant);
+  remote_side->send(raw(msg::MsgType::UnlockRequest, 2, 0, "", no_blocks()));
+  reply = remote_side->recv();
+  ASSERT_EQ(reply.type, msg::MsgType::UnlockAck);
+
+  home.lock(0);
+  remote_side->send(raw(msg::MsgType::LockRequest, 3, 0));
+  ASSERT_TRUE(wait_for_trace(log, [](const std::vector<dsm::TraceEvent>& ev) {
+    int requested = 0;
+    for (const dsm::TraceEvent& e : ev) {
+      if (e.kind == dsm::TraceEvent::Kind::LockRequested && e.rank == 1) {
+        ++requested;
+      }
+    }
+    return requested >= 2;  // the queued request reached the home
+  }));
+  EXPECT_NO_THROW(home.unlock(0));  // grant to rank 1 dies: contained
+  EXPECT_TRUE(home.active_ranks().empty());
+
+  // The master (and the lock) remain fully usable.
+  home.lock(0);
+  home.unlock(0);
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+TEST(Reliability, DeadBarrierPeerDoesNotUnwindIntoMaster) {
+  // Completing a barrier episode sends releases to every entered remote;
+  // a dead one must be detached, not unwind ChannelClosed into the thread
+  // (here: the master's barrier()) that completed the episode.
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  home.set_barrier_count(0, 2);
+  auto [home_side, remote_side] = msg::make_channel_pair();
+  msg::FaultOptions f;
+  f.send.reset_after = 2;  // home sends: grant, ack, then reset
+  home.attach_endpoint(1, msg::make_faulty(std::move(home_side), f));
+  home.start();
+  const std::string tag = home.space().image_tag_text();
+
+  remote_side->send(raw(msg::MsgType::Hello, 0, /*epoch=*/9, tag));
+  remote_side->send(raw(msg::MsgType::LockRequest, 1, 0));
+  msg::Message reply = remote_side->recv();
+  ASSERT_EQ(reply.type, msg::MsgType::LockGrant);
+  remote_side->send(raw(msg::MsgType::UnlockRequest, 2, 0, "", no_blocks()));
+  reply = remote_side->recv();
+  ASSERT_EQ(reply.type, msg::MsgType::UnlockAck);
+
+  remote_side->send(raw(msg::MsgType::BarrierEnter, 3, 0, "", no_blocks()));
+  ASSERT_TRUE(wait_for_trace(log, [](const std::vector<dsm::TraceEvent>& ev) {
+    for (const dsm::TraceEvent& e : ev) {
+      if (e.kind == dsm::TraceEvent::Kind::BarrierEntered && e.rank == 1) {
+        return true;
+      }
+    }
+    return false;
+  }));
+  home.barrier(0);  // completes the episode; the release to rank 1 dies
+  EXPECT_TRUE(home.active_ranks().empty());
   const auto err = dsm::validate_trace(log.snapshot());
   EXPECT_FALSE(err.has_value()) << *err;
   home.stop();
