@@ -1,0 +1,698 @@
+#include "dsm/coherence_core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "dsm/sync_engine.hpp"  // merge_runs
+#include "mig/tagged_convert.hpp"
+#include "tags/tag.hpp"
+
+namespace hdsm::dsm {
+
+// ---- event / action factories ----------------------------------------------
+
+CoherenceEvent CoherenceEvent::peer_attached(std::uint32_t rank,
+                                             std::vector<idx::UpdateRun> runs) {
+  CoherenceEvent e;
+  e.kind = Kind::PeerAttached;
+  e.rank = rank;
+  e.runs = std::move(runs);
+  return e;
+}
+
+CoherenceEvent CoherenceEvent::msg_received(std::uint32_t rank,
+                                            msg::Message m) {
+  CoherenceEvent e;
+  e.kind = Kind::MsgReceived;
+  e.rank = rank;
+  e.message = std::move(m);
+  return e;
+}
+
+CoherenceEvent CoherenceEvent::master_lock(std::uint32_t index) {
+  CoherenceEvent e;
+  e.kind = Kind::MasterLock;
+  e.index = index;
+  return e;
+}
+
+CoherenceEvent CoherenceEvent::master_unlock(std::uint32_t index,
+                                             std::vector<idx::UpdateRun> runs) {
+  CoherenceEvent e;
+  e.kind = Kind::MasterUnlock;
+  e.index = index;
+  e.runs = std::move(runs);
+  return e;
+}
+
+CoherenceEvent CoherenceEvent::master_barrier(std::uint32_t index,
+                                              std::vector<idx::UpdateRun> runs) {
+  CoherenceEvent e;
+  e.kind = Kind::MasterBarrier;
+  e.index = index;
+  e.runs = std::move(runs);
+  return e;
+}
+
+CoherenceEvent CoherenceEvent::peer_detached(std::uint32_t rank) {
+  CoherenceEvent e;
+  e.kind = Kind::PeerDetached;
+  e.rank = rank;
+  return e;
+}
+
+CoherenceEvent CoherenceEvent::timeout() {
+  CoherenceEvent e;
+  e.kind = Kind::Timeout;
+  return e;
+}
+
+CoherenceAction CoherenceAction::send(std::uint32_t rank, msg::Message m) {
+  CoherenceAction a;
+  a.kind = Kind::Send;
+  a.rank = rank;
+  a.message = std::move(m);
+  return a;
+}
+
+CoherenceAction CoherenceAction::wake_master() {
+  CoherenceAction a;
+  a.kind = Kind::WakeMaster;
+  return a;
+}
+
+CoherenceAction CoherenceAction::detach(std::uint32_t rank,
+                                        std::string reason) {
+  CoherenceAction a;
+  a.kind = Kind::Detach;
+  a.rank = rank;
+  a.reason = std::move(reason);
+  return a;
+}
+
+// ---- construction / queries ------------------------------------------------
+
+CoherenceCore::CoherenceCore(CoherenceConfig cfg, UpdateCodec& codec,
+                             ShareStats& stats)
+    : cfg_(std::move(cfg)),
+      codec_(codec),
+      stats_(stats),
+      locks_(cfg_.num_locks),
+      barriers_(cfg_.num_barriers) {}
+
+void CoherenceCore::check_lock_index(std::uint32_t index) const {
+  if (index >= locks_.size()) throw std::out_of_range("lock index");
+}
+
+void CoherenceCore::check_barrier_index(std::uint32_t index) const {
+  if (index >= barriers_.size()) throw std::out_of_range("barrier index");
+}
+
+void CoherenceCore::check_master_unlock(std::uint32_t index) const {
+  check_lock_index(index);
+  if (locks_[index].holder != kMasterRank) {
+    throw std::logic_error("master unlock without holding the lock");
+  }
+}
+
+bool CoherenceCore::master_holds(std::uint32_t index) const {
+  return index < locks_.size() && locks_[index].holder == kMasterRank;
+}
+
+std::uint64_t CoherenceCore::barrier_generation(std::uint32_t index) const {
+  check_barrier_index(index);
+  return barriers_[index].generation;
+}
+
+bool CoherenceCore::peer_active(std::uint32_t rank) const {
+  const auto it = peers_.find(rank);
+  return it != peers_.end() && it->second.active;
+}
+
+bool CoherenceCore::all_inactive() const {
+  return std::all_of(peers_.begin(), peers_.end(),
+                     [](const auto& kv) { return !kv.second.active; });
+}
+
+bool CoherenceCore::quiesced() const {
+  if (!all_inactive()) return false;
+  for (const LockState& ls : locks_) {
+    if (ls.holder != -1 || !ls.waiters.empty()) return false;
+  }
+  return true;
+}
+
+void CoherenceCore::set_barrier_count(std::uint32_t index,
+                                      std::uint32_t count) {
+  if (index >= barriers_.size()) {
+    throw std::out_of_range("set_barrier_count index");
+  }
+  barriers_[index].expected = count;
+}
+
+void CoherenceCore::bind_lock(std::uint32_t index, std::uint32_t row) {
+  if (index >= locks_.size()) throw std::out_of_range("bind_lock index");
+  LockState& ls = locks_[index];
+  if (std::find(ls.bound_rows.begin(), ls.bound_rows.end(), row) ==
+      ls.bound_rows.end()) {
+    ls.bound_rows.push_back(row);
+  }
+}
+
+void CoherenceCore::shutdown() {
+  for (auto& [rank, peer] : peers_) {
+    peer.active = false;
+  }
+}
+
+std::vector<std::uint32_t> CoherenceCore::active_ranks() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [rank, peer] : peers_) {
+    if (peer.active) out.push_back(rank);
+  }
+  return out;
+}
+
+std::int64_t CoherenceCore::lock_holder(std::uint32_t index) const {
+  check_lock_index(index);
+  return locks_[index].holder;
+}
+
+std::size_t CoherenceCore::recovery_entries(std::uint32_t rank) const {
+  const auto it = peers_.find(rank);
+  return it == peers_.end() ? 0 : it->second.granted_gen.size();
+}
+
+// ---- the transition function -----------------------------------------------
+
+std::vector<CoherenceAction> CoherenceCore::step(const CoherenceEvent& e) {
+  Actions out;
+  switch (e.kind) {
+    case CoherenceEvent::Kind::PeerAttached: {
+      PeerState& peer = peers_[e.rank];
+      peer.active = true;
+      peer.pending = e.runs;
+      trace(out, TraceEvent::Kind::Attached, e.rank, 0);
+      break;
+    }
+    case CoherenceEvent::Kind::MsgReceived:
+      handle_message(e.rank, e.message, out);
+      break;
+    case CoherenceEvent::Kind::MasterLock:
+      master_lock(e.index, out);
+      break;
+    case CoherenceEvent::Kind::MasterUnlock:
+      master_unlock(e.index, e.runs, out);
+      break;
+    case CoherenceEvent::Kind::MasterBarrier:
+      master_barrier(e.index, e.runs, out);
+      break;
+    case CoherenceEvent::Kind::PeerDetached:
+      detach(e.rank, /*trace_detach=*/true, out);
+      break;
+    case CoherenceEvent::Kind::Timeout:
+      // Reserved: no home-side timers yet (they arrive with the reactor).
+      break;
+  }
+  return out;
+}
+
+// ---- master transitions ----------------------------------------------------
+
+void CoherenceCore::master_lock(std::uint32_t index, Actions& out) {
+  check_lock_index(index);
+  trace(out, TraceEvent::Kind::LockRequested, kMasterRank, index);
+  LockState& ls = locks_[index];
+  if (ls.holder == -1) {
+    grant(index, kMasterRank, out);
+  } else {
+    ls.waiters.push_back(kMasterRank);
+  }
+}
+
+void CoherenceCore::master_unlock(std::uint32_t index,
+                                  const std::vector<idx::UpdateRun>& runs,
+                                  Actions& out) {
+  check_master_unlock(index);
+  merge_pending(kMasterRank, runs);
+  ++stats_.unlocks;
+  trace(out, TraceEvent::Kind::LockReleased, kMasterRank, index);
+  release(index, out);
+}
+
+void CoherenceCore::master_barrier(std::uint32_t index,
+                                   const std::vector<idx::UpdateRun>& runs,
+                                   Actions& out) {
+  check_barrier_index(index);
+  merge_pending(kMasterRank, runs);
+  ++stats_.barriers;
+  trace(out, TraceEvent::Kind::BarrierEntered, kMasterRank, index);
+  enter_barrier(barriers_[index], kMasterRank);
+  maybe_release_barrier(index, out);
+}
+
+// ---- shared internals ------------------------------------------------------
+
+void CoherenceCore::send_reply(std::uint32_t rank, PeerState& peer,
+                               msg::Message reply, Actions& out) {
+  reply.seq = peer.last_seq;
+  peer.last_reply = reply;
+  out.push_back(CoherenceAction::send(rank, std::move(reply)));
+}
+
+void CoherenceCore::grant(std::uint32_t index, std::uint32_t rank,
+                          Actions& out) {
+  LockState& ls = locks_[index];
+  ls.holder = rank;
+  ++ls.generation;
+  // The generation moved past every other rank's recorded grant, so their
+  // reset-recovery windows for this mutex just closed: erase the stale
+  // entries now (they could never be honored again) instead of letting
+  // them accumulate across the life of the peer.
+  for (auto& [r, p] : peers_) {
+    if (r != rank) p.granted_gen.erase(index);
+  }
+  trace(out, TraceEvent::Kind::LockGranted, rank, index);
+  if (rank == kMasterRank) {
+    ++stats_.locks;
+    out.push_back(CoherenceAction::wake_master());
+    return;
+  }
+  PeerState& peer = peers_.at(rank);
+  peer.granted_gen[index] = ls.generation;
+  msg::Message grant_msg;
+  grant_msg.type = msg::MsgType::LockGrant;
+  grant_msg.sync_id = index;
+  grant_msg.rank = kMasterRank;
+  grant_msg.sender = cfg_.self;
+  std::size_t blocks = 0;
+  if (ls.bound_rows.empty()) {
+    // Release consistency (the paper's behavior): ship everything pending.
+    blocks = peer.pending.size();
+    grant_msg.payload = codec_.pack(peer.pending);
+    peer.pending.clear();
+  } else {
+    // Entry consistency: ship only the runs of the rows this mutex guards.
+    std::vector<idx::UpdateRun> guarded, rest;
+    for (const idx::UpdateRun& run : peer.pending) {
+      if (std::find(ls.bound_rows.begin(), ls.bound_rows.end(), run.row) !=
+          ls.bound_rows.end()) {
+        guarded.push_back(run);
+      } else {
+        rest.push_back(run);
+      }
+    }
+    blocks = guarded.size();
+    grant_msg.payload = codec_.pack(guarded);
+    peer.pending = std::move(rest);
+  }
+  trace(out, TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
+        grant_msg.payload.size());
+  send_reply(rank, peer, std::move(grant_msg), out);
+}
+
+void CoherenceCore::release(std::uint32_t index, Actions& out) {
+  LockState& ls = locks_[index];
+  ls.holder = -1;
+  while (!ls.waiters.empty()) {
+    const std::uint32_t next = ls.waiters.front();
+    ls.waiters.pop_front();
+    if (next == kMasterRank || peers_.at(next).active) {
+      grant(index, next, out);
+      return;
+    }
+  }
+}
+
+void CoherenceCore::merge_pending(std::uint32_t source_rank,
+                                  const std::vector<idx::UpdateRun>& runs) {
+  if (runs.empty()) return;
+  for (auto& [rank, peer] : peers_) {
+    if (rank == source_rank || !peer.active) continue;
+    merge_runs(peer.pending, runs);
+  }
+}
+
+void CoherenceCore::enter_barrier(BarrierState& b, std::uint32_t rank) {
+  if (b.entered.empty()) {
+    // First entry freezes the episode's participant set: the master plus
+    // every remote attached right now.  Later joiners sync through their
+    // first lock grant instead of blocking an episode they never saw.
+    b.participants.clear();
+    b.participants.push_back(kMasterRank);
+    for (const auto& [r, peer] : peers_) {
+      if (peer.active) b.participants.push_back(r);
+    }
+  }
+  if (std::find(b.participants.begin(), b.participants.end(), rank) ==
+      b.participants.end()) {
+    b.participants.push_back(rank);  // a late joiner opting in by entering
+  }
+  b.entered.push_back(rank);
+}
+
+bool CoherenceCore::barrier_complete(const BarrierState& b) const {
+  if (b.entered.empty()) return false;
+  if (b.expected != 0) {
+    // pthread-style fixed count: the episode closes when `expected`
+    // distinct threads (the master among them) have entered.
+    return b.entered.size() >= b.expected &&
+           std::find(b.entered.begin(), b.entered.end(), kMasterRank) !=
+               b.entered.end();
+  }
+  for (const std::uint32_t rank : b.participants) {
+    if (std::find(b.entered.begin(), b.entered.end(), rank) !=
+        b.entered.end()) {
+      continue;
+    }
+    // A participant that detached (crashed or joined) no longer blocks.
+    if (rank != kMasterRank) {
+      auto it = peers_.find(rank);
+      if (it == peers_.end() || !it->second.active) continue;
+    }
+    return false;
+  }
+  // The master always participates once it entered; an episode can only
+  // complete after the master is in.
+  return std::find(b.entered.begin(), b.entered.end(), kMasterRank) !=
+         b.entered.end();
+}
+
+void CoherenceCore::maybe_release_barrier(std::uint32_t index, Actions& out) {
+  BarrierState& b = barriers_[index];
+  if (!barrier_complete(b)) return;
+  // Release exactly the remotes that entered this episode; a mid-episode
+  // joiner must not receive a BarrierRelease it never asked for.  Sends to
+  // peers that died in the meantime fail in the shell and come back as
+  // PeerDetached events after this transition completed — the episode is
+  // never seen half-closed.
+  for (const std::uint32_t rank : b.entered) {
+    if (rank == kMasterRank) continue;
+    PeerState& peer = peers_.at(rank);
+    if (!peer.active) continue;
+    msg::Message release_msg;
+    release_msg.type = msg::MsgType::BarrierRelease;
+    release_msg.sync_id = index;
+    release_msg.rank = kMasterRank;
+    release_msg.sender = cfg_.self;
+    const std::size_t blocks = peer.pending.size();
+    release_msg.payload = codec_.pack(peer.pending);
+    peer.pending.clear();
+    trace(out, TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
+          release_msg.payload.size());
+    send_reply(rank, peer, std::move(release_msg), out);
+  }
+  trace(out, TraceEvent::Kind::BarrierReleased, kMasterRank, index);
+  b.entered.clear();
+  b.participants.clear();
+  ++b.generation;
+  out.push_back(CoherenceAction::wake_master());
+}
+
+void CoherenceCore::detach(std::uint32_t rank, bool trace_detach,
+                           Actions& out) {
+  auto it = peers_.find(rank);
+  if (it == peers_.end() || !it->second.active) return;
+  it->second.active = false;
+  if (trace_detach) trace(out, TraceEvent::Kind::Detached, rank, 0);
+  it->second.pending.clear();
+  // A departed participant may have been the last thing barriers waited on.
+  for (std::uint32_t i = 0; i < barriers_.size(); ++i) {
+    maybe_release_barrier(i, out);
+  }
+  // Drop it from lock wait queues and release anything it held.
+  for (std::uint32_t i = 0; i < locks_.size(); ++i) {
+    LockState& ls = locks_[i];
+    ls.waiters.erase(std::remove(ls.waiters.begin(), ls.waiters.end(), rank),
+                     ls.waiters.end());
+    if (ls.holder == static_cast<std::int64_t>(rank)) {
+      release(i, out);
+    }
+  }
+  out.push_back(CoherenceAction::wake_master());
+}
+
+void CoherenceCore::violation(std::uint32_t rank, std::string reason,
+                              Actions& out) {
+  out.push_back(CoherenceAction::detach(rank, std::move(reason)));
+  detach(rank, /*trace_detach=*/true, out);
+}
+
+// ---- message handling ------------------------------------------------------
+
+bool CoherenceCore::handle_duplicate(std::uint32_t rank, PeerState& peer,
+                                     const msg::Message& m, Actions& out) {
+  if (m.seq == 0 || m.seq > peer.last_seq) return false;  // fresh or legacy
+  const auto dropped = [&] {
+    ++stats_.duplicates_dropped;
+    trace(out, TraceEvent::Kind::DuplicateDropped, rank, m.sync_id, 0, 0,
+          m.seq);
+  };
+  if (m.seq < peer.last_seq) {
+    dropped();  // stale retransmit of an already-answered request
+    return true;
+  }
+  // Retransmit of the outstanding request.
+  if (m.type == msg::MsgType::LockRequest && m.sync_id < locks_.size()) {
+    const LockState& ls = locks_[m.sync_id];
+    if (ls.holder == static_cast<std::int64_t>(rank) &&
+        peer.last_reply.has_value()) {
+      // The grant was sent and lost: replay it.
+      dropped();
+      send_reply(rank, peer, *peer.last_reply, out);
+      trace(out, TraceEvent::Kind::ReplyResent, rank, m.sync_id, 0, 0, m.seq);
+      return true;
+    }
+    if (std::find(ls.waiters.begin(), ls.waiters.end(), rank) !=
+        ls.waiters.end()) {
+      dropped();  // already queued; the eventual grant answers it
+      return true;
+    }
+    // Neither holder nor waiter: the grant (or queue slot) was invalidated
+    // when this peer detached and its locks were reclaimed.  Re-process the
+    // request as fresh under the same seq.
+    peer.last_reply.reset();
+    return false;
+  }
+  dropped();
+  if (peer.last_reply.has_value()) {
+    send_reply(rank, peer, *peer.last_reply, out);
+    trace(out, TraceEvent::Kind::ReplyResent, rank, m.sync_id, 0, 0, m.seq);
+  }
+  // else: the reply is still pending (lock queue / open barrier episode) —
+  // the original request was recorded, so just drop the duplicate.
+  return true;
+}
+
+void CoherenceCore::hello(std::uint32_t rank, const msg::Message& m,
+                          Actions& out) {
+  if (m.tag.empty()) return;  // tag-less Hello (application traffic)
+  if (cfg_.layout_runs.empty()) return;  // no local shape to negotiate
+  // Shape negotiation: the remote's image tag must describe the same
+  // logical structure as ours (same non-padding runs: counts and
+  // pointer-ness), though sizes/padding may differ per platform.
+  std::vector<mig::TagRun> remote_runs;
+  try {
+    remote_runs = mig::runs_from_tag(tags::Tag::parse(m.tag));
+  } catch (const std::exception& e) {
+    violation(rank, std::string("home: malformed Hello tag: ") + e.what(),
+              out);
+    return;
+  }
+  std::size_t i = 0;
+  bool ok = true;
+  for (const tags::FlatRun& run : cfg_.layout_runs) {
+    if (run.cat == tags::FlatRun::Cat::Padding) continue;
+    while (i < remote_runs.size() && remote_runs[i].is_padding) ++i;
+    if (i >= remote_runs.size() || remote_runs[i].count != run.count ||
+        remote_runs[i].is_pointer != (run.cat == tags::FlatRun::Cat::Pointer)) {
+      ok = false;
+      break;
+    }
+    ++i;
+  }
+  while (ok && i < remote_runs.size()) {
+    if (!remote_runs[i].is_padding) ok = false;
+    ++i;
+  }
+  if (!ok) {
+    violation(rank,
+              "home: remote rank " + std::to_string(rank) +
+                  " describes a different GThV (tag \"" + m.tag + "\" vs \"" +
+                  cfg_.image_tag_text + "\")",
+              out);
+  }
+}
+
+void CoherenceCore::handle_message(std::uint32_t rank, const msg::Message& m,
+                                   Actions& out) {
+  PeerState& peer = peers_[rank];
+  if (m.type == msg::MsgType::Hello) {
+    // A Hello bypasses duplicate detection — it is the session signal
+    // itself, and must never advance the dedup horizon (a reconnect Hello
+    // echoes the still-outstanding request seq; advancing last_seq to it
+    // would make the upcoming retransmit look like an answered duplicate).
+    // seq == 0 on a tag-ful Hello marks a brand-new incarnation of this
+    // rank (thread churn, migration): its requests restart at #1, so the
+    // previous incarnation's reliability state must be discarded.  The
+    // Hello's sync_id carries an incarnation epoch nonce: a duplicated or
+    // reordered copy of an already-seen Hello repeats the recorded epoch
+    // and must NOT reset the state again (doing so mid-session would make
+    // a retransmit of an already-executed request look fresh).  Epoch 0 is
+    // a legacy epoch-less Hello, which always resets.
+    if (m.seq == 0 && !m.tag.empty() &&
+        (m.sync_id == 0 || m.sync_id != peer.hello_epoch)) {
+      peer.last_seq = 0;
+      peer.last_reply.reset();
+      peer.granted_gen.clear();
+      peer.hello_epoch = m.sync_id;
+    }
+    hello(rank, m, out);
+    return;
+  }
+  if (handle_duplicate(rank, peer, m, out)) return;
+  if (m.seq != 0 && m.seq > peer.last_seq) {
+    peer.last_seq = m.seq;
+    peer.last_reply.reset();
+  }
+  switch (m.type) {
+    case msg::MsgType::LockRequest: {
+      if (m.sync_id >= locks_.size()) {
+        violation(rank, "remote lock index out of range", out);
+        return;
+      }
+      trace(out, TraceEvent::Kind::LockRequested, rank, m.sync_id);
+      LockState& ls = locks_[m.sync_id];
+      if (ls.holder == -1) {
+        grant(m.sync_id, rank, out);
+      } else {
+        ls.waiters.push_back(rank);
+      }
+      return;
+    }
+    case msg::MsgType::UnlockRequest: {
+      if (m.sync_id >= locks_.size()) {
+        violation(rank, "remote unlock index out of range", out);
+        return;
+      }
+      LockState& ls = locks_[m.sync_id];
+      const bool is_holder = ls.holder == static_cast<std::int64_t>(rank);
+      if (!is_holder) {
+        if (m.seq == 0 || ls.holder != -1) {
+          // Unsequenced, or someone else legitimately holds the mutex: a
+          // real protocol violation (or unrecoverable reset race) — detach.
+          violation(rank, "remote unlock without holding the lock", out);
+          return;
+        }
+        // `holder == -1` on a sequenced request is the reset-recovery
+        // case: the unlock was sent, the connection died before it
+        // arrived, and the home reclaimed the lock when the peer detached.
+        // The diffs were made under mutual exclusion, so applying them is
+        // safe only while nobody has been granted the mutex since — i.e.
+        // the lock generation still matches the one recorded at this
+        // peer's grant.  A changed generation means another thread
+        // acquired, wrote, and released in the meantime: the stale diffs
+        // would overwrite its writes, so drop them and detach the sender.
+        const auto it = peer.granted_gen.find(m.sync_id);
+        if (it == peer.granted_gen.end() || it->second != ls.generation) {
+          if (it != peer.granted_gen.end()) {
+            peer.granted_gen.erase(it);  // denied: the window is closed
+          }
+          violation(rank,
+                    "remote unlock after the mutex was re-granted (stale "
+                    "reset-recovery diffs dropped)",
+                    out);
+          return;
+        }
+      }
+      std::vector<idx::UpdateRun> runs;
+      try {
+        runs = codec_.apply(m.payload, m.sender);
+      } catch (const std::exception& e) {
+        violation(rank, std::string("home: bad unlock payload: ") + e.what(),
+                  out);
+        return;
+      }
+      trace(out, TraceEvent::Kind::UpdatesApplied, rank, m.sync_id,
+            runs.size(), m.payload.size(), m.seq);
+      merge_pending(rank, runs);
+      peer.granted_gen.erase(m.sync_id);  // the grant is consumed
+      if (is_holder) {
+        trace(out, TraceEvent::Kind::LockReleased, rank, m.sync_id);
+        release(m.sync_id, out);
+      }
+      msg::Message ack;
+      ack.type = msg::MsgType::UnlockAck;
+      ack.sync_id = m.sync_id;
+      ack.rank = kMasterRank;
+      ack.sender = cfg_.self;
+      send_reply(rank, peer, std::move(ack), out);
+      return;
+    }
+    case msg::MsgType::BarrierEnter: {
+      if (m.sync_id >= barriers_.size()) {
+        violation(rank, "remote barrier index out of range", out);
+        return;
+      }
+      std::vector<idx::UpdateRun> runs;
+      try {
+        runs = codec_.apply(m.payload, m.sender);
+      } catch (const std::exception& e) {
+        violation(rank, std::string("home: bad barrier payload: ") + e.what(),
+                  out);
+        return;
+      }
+      trace(out, TraceEvent::Kind::UpdatesApplied, rank, m.sync_id,
+            runs.size(), m.payload.size(), m.seq);
+      merge_pending(rank, runs);
+      trace(out, TraceEvent::Kind::BarrierEntered, rank, m.sync_id);
+      enter_barrier(barriers_[m.sync_id], rank);
+      maybe_release_barrier(m.sync_id, out);
+      return;
+    }
+    case msg::MsgType::JoinRequest: {
+      std::vector<idx::UpdateRun> runs;
+      try {
+        runs = codec_.apply(m.payload, m.sender);
+      } catch (const std::exception& e) {
+        violation(rank, std::string("home: bad join payload: ") + e.what(),
+                  out);
+        return;
+      }
+      trace(out, TraceEvent::Kind::UpdatesApplied, rank, 0, runs.size(),
+            m.payload.size(), m.seq);
+      merge_pending(rank, runs);
+      msg::Message ack;
+      ack.type = msg::MsgType::JoinAck;
+      ack.rank = kMasterRank;
+      ack.sender = cfg_.self;
+      send_reply(rank, peer, std::move(ack), out);
+      trace(out, TraceEvent::Kind::Joined, rank, 0);
+      detach(rank, /*trace_detach=*/false, out);
+      return;
+    }
+    default:
+      violation(rank, std::string("home: unexpected message ") +
+                          msg::msg_type_name(m.type),
+                out);
+      return;
+  }
+}
+
+void CoherenceCore::trace(Actions& out, TraceEvent::Kind kind,
+                          std::uint32_t rank, std::uint32_t sync_id,
+                          std::uint64_t blocks, std::uint64_t bytes,
+                          std::uint64_t req) {
+  CoherenceAction a;
+  a.kind = CoherenceAction::Kind::Trace;
+  a.trace.kind = kind;
+  a.trace.rank = rank;
+  a.trace.sync_id = sync_id;
+  a.trace.blocks = blocks;
+  a.trace.bytes = bytes;
+  a.trace.req = req;
+  out.push_back(std::move(a));
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,262 @@
+// The transport-free coherence core of the home node: a sans-I/O protocol
+// engine in the tradition of DRust's split protocol layer and the
+// compositionally-verified DSMs — the entire lock/barrier/recovery state
+// machine lives here as a pure, deterministic function
+//
+//   step : Event -> [Action]
+//
+// with zero threads, mutexes, or endpoints inside.  Every decision the home
+// node makes — grant queueing, pending-set batching, entry-consistency
+// filtering, request dedup + reply caching, incarnation-epoch resets, and
+// the generation-guarded unlock reset-recovery rules — is a transition of
+// this class, steppable from a unit test without spawning a thread or
+// opening an endpoint.  `HomeNode` (home.{hpp,cpp}) is only the I/O shell:
+// it feeds events from its receiver threads and executes the returned
+// actions (sends happen outside the state lock).
+//
+// The one dependency is `UpdateCodec`, a narrow data-plane interface
+// (pack runs -> payload bytes, apply payload -> runs) backed by the
+// SyncEngine in production and by a trivial in-memory fake in tests.  The
+// codec carries no protocol knowledge; the core never touches image bytes.
+//
+// Normative event -> action tables: docs/PROTOCOL.md §7.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsm/stats.hpp"
+#include "dsm/trace.hpp"
+#include "index/index_table.hpp"
+#include "msg/message.hpp"
+#include "tags/layout.hpp"
+
+namespace hdsm::dsm {
+
+/// Data-plane interface the core packs and applies updates through.  The
+/// implementation owns image access and conversion (SyncEngine in the real
+/// home node); the core owns every decision about *what* to pack or apply
+/// and *when*.  `apply` may throw on a malformed payload — the core turns
+/// that into a Detach of the offending peer.
+class UpdateCodec {
+ public:
+  virtual ~UpdateCodec() = default;
+
+  /// Pack `runs` (read from this node's image) into a wire payload.
+  virtual std::vector<std::byte> pack(
+      const std::vector<idx::UpdateRun>& runs) = 0;
+
+  /// Decode a payload from `sender` and apply it to this node's image;
+  /// returns the runs applied (for pending-set merging).
+  virtual std::vector<idx::UpdateRun> apply(
+      const std::vector<std::byte>& payload,
+      const msg::PlatformSummary& sender) = 0;
+};
+
+/// One input to the protocol engine.  Master events carry the runs the
+/// shell collected from its tracked region (diffing is data-plane work);
+/// PeerAttached carries the fresh peer's initial pending set (normally the
+/// full image).
+struct CoherenceEvent {
+  enum class Kind : std::uint8_t {
+    PeerAttached,   ///< rank connected; `runs` = initial pending set
+    MsgReceived,    ///< `message` arrived from `rank`
+    MasterLock,     ///< master requests mutex `index`
+    MasterUnlock,   ///< master releases mutex `index`; `runs` = its diffs
+    MasterBarrier,  ///< master enters barrier `index`; `runs` = its diffs
+    PeerDetached,   ///< rank's transport died (recv or send failure)
+    Timeout,        ///< reserved for the timer wheel of the epoll reactor
+  };
+
+  Kind kind = Kind::Timeout;
+  std::uint32_t rank = 0;
+  std::uint32_t index = 0;
+  msg::Message message;
+  std::vector<idx::UpdateRun> runs;
+
+  static CoherenceEvent peer_attached(std::uint32_t rank,
+                                      std::vector<idx::UpdateRun> runs);
+  static CoherenceEvent msg_received(std::uint32_t rank, msg::Message m);
+  static CoherenceEvent master_lock(std::uint32_t index);
+  static CoherenceEvent master_unlock(std::uint32_t index,
+                                      std::vector<idx::UpdateRun> runs);
+  static CoherenceEvent master_barrier(std::uint32_t index,
+                                       std::vector<idx::UpdateRun> runs);
+  static CoherenceEvent peer_detached(std::uint32_t rank);
+  static CoherenceEvent timeout();
+};
+
+/// One output of the protocol engine.  The shell executes actions in list
+/// order: Trace/WakeMaster/Detach under its state lock, Send outside it
+/// (a failed Send is fed back as a PeerDetached event).
+struct CoherenceAction {
+  enum class Kind : std::uint8_t {
+    Send,        ///< transmit `message` to `rank`
+    WakeMaster,  ///< a master-visible predicate changed; wake its waits
+    Detach,      ///< protocol violation by `rank`: close its endpoint
+    Trace,       ///< append `trace` to the protocol trace log
+  };
+
+  Kind kind = Kind::Trace;
+  std::uint32_t rank = 0;
+  msg::Message message;
+  std::string reason;
+  TraceEvent trace;  ///< seq is assigned by the TraceLog on append
+
+  static CoherenceAction send(std::uint32_t rank, msg::Message m);
+  static CoherenceAction wake_master();
+  static CoherenceAction detach(std::uint32_t rank, std::string reason);
+};
+
+struct CoherenceConfig {
+  std::uint32_t num_locks = 16;
+  std::uint32_t num_barriers = 16;
+  /// Stamped as the sender platform on every reply the core builds.
+  msg::PlatformSummary self;
+  /// This node's image tag text (Hello mismatch diagnostics).
+  std::string image_tag_text;
+  /// Local layout runs for Hello shape negotiation; empty skips the check
+  /// (unit-test harnesses that never exchange real tags).
+  std::vector<tags::FlatRun> layout_runs;
+};
+
+class CoherenceCore {
+ public:
+  static constexpr std::uint32_t kMasterRank = 0;
+
+  /// `codec` and `stats` are borrowed and must outlive the core.
+  CoherenceCore(CoherenceConfig cfg, UpdateCodec& codec, ShareStats& stats);
+
+  /// Process one event, mutating protocol state and returning the actions
+  /// the shell must execute, in order.  Never throws for remote-originated
+  /// events (a misbehaving peer yields a Detach action); master events
+  /// throw std::out_of_range / std::logic_error on API misuse, before any
+  /// state changes.
+  std::vector<CoherenceAction> step(const CoherenceEvent& e);
+
+  // -- Validation queries (throw exactly as the legacy master API did;
+  //    const, so the shell can check before collecting diffs) --
+  void check_lock_index(std::uint32_t index) const;
+  void check_barrier_index(std::uint32_t index) const;
+  void check_master_unlock(std::uint32_t index) const;
+
+  // -- Pure predicates for the shell's condition-variable waits --
+  bool master_holds(std::uint32_t index) const;
+  std::uint64_t barrier_generation(std::uint32_t index) const;
+  bool peer_active(std::uint32_t rank) const;
+  bool all_inactive() const;  ///< wait_all_joined(): no active peer left
+  bool quiesced() const;      ///< no active peer, no lock held or queued
+
+  // -- Configuration transitions (call before computation starts) --
+  void set_barrier_count(std::uint32_t index, std::uint32_t count);
+  void bind_lock(std::uint32_t index, std::uint32_t row);
+
+  /// Deactivate every peer without protocol side effects (lock reclaim,
+  /// barrier re-evaluation, traces): shutdown semantics, shell stop() only.
+  void shutdown();
+
+  // -- Introspection (tests, stats surfaces) --
+  std::vector<std::uint32_t> active_ranks() const;
+  std::int64_t lock_holder(std::uint32_t index) const;
+  /// Open reset-recovery windows for `rank` (granted_gen entries).  The
+  /// protocol bounds this by the number of mutexes whose *last* grant went
+  /// to `rank`: every grant closes all other ranks' windows for that mutex,
+  /// and honored/denied recovery closes the sender's.
+  std::size_t recovery_entries(std::uint32_t rank) const;
+  std::uint32_t num_locks() const noexcept { return cfg_.num_locks; }
+
+ private:
+  struct PeerState {
+    bool active = false;
+    std::vector<idx::UpdateRun> pending;
+    // Reliability state — persists across detach/re-attach so a remote
+    // that reconnects after a reset can retransmit its outstanding request
+    // and be answered from the cache instead of re-executed.
+    std::uint32_t last_seq = 0;  ///< highest request seq handled
+    std::optional<msg::Message> last_reply;  ///< reply sent for last_seq
+    /// Incarnation epoch from the last fresh-incarnation Hello (its
+    /// sync_id field); dedup state resets only when a Hello carries a
+    /// *different* epoch, so duplicated or reordered copies of the same
+    /// Hello cannot reset it mid-session.  0 = none seen yet.
+    std::uint32_t hello_epoch = 0;
+    /// Lock generation under which this peer was granted each mutex (see
+    /// LockState::generation); consulted by the unlock reset-recovery path
+    /// to prove nobody re-acquired the mutex since.  Entries are erased
+    /// when the recovery window closes: on honored or denied recovery and
+    /// on any regrant of the mutex, so the map never outgrows the set of
+    /// mutexes last granted to this rank.
+    std::map<std::uint32_t, std::uint64_t> granted_gen;
+  };
+
+  struct LockState {
+    std::int64_t holder = -1;  // rank, or -1 when free
+    std::deque<std::uint32_t> waiters;
+    /// Bumped on every grant.  A reset-recovery unlock (holder already
+    /// reclaimed) is only safe while the generation still matches the one
+    /// recorded at the sender's grant: a changed generation means another
+    /// thread held the mutex in between and the stale diffs must not
+    /// overwrite its writes.
+    std::uint64_t generation = 0;
+    /// Entry consistency: rows this mutex guards (empty = guards all).
+    std::vector<std::uint32_t> bound_rows;
+  };
+
+  struct BarrierState {
+    std::vector<std::uint32_t> entered;
+    /// Frozen at the episode's first entry: the ranks this episode waits
+    /// for.  A node that attaches mid-episode is not a participant (it
+    /// neither blocks the episode nor receives its release); one that
+    /// enters anyway joins the episode.
+    std::vector<std::uint32_t> participants;
+    /// Explicit episode size (pthread_barrier_init count); 0 = inferred.
+    std::uint32_t expected = 0;
+    std::uint64_t generation = 0;
+  };
+
+  using Actions = std::vector<CoherenceAction>;
+
+  void handle_message(std::uint32_t rank, const msg::Message& m,
+                      Actions& out);
+  /// Duplicate detection for sequenced requests.  Returns true when the
+  /// message was fully handled (dropped, or answered from the reply cache)
+  /// and must not reach the normal handler.
+  bool handle_duplicate(std::uint32_t rank, PeerState& peer,
+                        const msg::Message& m, Actions& out);
+  /// Protocol violation by `rank`: emit a Detach action and run the detach
+  /// transition (the sans-I/O equivalent of the legacy throw-and-catch).
+  void violation(std::uint32_t rank, std::string reason, Actions& out);
+  void hello(std::uint32_t rank, const msg::Message& m, Actions& out);
+  /// Stamp `reply` with the peer's outstanding request seq, cache it for
+  /// retransmits, and emit the Send.
+  void send_reply(std::uint32_t rank, PeerState& peer, msg::Message reply,
+                  Actions& out);
+  void grant(std::uint32_t index, std::uint32_t rank, Actions& out);
+  void release(std::uint32_t index, Actions& out);
+  void merge_pending(std::uint32_t source_rank,
+                     const std::vector<idx::UpdateRun>& runs);
+  void enter_barrier(BarrierState& b, std::uint32_t rank);
+  void maybe_release_barrier(std::uint32_t index, Actions& out);
+  bool barrier_complete(const BarrierState& b) const;
+  void detach(std::uint32_t rank, bool trace_detach, Actions& out);
+  void master_lock(std::uint32_t index, Actions& out);
+  void master_unlock(std::uint32_t index,
+                     const std::vector<idx::UpdateRun>& runs, Actions& out);
+  void master_barrier(std::uint32_t index,
+                      const std::vector<idx::UpdateRun>& runs, Actions& out);
+  void trace(Actions& out, TraceEvent::Kind kind, std::uint32_t rank,
+             std::uint32_t sync_id, std::uint64_t blocks = 0,
+             std::uint64_t bytes = 0, std::uint64_t req = 0);
+
+  CoherenceConfig cfg_;
+  UpdateCodec& codec_;
+  ShareStats& stats_;
+  std::map<std::uint32_t, PeerState> peers_;
+  std::vector<LockState> locks_;
+  std::vector<BarrierState> barriers_;
+};
+
+}  // namespace hdsm::dsm

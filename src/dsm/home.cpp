@@ -1,20 +1,46 @@
 #include "dsm/home.hpp"
 
-#include "mig/tagged_convert.hpp"
-
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 namespace hdsm::dsm {
+
+namespace {
+
+CoherenceConfig core_config(const HomeOptions& opts,
+                            const GlobalSpace& space) {
+  CoherenceConfig cfg;
+  cfg.num_locks = opts.num_locks;
+  cfg.num_barriers = opts.num_barriers;
+  cfg.self = msg::PlatformSummary::of(space.platform());
+  cfg.image_tag_text = space.image_tag_text();
+  cfg.layout_runs = space.table().layout().runs;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<std::byte> HomeNode::EngineCodec::pack(
+    const std::vector<idx::UpdateRun>& runs) {
+  return encode_update_blocks(engine.pack_runs(runs));
+}
+
+std::vector<idx::UpdateRun> HomeNode::EngineCodec::apply(
+    const std::vector<std::byte>& payload,
+    const msg::PlatformSummary& sender) {
+  return engine.apply_payload(payload, sender);
+}
 
 HomeNode::HomeNode(tags::TypePtr gthv, const plat::PlatformDesc& platform,
                    HomeOptions opts)
     : opts_(opts),
       space_(gthv, platform),
       engine_(space_, opts_.dsd, stats_),
-      locks_(opts_.num_locks),
-      barriers_(opts_.num_barriers) {}
+      codec_(engine_),
+      core_(core_config(opts_, space_), codec_, stats_) {}
 
 HomeNode::~HomeNode() { stop(); }
 
@@ -37,25 +63,27 @@ void HomeNode::attach_endpoint(std::uint32_t rank, msg::EndpointPtr ep) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopped_) throw std::logic_error("attach after stop()");
-    Peer& peer = peers_[rank];
+    ShellPeer& peer = peers_[rank];
     if (!cv_.wait_for(lock, std::chrono::seconds(30),
-                      [&peer] { return !peer.active; })) {
+                      [this, rank] { return !core_.peer_active(rank); })) {
       throw std::invalid_argument("rank already attached: " +
                                   std::to_string(rank));
     }
-    if (peer.endpoint) peer.endpoint->close();
+    if (peer.endpoint) close_endpoint(peer);
     old_receiver = std::move(peer.receiver);
   }
   if (old_receiver.joinable()) old_receiver.join();
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    Peer& peer = peers_[rank];
-    peer.endpoint = std::move(ep);
-    peer.active = true;
-    // A fresh remote has seen nothing: its first grant ships the full image.
-    peer.pending = SyncEngine::full_image_runs(space_.table());
+    ShellPeer& peer = peers_[rank];
+    peer.endpoint = std::shared_ptr<msg::Endpoint>(std::move(ep));
+    ++peer.attach_gen;
+    // A fresh remote has seen nothing: its first grant ships the full
+    // image.  The event runs before the receiver spawns, so no message can
+    // observe a half-attached peer.
+    process_event(lock, CoherenceEvent::peer_attached(
+                            rank, SyncEngine::full_image_runs(space_.table())));
     peer.receiver = std::thread([this, rank] { receiver_loop(rank); });
-    trace(TraceEvent::Kind::Attached, rank, 0);
   }
 }
 
@@ -73,10 +101,10 @@ void HomeNode::stop() {
     if (stopped_) return;
     stopped_ = true;
     for (auto& [rank, peer] : peers_) {
-      if (peer.endpoint) peer.endpoint->close();
+      if (peer.endpoint) close_endpoint(peer);
       if (peer.receiver.joinable()) to_join.push_back(std::move(peer.receiver));
-      peer.active = false;
     }
+    core_.shutdown();
     cv_.notify_all();
   }
   for (std::thread& t : to_join) t.join();
@@ -90,528 +118,187 @@ ShareStats HomeNode::stats() const {
 
 bool HomeNode::quiesced() const {
   std::unique_lock<std::mutex> lock(mutex_);
-  for (const auto& [rank, peer] : peers_) {
-    if (peer.active) return false;
-  }
-  for (const LockState& ls : locks_) {
-    if (ls.holder != -1 || !ls.waiters.empty()) return false;
-  }
-  return true;
+  return core_.quiesced();
+}
+
+std::size_t HomeNode::recovery_entries(std::uint32_t rank) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return core_.recovery_entries(rank);
 }
 
 void HomeNode::set_barrier_count(std::uint32_t index, std::uint32_t count) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (index >= barriers_.size()) {
-    throw std::out_of_range("set_barrier_count index");
-  }
-  barriers_[index].expected = count;
+  core_.set_barrier_count(index, count);
 }
 
 void HomeNode::bind_lock(std::uint32_t index, const std::string& field) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (index >= locks_.size()) throw std::out_of_range("bind_lock index");
-  const std::uint32_t row =
-      static_cast<std::uint32_t>(space_.table().row_of_field(field));
-  LockState& ls = locks_[index];
-  if (std::find(ls.bound_rows.begin(), ls.bound_rows.end(), row) ==
-      ls.bound_rows.end()) {
-    ls.bound_rows.push_back(row);
-  }
+  core_.bind_lock(index, static_cast<std::uint32_t>(
+                             space_.table().row_of_field(field)));
 }
 
 std::vector<std::uint32_t> HomeNode::active_ranks() const {
   std::unique_lock<std::mutex> lock(mutex_);
-  std::vector<std::uint32_t> out;
-  for (const auto& [rank, peer] : peers_) {
-    if (peer.active) out.push_back(rank);
-  }
-  return out;
+  return core_.active_ranks();
 }
 
 // ---- master-thread API -----------------------------------------------------
 
 void HomeNode::lock(std::uint32_t index) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (index >= locks_.size()) throw std::out_of_range("lock index");
-  LockState& ls = locks_[index];
-  trace(TraceEvent::Kind::LockRequested, kMasterRank, index);
-  if (ls.holder == -1) {
-    ls.holder = kMasterRank;
-    ++ls.generation;
-    trace(TraceEvent::Kind::LockGranted, kMasterRank, index);
-  } else {
-    ls.waiters.push_back(kMasterRank);
-    cv_.wait(lock, [&ls] { return ls.holder == kMasterRank; });
-  }
+  core_.check_lock_index(index);
+  process_event(lock, CoherenceEvent::master_lock(index));
   // The master image is authoritative: nothing to pull on acquire.
-  ++stats_.locks;
+  cv_.wait(lock, [this, index] { return core_.master_holds(index); });
 }
 
 void HomeNode::unlock(std::uint32_t index) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (index >= locks_.size()) throw std::out_of_range("lock index");
-  LockState& ls = locks_[index];
-  if (ls.holder != kMasterRank) {
-    throw std::logic_error("master unlock without holding the lock");
-  }
+  // Validate before collect_runs(): collecting restarts the tracking
+  // interval, so an exception must fire before that side effect.
+  core_.check_master_unlock(index);
   // Detect the master's own writes and queue them for every remote.
-  const std::vector<idx::UpdateRun> runs = engine_.collect_runs();
-  merge_pending_locked(kMasterRank, runs);
-  ++stats_.unlocks;
-  trace(TraceEvent::Kind::LockReleased, kMasterRank, index);
-  release_locked(index);
+  std::vector<idx::UpdateRun> runs = engine_.collect_runs();
+  process_event(lock, CoherenceEvent::master_unlock(index, std::move(runs)));
 }
 
 void HomeNode::barrier(std::uint32_t index) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (index >= barriers_.size()) throw std::out_of_range("barrier index");
-  const std::vector<idx::UpdateRun> runs = engine_.collect_runs();
-  merge_pending_locked(kMasterRank, runs);
-  ++stats_.barriers;
-  trace(TraceEvent::Kind::BarrierEntered, kMasterRank, index);
-  BarrierState& b = barriers_[index];
-  enter_barrier_locked(b, kMasterRank);
-  const std::uint64_t gen = b.generation;
-  maybe_release_barrier_locked(index);
-  cv_.wait(lock, [&b, gen] { return b.generation != gen; });
+  core_.check_barrier_index(index);
+  std::vector<idx::UpdateRun> runs = engine_.collect_runs();
+  const std::uint64_t gen = core_.barrier_generation(index);
+  process_event(lock, CoherenceEvent::master_barrier(index, std::move(runs)));
+  cv_.wait(lock, [this, index, gen] {
+    return core_.barrier_generation(index) != gen;
+  });
 }
 
 void HomeNode::wait_all_joined() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] {
-    return std::all_of(peers_.begin(), peers_.end(),
-                       [](const auto& kv) { return !kv.second.active; });
-  });
+  cv_.wait(lock, [this] { return core_.all_inactive(); });
 }
 
-// ---- shared internals (mutex held) ----------------------------------------
+// ---- the action executor ---------------------------------------------------
 
-void HomeNode::send_reply_locked(Peer& peer, msg::Message reply) {
-  reply.seq = peer.last_seq;
-  peer.last_reply = reply;
-  peer.endpoint->send(reply);
+void HomeNode::close_endpoint(ShellPeer& peer) {
+  // Waits out any in-flight send on this endpoint; see ShellPeer::io_mutex.
+  std::lock_guard<std::mutex> io(*peer.io_mutex);
+  peer.endpoint->close();
 }
 
-void HomeNode::grant_locked(std::uint32_t index, std::uint32_t rank) {
-  LockState& ls = locks_[index];
-  ls.holder = rank;
-  ++ls.generation;
-  trace(TraceEvent::Kind::LockGranted, rank, index);
-  if (rank == kMasterRank) {
-    cv_.notify_all();
-    return;
-  }
-  Peer& peer = peers_.at(rank);
-  peer.granted_gen[index] = ls.generation;
-  msg::Message grant;
-  grant.type = msg::MsgType::LockGrant;
-  grant.sync_id = index;
-  grant.rank = kMasterRank;
-  grant.sender = msg::PlatformSummary::of(space_.platform());
-  std::size_t blocks = 0;
-  if (ls.bound_rows.empty()) {
-    // Release consistency (the paper's behavior): ship everything pending.
-    blocks = peer.pending.size();
-    grant.payload = encode_update_blocks(engine_.pack_runs(peer.pending));
-    peer.pending.clear();
-  } else {
-    // Entry consistency: ship only the runs of the rows this mutex guards.
-    std::vector<idx::UpdateRun> guarded, rest;
-    for (const idx::UpdateRun& run : peer.pending) {
-      if (std::find(ls.bound_rows.begin(), ls.bound_rows.end(), run.row) !=
-          ls.bound_rows.end()) {
-        guarded.push_back(run);
-      } else {
-        rest.push_back(run);
+void HomeNode::process_event(std::unique_lock<std::mutex>& lock,
+                             CoherenceEvent e) {
+  struct PendingSend {
+    std::uint32_t rank;
+    std::uint64_t attach_gen;
+    std::shared_ptr<msg::Endpoint> endpoint;
+    std::shared_ptr<std::mutex> io_mutex;
+    msg::Message message;
+  };
+  std::vector<CoherenceEvent> queue;
+  std::vector<PendingSend> sends;
+  queue.push_back(std::move(e));
+  while (!queue.empty()) {
+    CoherenceEvent ev = std::move(queue.front());
+    queue.erase(queue.begin());
+    for (CoherenceAction& a : core_.step(ev)) {
+      switch (a.kind) {
+        case CoherenceAction::Kind::Trace:
+          if (opts_.trace != nullptr) {
+            opts_.trace->append(a.trace.kind, a.trace.rank, a.trace.sync_id,
+                                a.trace.blocks, a.trace.bytes, a.trace.req);
+          }
+          break;
+        case CoherenceAction::Kind::WakeMaster:
+          cv_.notify_all();
+          break;
+        case CoherenceAction::Kind::Detach: {
+          // A malformed or protocol-violating peer must not take the home
+          // node down: close its channel (the core already ran the detach
+          // transition), like a crashed cluster member.
+          std::fprintf(stderr, "hdsm home: detaching rank %u: %s\n", a.rank,
+                       a.reason.c_str());
+          auto it = peers_.find(a.rank);
+          if (it != peers_.end() && it->second.endpoint) {
+            close_endpoint(it->second);
+          }
+          break;
+        }
+        case CoherenceAction::Kind::Send: {
+          auto it = peers_.find(a.rank);
+          if (it == peers_.end() || !it->second.endpoint) break;
+          sends.push_back({a.rank, it->second.attach_gen,
+                           it->second.endpoint, it->second.io_mutex,
+                           std::move(a.message)});
+          break;
+        }
       }
     }
-    blocks = guarded.size();
-    grant.payload = encode_update_blocks(engine_.pack_runs(guarded));
-    peer.pending = std::move(rest);
-  }
-  trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
-        grant.payload.size());
-  // This send targets a *different* peer than the one whose message (or
-  // master call) is being handled; its failure must detach the dead
-  // grantee, not unwind into the releaser's receiver thread (which would
-  // detach a healthy rank) or out of the master's unlock().
-  try {
-    send_reply_locked(peer, std::move(grant));
-  } catch (const msg::ChannelClosed&) {
-    if (peer.endpoint) peer.endpoint->close();
-    detach_locked(rank);  // reclaims the lock and grants the next waiter
-  }
-}
-
-void HomeNode::release_locked(std::uint32_t index) {
-  LockState& ls = locks_[index];
-  ls.holder = -1;
-  while (!ls.waiters.empty()) {
-    const std::uint32_t next = ls.waiters.front();
-    ls.waiters.pop_front();
-    if (next == kMasterRank || peers_.at(next).active) {
-      grant_locked(index, next);
-      return;
+    if (!queue.empty() || sends.empty()) continue;
+    // All state transitions for this batch are complete: release the state
+    // lock and flush the sends.  Concurrent receivers may interleave their
+    // own events here — safe, because the per-peer request/reply discipline
+    // means any concurrent send to the same peer is an identical cached
+    // reply, and the io mutex serializes the bytes.
+    lock.unlock();
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> dead;
+    for (PendingSend& ps : sends) {
+      std::lock_guard<std::mutex> io(*ps.io_mutex);
+      try {
+        ps.endpoint->send(ps.message);
+      } catch (const msg::ChannelClosed&) {
+        // Dead peer: must detach the dead target rank, not unwind into
+        // whichever thread's event shipped to it (a healthy rank's
+        // receiver, or the master's synchronization call).
+        dead.emplace_back(ps.rank, ps.attach_gen);
+      }
     }
-  }
-}
-
-void HomeNode::merge_pending_locked(std::uint32_t source_rank,
-                                    const std::vector<idx::UpdateRun>& runs) {
-  if (runs.empty()) return;
-  for (auto& [rank, peer] : peers_) {
-    if (rank == source_rank || !peer.active) continue;
-    merge_runs(peer.pending, runs);
-  }
-}
-
-void HomeNode::enter_barrier_locked(BarrierState& b, std::uint32_t rank) {
-  if (b.entered.empty()) {
-    // First entry freezes the episode's participant set: the master plus
-    // every remote attached right now.  Later joiners sync through their
-    // first lock grant instead of blocking an episode they never saw.
-    b.participants.clear();
-    b.participants.push_back(kMasterRank);
-    for (const auto& [r, peer] : peers_) {
-      if (peer.active) b.participants.push_back(r);
-    }
-  }
-  if (std::find(b.participants.begin(), b.participants.end(), rank) ==
-      b.participants.end()) {
-    b.participants.push_back(rank);  // a late joiner opting in by entering
-  }
-  b.entered.push_back(rank);
-}
-
-bool HomeNode::barrier_complete_locked(const BarrierState& b) const {
-  if (b.entered.empty()) return false;
-  if (b.expected != 0) {
-    // pthread-style fixed count: the episode closes when `expected`
-    // distinct threads (the master among them) have entered.
-    return b.entered.size() >= b.expected &&
-           std::find(b.entered.begin(), b.entered.end(), kMasterRank) !=
-               b.entered.end();
-  }
-  for (const std::uint32_t rank : b.participants) {
-    if (std::find(b.entered.begin(), b.entered.end(), rank) !=
-        b.entered.end()) {
-      continue;
-    }
-    // A participant that detached (crashed or joined) no longer blocks.
-    if (rank != kMasterRank) {
+    sends.clear();
+    lock.lock();
+    for (const auto& [rank, gen] : dead) {
       auto it = peers_.find(rank);
-      if (it == peers_.end() || !it->second.active) continue;
-    }
-    return false;
-  }
-  // The master always participates once it entered; an episode can only
-  // complete after the master is in.
-  return std::find(b.entered.begin(), b.entered.end(), kMasterRank) !=
-         b.entered.end();
-}
-
-void HomeNode::maybe_release_barrier_locked(std::uint32_t index) {
-  BarrierState& b = barriers_[index];
-  if (!barrier_complete_locked(b)) return;
-  // Release exactly the remotes that entered this episode; a mid-episode
-  // joiner must not receive a BarrierRelease it never asked for.
-  std::vector<std::uint32_t> unreachable;
-  for (const std::uint32_t rank : b.entered) {
-    if (rank == kMasterRank) continue;
-    Peer& peer = peers_.at(rank);
-    if (!peer.active) continue;
-    msg::Message release;
-    release.type = msg::MsgType::BarrierRelease;
-    release.sync_id = index;
-    release.rank = kMasterRank;
-    release.sender = msg::PlatformSummary::of(space_.platform());
-    const std::size_t blocks = peer.pending.size();
-    release.payload = encode_update_blocks(engine_.pack_runs(peer.pending));
-    peer.pending.clear();
-    trace(TraceEvent::Kind::UpdatesShipped, rank, index, blocks,
-          release.payload.size());
-    try {
-      send_reply_locked(peer, std::move(release));
-    } catch (const msg::ChannelClosed&) {
-      // Dead peer: letting this unwind would detach whichever rank's
-      // message completed the episode.  Detach the dead one instead —
-      // deferred past the episode teardown, because detach_locked
-      // re-enters this function and must not see the episode half-closed
-      // while we iterate b.entered.
-      if (peer.endpoint) peer.endpoint->close();
-      unreachable.push_back(rank);
+      // Skip stale failures: the rank may have re-attached (new attach_gen)
+      // while the lock was released.
+      if (it == peers_.end() || it->second.attach_gen != gen) continue;
+      if (it->second.endpoint) close_endpoint(it->second);
+      queue.push_back(CoherenceEvent::peer_detached(rank));
     }
   }
-  trace(TraceEvent::Kind::BarrierReleased, kMasterRank, index);
-  b.entered.clear();
-  b.participants.clear();
-  ++b.generation;
-  cv_.notify_all();
-  for (const std::uint32_t rank : unreachable) detach_locked(rank);
-}
-
-void HomeNode::detach_locked(std::uint32_t rank, bool trace_detach) {
-  auto it = peers_.find(rank);
-  if (it == peers_.end() || !it->second.active) return;
-  it->second.active = false;
-  if (trace_detach) trace(TraceEvent::Kind::Detached, rank, 0);
-  it->second.pending.clear();
-  // A departed participant may have been the last thing barriers waited on.
-  for (std::uint32_t i = 0; i < barriers_.size(); ++i) {
-    maybe_release_barrier_locked(i);
-  }
-  // Drop it from lock wait queues and release anything it held.
-  for (std::uint32_t i = 0; i < locks_.size(); ++i) {
-    LockState& ls = locks_[i];
-    ls.waiters.erase(std::remove(ls.waiters.begin(), ls.waiters.end(), rank),
-                     ls.waiters.end());
-    if (ls.holder == static_cast<std::int64_t>(rank)) {
-      release_locked(i);
-    }
-  }
-  cv_.notify_all();
 }
 
 // ---- receiver --------------------------------------------------------------
 
 void HomeNode::receiver_loop(std::uint32_t rank) {
-  msg::Endpoint* ep = nullptr;
+  std::shared_ptr<msg::Endpoint> ep;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    ep = peers_.at(rank).endpoint.get();
+    ep = peers_.at(rank).endpoint;
   }
   try {
     // Keep receiving past a JoinRequest: the remote's retry layer may
-    // retransmit it if the JoinAck was lost, and the duplicate handler
-    // answers from the reply cache.  The loop ends when the remote closes
-    // its endpoint (or stop()/attach_endpoint close this side).
+    // retransmit it if the JoinAck was lost, and the core's duplicate
+    // handler answers from the reply cache.  The loop ends when the remote
+    // closes its endpoint (or stop()/attach_endpoint close this side).
+    // Protocol violations do not unwind here anymore — the core turns them
+    // into Detach actions and the executor closes the endpoint, which
+    // lands this loop in the ChannelClosed arm.
     for (;;) {
-      const msg::Message m = ep->recv();
+      msg::Message m = ep->recv();
       std::unique_lock<std::mutex> lock(mutex_);
-      handle_message(rank, m, lock);
+      process_event(lock, CoherenceEvent::msg_received(rank, std::move(m)));
     }
   } catch (const msg::ChannelClosed&) {
     std::unique_lock<std::mutex> lock(mutex_);
-    detach_locked(rank);
+    process_event(lock, CoherenceEvent::peer_detached(rank));
   } catch (const std::exception& e) {
-    // A malformed or protocol-violating peer must not take the home node
-    // down: close its channel and detach it (its lock holdings are
-    // released and barriers re-evaluated), like a crashed cluster member.
+    // A frame-decode error (bad magic, unknown type) from a misbehaving
+    // transport: close and detach, like a crashed cluster member.
     std::fprintf(stderr, "hdsm home: detaching rank %u: %s\n", rank,
                  e.what());
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = peers_.find(rank);
-    if (it != peers_.end() && it->second.endpoint) {
-      it->second.endpoint->close();
-    }
-    detach_locked(rank);
-  }
-}
-
-bool HomeNode::handle_duplicate_locked(std::uint32_t rank, Peer& peer,
-                                       const msg::Message& m) {
-  if (m.seq == 0 || m.seq > peer.last_seq) return false;  // fresh or legacy
-  const auto dropped = [&] {
-    ++stats_.duplicates_dropped;
-    trace(TraceEvent::Kind::DuplicateDropped, rank, m.sync_id, 0, 0, m.seq);
-  };
-  if (m.seq < peer.last_seq) {
-    dropped();  // stale retransmit of an already-answered request
-    return true;
-  }
-  // Retransmit of the outstanding request.
-  if (m.type == msg::MsgType::LockRequest && m.sync_id < locks_.size()) {
-    const LockState& ls = locks_[m.sync_id];
-    if (ls.holder == static_cast<std::int64_t>(rank) &&
-        peer.last_reply.has_value()) {
-      // The grant was sent and lost: replay it.
-      dropped();
-      send_reply_locked(peer, *peer.last_reply);
-      trace(TraceEvent::Kind::ReplyResent, rank, m.sync_id, 0, 0, m.seq);
-      return true;
-    }
-    if (std::find(ls.waiters.begin(), ls.waiters.end(), rank) !=
-        ls.waiters.end()) {
-      dropped();  // already queued; the eventual grant answers it
-      return true;
-    }
-    // Neither holder nor waiter: the grant (or queue slot) was invalidated
-    // when this peer detached and its locks were reclaimed.  Re-process the
-    // request as fresh under the same seq.
-    peer.last_reply.reset();
-    return false;
-  }
-  dropped();
-  if (peer.last_reply.has_value()) {
-    send_reply_locked(peer, *peer.last_reply);
-    trace(TraceEvent::Kind::ReplyResent, rank, m.sync_id, 0, 0, m.seq);
-  }
-  // else: the reply is still pending (lock queue / open barrier episode) —
-  // the original request was recorded, so just drop the duplicate.
-  return true;
-}
-
-void HomeNode::handle_message(std::uint32_t rank, const msg::Message& m,
-                              std::unique_lock<std::mutex>&) {
-  Peer& peer = peers_.at(rank);
-  if (m.type == msg::MsgType::Hello) {
-    // A Hello bypasses duplicate detection — it is the session signal
-    // itself, and must never advance the dedup horizon (a reconnect Hello
-    // echoes the still-outstanding request seq; advancing last_seq to it
-    // would make the upcoming retransmit look like an answered duplicate).
-    // seq == 0 on a tag-ful Hello marks a brand-new incarnation of this
-    // rank (thread churn, migration): its requests restart at #1, so the
-    // previous incarnation's reliability state must be discarded.  The
-    // Hello's sync_id carries an incarnation epoch nonce: a duplicated or
-    // reordered copy of an already-seen Hello repeats the recorded epoch
-    // and must NOT reset the state again (doing so mid-session would make
-    // a retransmit of an already-executed request look fresh).  Epoch 0 is
-    // a legacy epoch-less Hello, which always resets.
-    if (m.seq == 0 && !m.tag.empty() &&
-        (m.sync_id == 0 || m.sync_id != peer.hello_epoch)) {
-      peer.last_seq = 0;
-      peer.last_reply.reset();
-      peer.granted_gen.clear();
-      peer.hello_epoch = m.sync_id;
-    }
-  } else if (handle_duplicate_locked(rank, peer, m)) {
-    return;
-  } else if (m.seq != 0 && m.seq > peer.last_seq) {
-    peer.last_seq = m.seq;
-    peer.last_reply.reset();
-  }
-  switch (m.type) {
-    case msg::MsgType::Hello: {
-      if (m.tag.empty()) return;  // tag-less Hello (application traffic)
-      // Shape negotiation: the remote's image tag must describe the same
-      // logical structure as ours (same non-padding runs: counts and
-      // pointer-ness), though sizes/padding may differ per platform.
-      const auto remote_runs = mig::runs_from_tag(tags::Tag::parse(m.tag));
-      const tags::Layout& mine = space_.table().layout();
-      std::size_t i = 0;
-      bool ok = true;
-      for (const tags::FlatRun& run : mine.runs) {
-        if (run.cat == tags::FlatRun::Cat::Padding) continue;
-        while (i < remote_runs.size() && remote_runs[i].is_padding) ++i;
-        if (i >= remote_runs.size() || remote_runs[i].count != run.count ||
-            remote_runs[i].is_pointer !=
-                (run.cat == tags::FlatRun::Cat::Pointer)) {
-          ok = false;
-          break;
-        }
-        ++i;
-      }
-      while (ok && i < remote_runs.size()) {
-        if (!remote_runs[i].is_padding) ok = false;
-        ++i;
-      }
-      if (!ok) {
-        throw std::logic_error(
-            "home: remote rank " + std::to_string(rank) +
-            " describes a different GThV (tag \"" + m.tag + "\" vs \"" +
-            space_.image_tag_text() + "\")");
-      }
-      return;
-    }
-    case msg::MsgType::LockRequest: {
-      if (m.sync_id >= locks_.size()) {
-        throw std::out_of_range("remote lock index");
-      }
-      trace(TraceEvent::Kind::LockRequested, rank, m.sync_id);
-      LockState& ls = locks_[m.sync_id];
-      if (ls.holder == -1) {
-        grant_locked(m.sync_id, rank);
-      } else {
-        ls.waiters.push_back(rank);
-      }
-      return;
-    }
-    case msg::MsgType::UnlockRequest: {
-      if (m.sync_id >= locks_.size()) {
-        throw std::out_of_range("remote unlock index");
-      }
-      LockState& ls = locks_[m.sync_id];
-      const bool is_holder = ls.holder == static_cast<std::int64_t>(rank);
-      if (!is_holder) {
-        if (m.seq == 0 || ls.holder != -1) {
-          // Unsequenced, or someone else legitimately holds the mutex: a
-          // real protocol violation (or unrecoverable reset race) — detach.
-          throw std::logic_error("remote unlock without holding the lock");
-        }
-        // `holder == -1` on a sequenced request is the reset-recovery
-        // case: the unlock was sent, the connection died before it
-        // arrived, and the home reclaimed the lock when the peer detached.
-        // The diffs were made under mutual exclusion, so applying them is
-        // safe only while nobody has been granted the mutex since — i.e.
-        // the lock generation still matches the one recorded at this
-        // peer's grant.  A changed generation means another thread
-        // acquired, wrote, and released in the meantime: the stale diffs
-        // would overwrite its writes, so drop them and detach the sender.
-        const auto it = peer.granted_gen.find(m.sync_id);
-        if (it == peer.granted_gen.end() || it->second != ls.generation) {
-          throw std::logic_error(
-              "remote unlock after the mutex was re-granted (stale "
-              "reset-recovery diffs dropped)");
-        }
-      }
-      const std::vector<idx::UpdateRun> runs =
-          engine_.apply_payload(m.payload, m.sender);
-      trace(TraceEvent::Kind::UpdatesApplied, rank, m.sync_id, runs.size(),
-            m.payload.size(), m.seq);
-      merge_pending_locked(rank, runs);
-      peer.granted_gen.erase(m.sync_id);  // the grant is consumed
-      if (is_holder) {
-        trace(TraceEvent::Kind::LockReleased, rank, m.sync_id);
-        release_locked(m.sync_id);
-      }
-      msg::Message ack;
-      ack.type = msg::MsgType::UnlockAck;
-      ack.sync_id = m.sync_id;
-      ack.rank = kMasterRank;
-      ack.sender = msg::PlatformSummary::of(space_.platform());
-      send_reply_locked(peer, std::move(ack));
-      return;
-    }
-    case msg::MsgType::BarrierEnter: {
-      if (m.sync_id >= barriers_.size()) {
-        throw std::out_of_range("remote barrier index");
-      }
-      const std::vector<idx::UpdateRun> runs =
-          engine_.apply_payload(m.payload, m.sender);
-      trace(TraceEvent::Kind::UpdatesApplied, rank, m.sync_id, runs.size(),
-            m.payload.size(), m.seq);
-      merge_pending_locked(rank, runs);
-      trace(TraceEvent::Kind::BarrierEntered, rank, m.sync_id);
-      enter_barrier_locked(barriers_[m.sync_id], rank);
-      maybe_release_barrier_locked(m.sync_id);
-      return;
-    }
-    case msg::MsgType::JoinRequest: {
-      const std::vector<idx::UpdateRun> runs =
-          engine_.apply_payload(m.payload, m.sender);
-      trace(TraceEvent::Kind::UpdatesApplied, rank, 0, runs.size(),
-            m.payload.size(), m.seq);
-      merge_pending_locked(rank, runs);
-      msg::Message ack;
-      ack.type = msg::MsgType::JoinAck;
-      ack.rank = kMasterRank;
-      ack.sender = msg::PlatformSummary::of(space_.platform());
-      send_reply_locked(peer, std::move(ack));
-      trace(TraceEvent::Kind::Joined, rank, 0);
-      detach_locked(rank, /*trace_detach=*/false);
-      return;
-    }
-    default:
-      throw std::logic_error(std::string("home: unexpected message ") +
-                             msg::msg_type_name(m.type));
-  }
-}
-
-void HomeNode::trace(TraceEvent::Kind kind, std::uint32_t rank,
-                     std::uint32_t sync_id, std::uint64_t blocks,
-                     std::uint64_t bytes, std::uint64_t req) {
-  if (opts_.trace != nullptr) {
-    opts_.trace->append(kind, rank, sync_id, blocks, bytes, req);
+    if (it != peers_.end() && it->second.endpoint) close_endpoint(it->second);
+    process_event(lock, CoherenceEvent::peer_detached(rank));
   }
 }
 

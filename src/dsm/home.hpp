@@ -6,23 +6,34 @@
 //  node. ... Once the state of a local thread at the home node is
 //  transferred, it becomes a stub thread for future resource access."
 //
-// Concurrency model: each attached remote gets a receiver thread that
-// handles its messages under one state mutex; the master thread's
-// lock/unlock/barrier calls take the same mutex.  Updates build up per
-// remote in a pending run set and are shipped on the next lock grant or
-// barrier release — which is how the paper's "rather large batch update"
-// (the Figure 9 spike) arises.
+// Since the sans-I/O split, this class is only the **I/O shell** around
+// `CoherenceCore` (coherence_core.hpp), which owns every protocol decision
+// — lock/barrier state machines, pending-set batching, dedup/reply-cache,
+// and reset recovery.  The shell's job is mechanical:
+//
+//   * one receiver thread per remote turns each received Message into a
+//     `MsgReceived` event and steps the core under one state mutex;
+//   * master lock/unlock/barrier calls step the core with `Master*` events
+//     and park on a condition variable until a core predicate flips;
+//   * emitted actions execute in order — Trace / WakeMaster / Detach under
+//     the state lock, Send *outside* it (per-peer io mutexes serialize
+//     sends against endpoint close; a failed send is fed back into the
+//     core as a `PeerDetached` event).
+//
+// Updates build up per remote in the core's pending run sets and are
+// shipped on the next lock grant or barrier release — which is how the
+// paper's "rather large batch update" (the Figure 9 spike) arises.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <vector>
 
+#include "dsm/coherence_core.hpp"
 #include "dsm/global_space.hpp"
 #include "dsm/stats.hpp"
 #include "dsm/sync_engine.hpp"
@@ -42,7 +53,7 @@ struct HomeOptions {
 
 class HomeNode {
  public:
-  static constexpr std::uint32_t kMasterRank = 0;
+  static constexpr std::uint32_t kMasterRank = CoherenceCore::kMasterRank;
 
   HomeNode(tags::TypePtr gthv, const plat::PlatformDesc& platform,
            HomeOptions opts = {});
@@ -85,6 +96,11 @@ class HomeNode {
   /// for master migration (rehome()).
   bool quiesced() const;
 
+  /// Open reset-recovery windows for `rank` (see
+  /// CoherenceCore::recovery_entries) — bounded by the number of mutexes
+  /// whose last grant went to `rank`; exposed for the stress tests.
+  std::size_t recovery_entries(std::uint32_t rank) const;
+
   /// Fix barrier `index`'s episode size to `count` distinct threads
   /// (master included) — the pthread_barrier_init(count) semantics the
   /// paper's MTh_barrier maps onto.  Without it, episode membership is
@@ -104,86 +120,52 @@ class HomeNode {
   void bind_lock(std::uint32_t index, const std::string& field);
 
  private:
-  struct Peer {
-    msg::EndpointPtr endpoint;
+  /// Production UpdateCodec: pack reads this node's image through the
+  /// SyncEngine; apply decodes/converts/applies through it.
+  struct EngineCodec final : UpdateCodec {
+    explicit EngineCodec(SyncEngine& e) : engine(e) {}
+    std::vector<std::byte> pack(
+        const std::vector<idx::UpdateRun>& runs) override;
+    std::vector<idx::UpdateRun> apply(
+        const std::vector<std::byte>& payload,
+        const msg::PlatformSummary& sender) override;
+    SyncEngine& engine;
+  };
+
+  /// Transport state per remote — everything the core must not know about.
+  struct ShellPeer {
+    /// Shared so an in-flight send (outside the state lock) keeps the
+    /// endpoint alive across a concurrent detach/re-attach.
+    std::shared_ptr<msg::Endpoint> endpoint;
+    /// Serializes send() against close() on `endpoint` — sends no longer
+    /// happen under the state lock, and TcpEndpoint::close() must not race
+    /// a concurrent send() on the same fd.
+    std::shared_ptr<std::mutex> io_mutex = std::make_shared<std::mutex>();
     std::thread receiver;
-    bool active = false;
-    std::vector<idx::UpdateRun> pending;
-    // Reliability state — persists across detach/re-attach so a remote that
-    // reconnects after a reset can retransmit its outstanding request and
-    // be answered from the cache instead of re-executed.
-    std::uint32_t last_seq = 0;  ///< highest request seq handled
-    std::optional<msg::Message> last_reply;  ///< reply sent for last_seq
-    /// Incarnation epoch from the last fresh-incarnation Hello (its
-    /// sync_id field); the dedup state above is reset only when a Hello
-    /// carries a *different* epoch, so duplicated or reordered copies of
-    /// the same Hello cannot reset it mid-session.  0 = none seen yet.
-    std::uint32_t hello_epoch = 0;
-    /// Lock generation under which this peer was granted each mutex
-    /// (see LockState::generation); consulted by the unlock
-    /// reset-recovery path to prove nobody re-acquired the mutex since.
-    std::map<std::uint32_t, std::uint64_t> granted_gen;
-  };
-
-  struct LockState {
-    std::int64_t holder = -1;  // rank, or -1 when free
-    std::deque<std::uint32_t> waiters;
-    /// Bumped on every grant.  A reset-recovery unlock (holder already
-    /// reclaimed) is only safe while the generation still matches the one
-    /// recorded at the sender's grant: a changed generation means another
-    /// thread held the mutex in between and the stale diffs must not
-    /// overwrite its writes.
-    std::uint64_t generation = 0;
-    /// Entry consistency: rows this mutex guards (empty = guards all).
-    std::vector<std::uint32_t> bound_rows;
-  };
-
-  struct BarrierState {
-    std::vector<std::uint32_t> entered;
-    /// Frozen at the episode's first entry: the ranks this episode waits
-    /// for.  A node that attaches mid-episode is not a participant (it
-    /// neither blocks the episode nor receives its release); one that
-    /// enters anyway joins the episode.
-    std::vector<std::uint32_t> participants;
-    /// Explicit episode size (pthread_barrier_init count); 0 = inferred.
-    std::uint32_t expected = 0;
-    std::uint64_t generation = 0;
+    /// Bumped per attach_endpoint(); a failed send from an older
+    /// incarnation must not detach the re-attached one.
+    std::uint64_t attach_gen = 0;
   };
 
   void receiver_loop(std::uint32_t rank);
-  void handle_message(std::uint32_t rank, const msg::Message& m,
-                      std::unique_lock<std::mutex>& lock);
-  /// Duplicate detection for sequenced requests.  Returns true when the
-  /// message was fully handled (dropped, or answered from the reply cache)
-  /// and must not reach the normal handler.
-  bool handle_duplicate_locked(std::uint32_t rank, Peer& peer,
-                               const msg::Message& m);
-  /// Stamp `reply` with the peer's outstanding request seq, cache it for
-  /// retransmits, and send it.
-  void send_reply_locked(Peer& peer, msg::Message reply);
-  void grant_locked(std::uint32_t index, std::uint32_t rank);
-  void release_locked(std::uint32_t index);
-  void merge_pending_locked(std::uint32_t source_rank,
-                            const std::vector<idx::UpdateRun>& runs);
-  void enter_barrier_locked(BarrierState& b, std::uint32_t rank);
-  void maybe_release_barrier_locked(std::uint32_t index);
-  bool barrier_complete_locked(const BarrierState& b) const;
-  void detach_locked(std::uint32_t rank, bool trace_detach = true);
-  void trace(TraceEvent::Kind kind, std::uint32_t rank,
-             std::uint32_t sync_id, std::uint64_t blocks = 0,
-             std::uint64_t bytes = 0, std::uint64_t req = 0);
+  /// Step the core with `e` and execute the emitted actions: Trace /
+  /// WakeMaster / Detach under the (held) state lock, then Sends with the
+  /// lock released; send failures are fed back as PeerDetached events.
+  /// Returns with the lock re-held.
+  void process_event(std::unique_lock<std::mutex>& lock, CoherenceEvent e);
+  /// Close `peer`'s endpoint under its io mutex (state lock held).
+  void close_endpoint(ShellPeer& peer);
 
   HomeOptions opts_;
   GlobalSpace space_;
   ShareStats stats_;
   SyncEngine engine_;
+  EngineCodec codec_;
+  CoherenceCore core_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::map<std::uint32_t, Peer> peers_;
-  std::vector<LockState> locks_;
-  std::vector<BarrierState> barriers_;
-  bool master_in_barrier_ = false;
+  std::map<std::uint32_t, ShellPeer> peers_;
   bool started_ = false;
   bool stopped_ = false;
 };

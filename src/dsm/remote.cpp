@@ -1,7 +1,8 @@
 #include "dsm/remote.hpp"
 
-#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -11,12 +12,6 @@
 namespace hdsm::dsm {
 
 namespace {
-
-std::uint64_t jitter_seed(const RetryPolicy& p, std::uint32_t rank) {
-  // Distinct per-rank default so a cluster constructed with identical
-  // options still desynchronizes its retry schedules.
-  return p.seed != 0 ? p.seed : 0x726574727921ull + rank;
-}
 
 std::uint32_t incarnation_epoch(std::uint32_t rank) {
   // Nonzero nonce distinguishing this incarnation of `rank` from any
@@ -45,7 +40,8 @@ RemoteThread::RemoteThread(tags::TypePtr gthv,
       epoch_(incarnation_epoch(rank)),
       endpoint_(std::move(endpoint)),
       opts_(std::move(opts)),
-      jitter_rng_(jitter_seed(opts_.retry, rank)) {
+      retry_(opts_.retry, rank, opts_.reconnect != nullptr,
+             opts_.max_reconnects) {
   send_hello();
   space_.region().begin_tracking();
 }
@@ -96,22 +92,23 @@ void RemoteThread::detach_self() {
 }
 
 bool RemoteThread::try_reconnect() {
-  if (!opts_.reconnect) return false;
-  while (reconnects_used_ < opts_.max_reconnects) {
-    ++reconnects_used_;
+  RetryCore::Decision d = retry_.on_channel_closed();
+  while (d.op == RetryCore::Op::Reconnect) {
     try {
       msg::EndpointPtr fresh = opts_.reconnect();
-      if (!fresh) continue;
-      if (endpoint_) endpoint_->close();
-      endpoint_ = std::move(fresh);
-      ++stats_.reconnects;
-      trace(TraceEvent::Kind::Reconnected, 0, send_seq_);
-      send_hello(/*resume=*/true);
-      return true;
+      if (fresh) {
+        if (endpoint_) endpoint_->close();
+        endpoint_ = std::move(fresh);
+        ++stats_.reconnects;
+        trace(TraceEvent::Kind::Reconnected, 0, send_seq_);
+        send_hello(/*resume=*/true);
+        return true;
+      }
     } catch (const std::exception&) {
-      // Dial failed (listener momentarily down, backlog full, ...): burn
-      // one reconnect credit and try again.
+      // Dial failed (listener momentarily down, backlog full, ...): the
+      // credit is burned; the core decides whether another remains.
     }
+    d = retry_.on_reconnect_failed();
   }
   return false;
 }
@@ -125,15 +122,12 @@ msg::Message RemoteThread::rpc(msg::Message req, msg::MsgType want) {
   req.rank = rank_;
   req.sender = msg::PlatformSummary::of(space_.platform());
 
-  const RetryPolicy& p = opts_.retry;
-  std::uniform_real_distribution<double> jitter(1.0 - p.jitter,
-                                                1.0 + p.jitter);
-  auto wait = p.timeout;
-  std::uint32_t attempt = 0;
+  RetryCore::Decision d = retry_.begin(req.seq);
   bool need_send = true;
   for (;;) {
-    bool timed_out = false;
+    // Invariant here: d carries a receive window (Wait or Retransmit).
     bool channel_died = false;
+    std::optional<msg::Message> delivered;
     try {
       if (need_send) {
         endpoint_->send(req);
@@ -141,65 +135,59 @@ msg::Message RemoteThread::rpc(msg::Message req, msg::MsgType want) {
       }
       // Wait out this attempt's (jittered) window; duplicate replies from
       // earlier retransmits may land first and are discarded here.
-      const auto jittered = std::chrono::milliseconds(std::max<std::int64_t>(
-          1, static_cast<std::int64_t>(static_cast<double>(wait.count()) *
-                                       jitter(jitter_rng_))));
-      const auto deadline = std::chrono::steady_clock::now() + jittered;
+      const auto deadline = std::chrono::steady_clock::now() + d.wait;
       for (;;) {
         const auto now = std::chrono::steady_clock::now();
-        if (now >= deadline) {
-          timed_out = true;
-          break;
-        }
+        if (now >= deadline) break;
         msg::Message m;
         if (!endpoint_->recv_for(
                 m, std::chrono::duration_cast<std::chrono::milliseconds>(
                        deadline - now))) {
-          timed_out = true;
           break;
         }
-        if (m.seq != 0 && m.seq < req.seq) {
+        const RetryCore::Decision r =
+            retry_.classify_reply(m.seq, m.type == want);
+        if (r.op == RetryCore::Op::Drop) {
           // Stale reply to a retransmitted earlier request.
           ++stats_.duplicates_dropped;
           trace(TraceEvent::Kind::DuplicateDropped, m.sync_id, m.seq);
           continue;
         }
-        if (m.type != want) {
+        if (r.op == RetryCore::Op::ProtocolError) {
           throw std::logic_error(std::string("remote: expected ") +
                                  msg::msg_type_name(want) + ", got " +
                                  msg::msg_type_name(m.type));
         }
-        return m;
+        delivered = std::move(m);
+        break;
       }
     } catch (const msg::ChannelClosed&) {
       channel_died = true;
     }
+    if (delivered) return *std::move(delivered);
     if (channel_died) {
       if (!try_reconnect()) {
         detach_self();
         throw HomeUnreachable("remote rank " + std::to_string(rank_) +
                               ": transport closed and reconnect exhausted");
       }
-      need_send = true;
+      d = retry_.on_reconnected();
+      need_send = true;  // retransmit on the fresh transport
       continue;
     }
-    if (timed_out) {
-      ++stats_.timeouts;
-      if (attempt >= p.max_retries) {
-        detach_self();
-        throw HomeUnreachable(
-            "remote rank " + std::to_string(rank_) + ": no reply to " +
-            msg::msg_type_name(req.type) + " #" + std::to_string(req.seq) +
-            " after " + std::to_string(attempt + 1) + " attempts");
-      }
-      ++attempt;
-      ++stats_.retries;
-      trace(TraceEvent::Kind::RetrySent, req.sync_id, req.seq);
-      wait = std::min(std::chrono::milliseconds(static_cast<std::int64_t>(
-                          static_cast<double>(wait.count()) * p.backoff)),
-                      p.max_timeout);
-      need_send = true;  // retransmit the identical encoded request
+    // The window elapsed with no deliverable reply.
+    ++stats_.timeouts;
+    d = retry_.on_timeout();
+    if (d.op == RetryCore::Op::GiveUp) {
+      detach_self();
+      throw HomeUnreachable(
+          "remote rank " + std::to_string(rank_) + ": no reply to " +
+          msg::msg_type_name(req.type) + " #" + std::to_string(req.seq) +
+          " after " + std::to_string(retry_.attempts()) + " attempts");
     }
+    ++stats_.retries;
+    trace(TraceEvent::Kind::RetrySent, req.sync_id, req.seq);
+    need_send = true;  // retransmit the identical encoded request
   }
 }
 

@@ -7,17 +7,18 @@
 // backoff + jitter (the home deduplicates, so retries are idempotent); a
 // remote whose transport dies can re-dial through a user-supplied reconnect
 // hook, and one that exhausts its budget detaches cleanly with
-// HomeUnreachable so the rest of the cluster keeps making progress.  See
-// docs/RELIABILITY.md.
+// HomeUnreachable so the rest of the cluster keeps making progress.  All
+// retry/backoff *decisions* live in the pure `RetryCore`
+// (retry_core.hpp) — this class is the I/O driver that sends, receives,
+// and dials on its behalf.  See docs/RELIABILITY.md.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <functional>
-#include <random>
 #include <stdexcept>
 
 #include "dsm/global_space.hpp"
+#include "dsm/retry_core.hpp"
 #include "dsm/stats.hpp"
 #include "dsm/sync_engine.hpp"
 #include "dsm/trace.hpp"
@@ -34,19 +35,6 @@ namespace hdsm::dsm {
 class HomeUnreachable : public msg::ChannelClosed {
  public:
   explicit HomeUnreachable(const std::string& what) : msg::ChannelClosed(what) {}
-};
-
-/// Per-request timeout/backoff schedule.  Attempt k waits
-/// `min(timeout * backoff^k, max_timeout)`, each wait scaled by a seeded
-/// uniform jitter in [1-jitter, 1+jitter] so a cluster of remotes does not
-/// retry in lockstep.  Defaults give ~1+2+4+8+8+8+8 s ≈ 39 s of patience.
-struct RetryPolicy {
-  std::chrono::milliseconds timeout{1000};  ///< first reply wait
-  double backoff = 2.0;                     ///< wait growth per retry
-  std::chrono::milliseconds max_timeout{8000};  ///< wait ceiling
-  std::uint32_t max_retries = 6;  ///< retransmissions before giving up
-  double jitter = 0.1;            ///< ± fraction applied to each wait
-  std::uint64_t seed = 0;         ///< jitter seed (0 = derive from rank)
 };
 
 struct RemoteOptions {
@@ -105,12 +93,14 @@ class RemoteThread {
 
  private:
   /// Send `req` (stamped with the next sequence number) and wait for the
-  /// matching `want` reply, retransmitting per the RetryPolicy and
-  /// reconnecting through the hook on transport death.
+  /// matching `want` reply, retransmitting and reconnecting as RetryCore
+  /// decides.
   msg::Message rpc(msg::Message req, msg::MsgType want);
   /// `resume` = this is a reconnect Hello: echo the outstanding request seq
   /// so the home keeps this rank's dedup state instead of resetting it.
   void send_hello(bool resume = false);
+  /// Dial through the reconnect hook until RetryCore's budget says stop.
+  /// Returns true when a fresh transport is up and the session resumed.
   bool try_reconnect();
   void detach_self();
   void trace(TraceEvent::Kind kind, std::uint32_t sync_id, std::uint64_t req);
@@ -126,9 +116,8 @@ class RemoteThread {
   std::uint32_t epoch_;
   msg::EndpointPtr endpoint_;
   RemoteOptions opts_;
-  std::mt19937_64 jitter_rng_;
+  RetryCore retry_;
   std::uint32_t send_seq_ = 0;
-  std::uint32_t reconnects_used_ = 0;
   bool joined_ = false;
   bool detached_ = false;
 };

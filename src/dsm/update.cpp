@@ -91,6 +91,12 @@ std::vector<UpdateBlock> decode_update_blocks(
     const std::vector<std::byte>& payload) {
   Reader r(payload);
   const std::uint32_t count = r.u32();
+  // A block's fixed header alone is 24 bytes, so a count the payload cannot
+  // hold is malformed — reject before reserving, or a hostile frame forces
+  // an arbitrary allocation.
+  if (count > (payload.size() - 4) / 24) {
+    throw std::runtime_error("update payload block count exceeds buffer");
+  }
   std::vector<UpdateBlock> blocks;
   blocks.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

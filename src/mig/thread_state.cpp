@@ -149,6 +149,12 @@ ThreadState unpack_state(const std::vector<std::byte>& payload,
   ThreadState state;
   state.rank = r.u32();
   const std::uint32_t nframes = r.u32();
+  // A frame encodes to >= 16 bytes, so a count the payload cannot hold is
+  // malformed — reject before reserving, or a hostile frame forces an
+  // arbitrary allocation.
+  if (nframes > payload.size() / 16) {
+    throw std::runtime_error("thread state frame count exceeds payload");
+  }
   state.frames.reserve(nframes);
   for (std::uint32_t i = 0; i < nframes; ++i) {
     std::string function = r.str();
@@ -162,6 +168,9 @@ ThreadState unpack_state(const std::vector<std::byte>& payload,
         Frame{std::move(function), label, std::move(locals)});
   }
   const std::uint32_t nheap = r.u32();
+  if (nheap > payload.size() / 20) {  // a heap object encodes to >= 20 bytes
+    throw std::runtime_error("thread state heap count exceeds payload");
+  }
   state.heap.reserve(nheap);
   for (std::uint32_t i = 0; i < nheap; ++i) {
     HeapObject h{0, "", StructImage(tags::t_int(), target)};

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -29,12 +30,18 @@ class TcpEndpoint final : public Endpoint {
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
 
-  ~TcpEndpoint() override { close(); }
+  ~TcpEndpoint() override {
+    // close() only shuts the socket down (any thread may call it, even
+    // while another blocks in recv); the fd is released here, when no
+    // concurrent user can remain.
+    close();
+    ::close(fd_);
+  }
 
   void send(const Message& m) override {
     const std::vector<std::byte> frame = encode_frame(m);
     std::lock_guard<std::mutex> lock(send_mutex_);
-    if (fd_ < 0) throw ChannelClosed();
+    if (closed_.load(std::memory_order_acquire)) throw ChannelClosed();
     std::size_t off = 0;
     while (off < frame.size()) {
       const ssize_t n =
@@ -81,10 +88,11 @@ class TcpEndpoint final : public Endpoint {
   }
 
   void close() override {
-    if (fd_ >= 0) {
+    // Shutdown-only close: wakes a peer blocked in recv()/poll() with EOF
+    // without invalidating the fd under it (closing an fd another thread
+    // is reading is a race, and the number could be reused mid-read).
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
       ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
     }
   }
 
@@ -95,7 +103,7 @@ class TcpEndpoint final : public Endpoint {
   /// Read at least one chunk into the decoder; `timeout_ms < 0` blocks.
   /// Returns false on poll timeout; throws ChannelClosed on EOF.
   bool read_more(int timeout_ms) {
-    if (fd_ < 0) throw ChannelClosed();
+    if (closed_.load(std::memory_order_acquire)) throw ChannelClosed();
     struct pollfd pfd;
     pfd.fd = fd_;
     pfd.events = POLLIN;
@@ -117,7 +125,8 @@ class TcpEndpoint final : public Endpoint {
     return true;
   }
 
-  int fd_;
+  const int fd_;
+  std::atomic<bool> closed_{false};
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
   FrameDecoder decoder_;

@@ -169,6 +169,12 @@ TagItem decode_item(const std::byte*& p, const std::byte* end, int depth) {
   it.count = get_u64(p, end);
   if (it.kind == TagItem::Kind::Aggregate) {
     const std::uint64_t n = get_u64(p, end);
+    // Every encoded item takes >= 17 bytes (kind + size + count), so a
+    // count the remaining buffer cannot hold is malformed — reject before
+    // reserving, or a hostile frame forces an arbitrary allocation.
+    if (n > static_cast<std::uint64_t>(end - p) / 17) {
+      throw std::invalid_argument("Tag::from_binary: count exceeds buffer");
+    }
     it.children.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       it.children.push_back(decode_item(p, end, depth + 1));
@@ -201,6 +207,9 @@ Tag Tag::from_binary(const std::byte* data, std::size_t len) {
   const std::byte* p = data;
   const std::byte* end = data + len;
   const std::uint64_t n = get_u64(p, end);
+  if (n > static_cast<std::uint64_t>(end - p) / 17) {
+    throw std::invalid_argument("Tag::from_binary: count exceeds buffer");
+  }
   std::vector<TagItem> items;
   items.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {

@@ -9,6 +9,7 @@
 #include "dsm/home.hpp"
 #include "dsm/remote.hpp"
 #include "dsm/trace.hpp"
+#include "dsm/update.hpp"
 
 namespace dsm = hdsm::dsm;
 namespace tags = hdsm::tags;
@@ -267,5 +268,92 @@ TEST(Stress, ThreadChurnJoinAndReplace) {
   }
   const auto err = dsm::validate_trace(log.snapshot());
   EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
+}
+
+// Long-run regression for the granted_gen growth fix: a remote that
+// repeatedly crashes while holding a mutex leaves one reset-recovery
+// window open per crash.  Windows must close on regrant, so the count can
+// never exceed the mutex count — and a second rank cycling through every
+// mutex must drive the first rank's count to exactly zero.
+TEST(Stress, RecoveryWindowsStayBoundedAcrossCrashCycles) {
+  constexpr std::uint32_t kLocks = 16;
+  dsm::HomeOptions opts;
+  opts.num_locks = kLocks;
+  dsm::HomeNode home(gthv(), plat::linux_x86_64(), opts);
+  home.start();
+
+  const auto summary = msg::PlatformSummary::of(home.space().platform());
+  const std::string tag = home.space().image_tag_text();
+
+  // Rank 1: 3 crash cycles per mutex, always dying while holding.  Raw
+  // messages (no RemoteThread) so the "crash" is a plain endpoint close
+  // with the lock held and the unlock forever outstanding.
+  std::uint32_t seq = 0;
+  for (std::uint32_t cycle = 0; cycle < 3 * kLocks; ++cycle) {
+    msg::EndpointPtr ep = home.attach(1);
+    msg::Message hello;
+    hello.type = msg::MsgType::Hello;
+    hello.rank = 1;
+    // First Hello is a fresh incarnation; later ones resume (same epoch,
+    // nonzero seq) so the recovery windows persist across reconnects.
+    hello.seq = cycle == 0 ? 0 : seq;
+    hello.sync_id = 5;
+    hello.sender = summary;
+    hello.tag = tag;
+    ep->send(hello);
+
+    msg::Message req;
+    req.type = msg::MsgType::LockRequest;
+    req.rank = 1;
+    req.seq = ++seq;
+    req.sync_id = cycle % kLocks;
+    req.sender = summary;
+    ep->send(req);
+    const msg::Message grant = ep->recv();
+    ASSERT_EQ(grant.type, msg::MsgType::LockGrant);
+    ep->close();  // crash while holding
+
+    ASSERT_LE(home.recovery_entries(1), kLocks) << "cycle " << cycle;
+  }
+  // Re-granting a mutex to rank 1 overwrites its own window, so after 3
+  // passes over every mutex there is exactly one window per mutex.
+  EXPECT_EQ(home.recovery_entries(1), kLocks);
+
+  // Rank 2 cycles through every mutex: each grant closes rank 1's window
+  // for that mutex (its stale recovery diffs could never be honored again).
+  msg::EndpointPtr ep2 = home.attach(2);
+  msg::Message hello2;
+  hello2.type = msg::MsgType::Hello;
+  hello2.rank = 2;
+  hello2.seq = 0;
+  hello2.sync_id = 7;
+  hello2.sender = summary;
+  hello2.tag = tag;
+  ep2->send(hello2);
+  std::uint32_t seq2 = 0;
+  for (std::uint32_t m = 0; m < kLocks; ++m) {
+    msg::Message req;
+    req.type = msg::MsgType::LockRequest;
+    req.rank = 2;
+    req.seq = ++seq2;
+    req.sync_id = m;
+    req.sender = summary;
+    ep2->send(req);
+    ASSERT_EQ(ep2->recv().type, msg::MsgType::LockGrant);
+
+    msg::Message unlock;
+    unlock.type = msg::MsgType::UnlockRequest;
+    unlock.rank = 2;
+    unlock.seq = ++seq2;
+    unlock.sync_id = m;
+    unlock.sender = summary;
+    unlock.payload = dsm::encode_update_blocks({});
+    ep2->send(unlock);
+    ASSERT_EQ(ep2->recv().type, msg::MsgType::UnlockAck);
+  }
+  EXPECT_EQ(home.recovery_entries(1), 0u);
+  EXPECT_LE(home.recovery_entries(2), kLocks);
+  ep2->close();
   home.stop();
 }
