@@ -35,30 +35,17 @@ bool same_representation(std::uint32_t src_size, const plat::PlatformDesc& sp,
 
 }  // namespace
 
-void convert_run(const std::byte* src, std::uint32_t src_size,
-                 const plat::PlatformDesc& sp, std::byte* dst,
+Route plan_route(std::uint32_t src_size, const plat::PlatformDesc& sp,
                  std::uint32_t dst_size, const plat::PlatformDesc& dp,
-                 std::uint64_t count, FlatRun::Cat cat, plat::ScalarKind kind,
-                 const PointerTranslator* pt, ConversionStats* stats,
-                 bool allow_bulk_swap) {
-  if (cat == FlatRun::Cat::Padding) {
-    std::memset(dst, 0, dst_size);
-    return;
-  }
-  if (stats) {
-    stats->bytes_in += static_cast<std::uint64_t>(src_size) * count;
-    stats->bytes_out += static_cast<std::uint64_t>(dst_size) * count;
-  }
-
+                 FlatRun::Cat cat, plat::ScalarKind kind,
+                 bool allow_bulk_swap, bool has_translator) {
   const bool pointer_needs_translation =
-      cat == FlatRun::Cat::Pointer && pt != nullptr;
+      cat == FlatRun::Cat::Pointer && has_translator;
 
   // Fast path 1: identical representation -> bulk memcpy.
   if (!pointer_needs_translation &&
       same_representation(src_size, sp, dst_size, dp, cat, kind)) {
-    std::memcpy(dst, src, static_cast<std::size_t>(src_size) * count);
-    if (stats) ++stats->memcpy_runs;
-    return;
+    return Route::Memcpy;
   }
 
   // Fast path 2: same width, opposite endianness, plain sign-magnitude-free
@@ -68,7 +55,29 @@ void convert_run(const std::byte* src, std::uint32_t src_size,
       sp.endian != dp.endian &&
       !(cat == FlatRun::Cat::Float && src_size > 8 &&
         float_format(sp, kind) != float_format(dp, kind));
-  if (swap_only) {
+  if (swap_only) return Route::BulkSwap;
+
+  return Route::Elementwise;
+}
+
+void convert_run_routed(Route route, const std::byte* src,
+                        std::uint32_t src_size, const plat::PlatformDesc& sp,
+                        std::byte* dst, std::uint32_t dst_size,
+                        const plat::PlatformDesc& dp, std::uint64_t count,
+                        FlatRun::Cat cat, plat::ScalarKind kind,
+                        const PointerTranslator* pt, ConversionStats* stats) {
+  if (stats) {
+    stats->bytes_in += static_cast<std::uint64_t>(src_size) * count;
+    stats->bytes_out += static_cast<std::uint64_t>(dst_size) * count;
+  }
+
+  if (route == Route::Memcpy) {
+    std::memcpy(dst, src, static_cast<std::size_t>(src_size) * count);
+    if (stats) ++stats->memcpy_runs;
+    return;
+  }
+
+  if (route == Route::BulkSwap) {
     std::memcpy(dst, src, static_cast<std::size_t>(src_size) * count);
     plat::swap_elements_inplace(dst, src_size, count);
     if (stats) ++stats->bulk_swap_runs;
@@ -107,6 +116,22 @@ void convert_run(const std::byte* src, std::uint32_t src_size,
         break;
     }
   }
+}
+
+void convert_run(const std::byte* src, std::uint32_t src_size,
+                 const plat::PlatformDesc& sp, std::byte* dst,
+                 std::uint32_t dst_size, const plat::PlatformDesc& dp,
+                 std::uint64_t count, FlatRun::Cat cat, plat::ScalarKind kind,
+                 const PointerTranslator* pt, ConversionStats* stats,
+                 bool allow_bulk_swap) {
+  if (cat == FlatRun::Cat::Padding) {
+    std::memset(dst, 0, dst_size);
+    return;
+  }
+  const Route route = plan_route(src_size, sp, dst_size, dp, cat, kind,
+                                 allow_bulk_swap, pt != nullptr);
+  convert_run_routed(route, src, src_size, sp, dst, dst_size, dp, count, cat,
+                     kind, pt, stats);
 }
 
 bool convertible(const tags::Layout& a, const tags::Layout& b) {

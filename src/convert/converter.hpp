@@ -40,6 +40,36 @@ struct ConversionStats {
   std::uint64_t elementwise_runs = 0;  ///< full decode/re-encode
 };
 
+/// The execution strategy convert_run picks for a (src rep, dst rep, cat)
+/// combination.  The decision depends only on per-row facts — element
+/// sizes, platform summaries, category, scalar kind — never on the data or
+/// the element count, so callers converting many runs of the same row can
+/// plan once and replay the route per run (the SyncEngine's per-(sender,
+/// row) conversion-plan cache does exactly that).
+enum class Route : std::uint8_t {
+  Memcpy,       ///< identical representation
+  BulkSwap,     ///< width equal, endianness flipped: vectorizable swap
+  Elementwise,  ///< full decode / re-encode per element
+};
+
+/// Decide the conversion route for one row.  `has_translator` = a pointer
+/// translator will be supplied (forces the element-wise path for pointer
+/// runs); `allow_bulk_swap` as on convert_run.
+Route plan_route(std::uint32_t src_size, const plat::PlatformDesc& sp,
+                 std::uint32_t dst_size, const plat::PlatformDesc& dp,
+                 tags::FlatRun::Cat cat, plat::ScalarKind kind,
+                 bool allow_bulk_swap = true, bool has_translator = false);
+
+/// Execute a pre-planned route on one run (no per-run re-decision).  The
+/// route must come from plan_route with the same arguments.
+void convert_run_routed(Route route, const std::byte* src,
+                        std::uint32_t src_size, const plat::PlatformDesc& sp,
+                        std::byte* dst, std::uint32_t dst_size,
+                        const plat::PlatformDesc& dp, std::uint64_t count,
+                        tags::FlatRun::Cat cat, plat::ScalarKind kind,
+                        const PointerTranslator* pt = nullptr,
+                        ConversionStats* stats = nullptr);
+
 /// Convert one run of `count` elements.
 ///
 /// `src` holds the sender's representation (`src_size` bytes per element on

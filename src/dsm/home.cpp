@@ -25,7 +25,8 @@ CoherenceConfig core_config(const HomeOptions& opts,
 
 std::vector<std::byte> HomeNode::EngineCodec::pack(
     const std::vector<idx::UpdateRun>& runs) {
-  return encode_update_blocks(engine.pack_runs(runs));
+  // Zero-copy: tags + element bytes gathered straight into the wire buffer.
+  return engine.pack_payload(runs);
 }
 
 std::vector<idx::UpdateRun> HomeNode::EngineCodec::apply(

@@ -210,9 +210,9 @@ void RemoteThread::unlock(std::uint32_t index) {
   msg::Message req;
   req.type = msg::MsgType::UnlockRequest;
   req.sync_id = index;
-  // Collect exactly once: collect_updates() restarts the tracking interval,
+  // Collect exactly once: collect_payload() restarts the tracking interval,
   // so a retransmit must carry the same payload, not a fresh (empty) one.
-  req.payload = encode_update_blocks(engine_.collect_updates());
+  req.payload = engine_.collect_payload();
   rpc(std::move(req), msg::MsgType::UnlockAck);
   ++stats_.unlocks;
 }
@@ -221,7 +221,7 @@ void RemoteThread::barrier(std::uint32_t index) {
   msg::Message enter;
   enter.type = msg::MsgType::BarrierEnter;
   enter.sync_id = index;
-  enter.payload = encode_update_blocks(engine_.collect_updates());
+  enter.payload = engine_.collect_payload();
   const msg::Message release =
       rpc(std::move(enter), msg::MsgType::BarrierRelease);
   engine_.apply_payload_bulk(release.payload, release.sender);
@@ -232,7 +232,7 @@ void RemoteThread::join() {
   if (joined_ || detached_) return;
   msg::Message req;
   req.type = msg::MsgType::JoinRequest;
-  req.payload = encode_update_blocks(engine_.collect_updates());
+  req.payload = engine_.collect_payload();
   rpc(std::move(req), msg::MsgType::JoinAck);
   space_.region().end_tracking();
   joined_ = true;

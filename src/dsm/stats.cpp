@@ -1,8 +1,27 @@
 #include "dsm/stats.hpp"
 
 #include <sstream>
+#include <string_view>
 
 namespace hdsm::dsm {
+
+namespace {
+
+constexpr std::size_t kShareStatsFieldCount =
+#define HDSM_X(field) +1
+    HDSM_SHARE_STATS_FIELDS(HDSM_X)
+#undef HDSM_X
+    ;
+
+// Every field must be listed in HDSM_SHARE_STATS_FIELDS: the struct is all
+// uint64_t counters, so its size pins the field count.  If this fires you
+// added a counter to ShareStats without adding it to the X-macro (or vice
+// versa) — the CSV emitters and operator+= would silently miss it.
+static_assert(sizeof(ShareStats) ==
+                  kShareStatsFieldCount * sizeof(std::uint64_t),
+              "ShareStats fields and HDSM_SHARE_STATS_FIELDS disagree");
+
+}  // namespace
 
 std::string ShareStats::to_string() const {
   std::ostringstream os;
@@ -27,24 +46,44 @@ std::string ShareStats::to_string() const {
        << " dups_dropped=" << duplicates_dropped
        << " reconnects=" << reconnects;
   }
+  if (parallel_batches != 0 || plan_cache_hits != 0 ||
+      plan_cache_misses != 0) {
+    os << " par_batches=" << parallel_batches
+       << " conv_threads=" << conv_threads
+       << " plan_hits=" << plan_cache_hits
+       << " plan_misses=" << plan_cache_misses;
+  }
   return os.str();
 }
 
+// The derived share_ns column sits between conv_ns and locks (its historic
+// position); everything else follows HDSM_SHARE_STATS_FIELDS order.
+
 std::string ShareStats::csv_header() {
-  return "index_ns,tag_ns,pack_ns,unpack_ns,conv_ns,share_ns,locks,unlocks,"
-         "barriers,updates_sent,updates_received,update_bytes_sent,"
-         "update_bytes_received,dirty_pages,tags_generated,retries,timeouts,"
-         "duplicates_dropped,reconnects";
+  std::string out;
+  const auto add = [&out](std::string_view name) {
+    if (!out.empty()) out += ',';
+    out += name;
+    if (name == "conv_ns") out += ",share_ns";
+  };
+#define HDSM_X(field) add(#field);
+  HDSM_SHARE_STATS_FIELDS(HDSM_X)
+#undef HDSM_X
+  return out;
 }
 
 std::string ShareStats::to_csv_row() const {
   std::ostringstream os;
-  os << index_ns << ',' << tag_ns << ',' << pack_ns << ',' << unpack_ns << ','
-     << conv_ns << ',' << share_ns() << ',' << locks << ',' << unlocks << ','
-     << barriers << ',' << updates_sent << ',' << updates_received << ','
-     << update_bytes_sent << ',' << update_bytes_received << ','
-     << dirty_pages << ',' << tags_generated << ',' << retries << ','
-     << timeouts << ',' << duplicates_dropped << ',' << reconnects;
+  bool first = true;
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    if (!first) os << ',';
+    first = false;
+    os << value;
+    if (name == "conv_ns") os << ',' << share_ns();
+  };
+#define HDSM_X(field) add(#field, field);
+  HDSM_SHARE_STATS_FIELDS(HDSM_X)
+#undef HDSM_X
   return os.str();
 }
 

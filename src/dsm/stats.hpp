@@ -19,6 +19,36 @@
 
 namespace hdsm::dsm {
 
+/// Every ShareStats counter, in declaration (= CSV column) order.  The
+/// aggregation operator and both CSV emitters are generated from this list,
+/// and a static_assert in stats.cpp pins sizeof(ShareStats) to the field
+/// count — adding a counter outside this macro no longer compiles, so the
+/// CSV emitters can never silently desync from the struct again.
+/// Append new counters at the end to keep existing CSV consumers aligned.
+#define HDSM_SHARE_STATS_FIELDS(X) \
+  X(index_ns)                      \
+  X(tag_ns)                        \
+  X(pack_ns)                       \
+  X(unpack_ns)                     \
+  X(conv_ns)                       \
+  X(locks)                         \
+  X(unlocks)                       \
+  X(barriers)                      \
+  X(updates_sent)                  \
+  X(updates_received)              \
+  X(update_bytes_sent)             \
+  X(update_bytes_received)         \
+  X(dirty_pages)                   \
+  X(tags_generated)                \
+  X(retries)                       \
+  X(timeouts)                      \
+  X(duplicates_dropped)            \
+  X(reconnects)                    \
+  X(conv_threads)                  \
+  X(parallel_batches)              \
+  X(plan_cache_hits)               \
+  X(plan_cache_misses)
+
 struct ShareStats {
   // -- Eq.-1 cost buckets, all in nanoseconds of CPU-side work --
   std::uint64_t index_ns = 0;   ///< ns: twin/diff scan + range→run mapping
@@ -46,36 +76,33 @@ struct ShareStats {
   std::uint64_t duplicates_dropped = 0;  ///< count: sequenced dups discarded
   std::uint64_t reconnects = 0;  ///< count: transport re-establishments
 
+  // -- Parallel data plane (SyncOptions::conv_threads, docs/PROTOCOL.md §2) --
+  std::uint64_t conv_threads = 0;  ///< count: worker lanes engaged, summed
+                                   ///  over parallel diff/apply batches
+  std::uint64_t parallel_batches = 0;  ///< count: diff scans + payload applies
+                                       ///  that ran on the worker pool
+  std::uint64_t plan_cache_hits = 0;    ///< count: blocks applied through a
+                                        ///  cached (sender,row) conv plan
+  std::uint64_t plan_cache_misses = 0;  ///< count: blocks that parsed their
+                                        ///  tag and planned from scratch
+
   std::uint64_t share_ns() const noexcept {
     return index_ns + tag_ns + pack_ns + unpack_ns + conv_ns;
   }
 
   ShareStats& operator+=(const ShareStats& o) noexcept {
-    index_ns += o.index_ns;
-    tag_ns += o.tag_ns;
-    pack_ns += o.pack_ns;
-    unpack_ns += o.unpack_ns;
-    conv_ns += o.conv_ns;
-    locks += o.locks;
-    unlocks += o.unlocks;
-    barriers += o.barriers;
-    updates_sent += o.updates_sent;
-    updates_received += o.updates_received;
-    update_bytes_sent += o.update_bytes_sent;
-    update_bytes_received += o.update_bytes_received;
-    dirty_pages += o.dirty_pages;
-    tags_generated += o.tags_generated;
-    retries += o.retries;
-    timeouts += o.timeouts;
-    duplicates_dropped += o.duplicates_dropped;
-    reconnects += o.reconnects;
+#define HDSM_X(field) field += o.field;
+    HDSM_SHARE_STATS_FIELDS(HDSM_X)
+#undef HDSM_X
     return *this;
   }
 
   std::string to_string() const;
 
   /// Header + one-row CSV rendering (for plotting pipelines; the figure
-  /// benches emit these when HDSM_BENCH_CSV names a directory).
+  /// benches emit these when HDSM_BENCH_CSV names a directory).  Both are
+  /// generated from HDSM_SHARE_STATS_FIELDS (plus the derived share_ns
+  /// column), so they cannot drift from the struct.
   static std::string csv_header();
   std::string to_csv_row() const;
 };

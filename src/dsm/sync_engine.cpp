@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "convert/converter.hpp"
 #include "memory/diff.hpp"
@@ -18,13 +21,13 @@ struct ParsedRunTag {
   bool is_pointer = false;
 };
 
-ParsedRunTag parse_run_tag(const std::string& text, bool binary) {
+ParsedRunTag parse_run_tag(std::string_view text, bool binary) {
   tags::Tag tag;
   if (binary) {
     tag = tags::Tag::from_binary(
         reinterpret_cast<const std::byte*>(text.data()), text.size());
   } else {
-    tag = tags::Tag::parse(text);
+    tag = tags::Tag::parse(std::string(text));
   }
   if (tag.items().size() != 1) {
     throw std::runtime_error("update tag must contain exactly one run");
@@ -51,6 +54,28 @@ std::string render_run_tag(const tags::Tag& tag, bool binary) {
   return std::string(reinterpret_cast<const char*>(bin.data()), bin.size());
 }
 
+/// Re-arms a tracked region on scope exit — apply_payload_bulk's window
+/// must close on *every* path; an exception that skipped rearm() would
+/// leave the region unprotected (writes untracked) for the rest of the run.
+class RearmGuard {
+ public:
+  explicit RearmGuard(mem::TrackedRegion* region) : region_(region) {}
+  ~RearmGuard() {
+    if (region_ == nullptr) return;
+    try {
+      region_->rearm();
+    } catch (...) {
+      // rearm() only throws if mprotect itself fails — unrecoverable, but
+      // a destructor must not propagate during unwinding.
+    }
+  }
+  RearmGuard(const RearmGuard&) = delete;
+  RearmGuard& operator=(const RearmGuard&) = delete;
+
+ private:
+  mem::TrackedRegion* region_;
+};
+
 }  // namespace
 
 plat::PlatformDesc wire_platform(const msg::PlatformSummary& s) {
@@ -60,6 +85,82 @@ plat::PlatformDesc wire_platform(const msg::PlatformSummary& s) {
   p.long_double_format = s.long_double_format;
   return p;
 }
+
+// -- Plan structures ---------------------------------------------------------
+
+/// One validated block, resolved to a concrete write: where the sender
+/// bytes live in the payload, where they land in the image, and which
+/// conversion route carries them there.  Built in phase 1 (validate),
+/// executed in phase 2 (apply) — possibly on a different thread.
+struct SyncEngine::BlockPlan {
+  const std::byte* src = nullptr;  ///< element bytes inside the payload
+  std::uint64_t src_len = 0;
+  std::uint32_t src_elem = 0;  ///< sender element size (from the tag)
+  std::uint64_t dst_off = 0;   ///< image byte offset
+  std::uint64_t dst_len = 0;
+  std::uint32_t dst_elem = 0;  ///< this node's element size (from the row)
+  std::uint64_t count = 0;
+  conv::Route route = conv::Route::Memcpy;
+  tags::FlatRun::Cat cat = tags::FlatRun::Cat::Padding;
+  plat::ScalarKind kind = plat::ScalarKind::Int;
+  idx::UpdateRun run;
+};
+
+/// Cached per-(sender, row) decisions: the tag text seen last time, its
+/// parse, and the conversion route — so the steady state (thousands of
+/// blocks re-covering the same rows) parses each row's tag once, not once
+/// per block.
+struct SyncEngine::RowPlan {
+  bool valid = false;
+  std::string tag_text;  ///< exact tag this plan was parsed from
+  std::uint32_t elem_size = 0;
+  std::uint64_t count = 0;  ///< count encoded in tag_text
+  bool is_pointer = false;
+  conv::Route route = conv::Route::Memcpy;
+};
+
+struct SyncEngine::SenderPlanCache {
+  msg::PlatformSummary sender;
+  plat::PlatformDesc sender_platform;
+  std::vector<RowPlan> rows;
+};
+
+SyncEngine::SyncEngine(GlobalSpace& space, const SyncOptions& opts,
+                       ShareStats& stats)
+    : space_(space), opts_(opts), stats_(stats) {}
+
+SyncEngine::~SyncEngine() = default;
+
+SyncEngine::SenderPlanCache& SyncEngine::cache_for(
+    const msg::PlatformSummary& sender) {
+  for (const std::unique_ptr<SenderPlanCache>& c : plan_caches_) {
+    if (c->sender == sender) return *c;
+  }
+  auto cache = std::make_unique<SenderPlanCache>();
+  cache->sender = sender;
+  cache->sender_platform = wire_platform(sender);
+  cache->rows.resize(space_.table().rows().size());
+  plan_caches_.push_back(std::move(cache));
+  return *plan_caches_.back();
+}
+
+unsigned SyncEngine::effective_lanes() const noexcept {
+  if (opts_.conv_threads == 1) return 1;
+  if (opts_.conv_threads > 1) return opts_.conv_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 4u);
+}
+
+WorkerPool* SyncEngine::pool() {
+  const unsigned lanes = effective_lanes();
+  if (lanes <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->lanes() != lanes) {
+    pool_ = std::make_unique<WorkerPool>(lanes - 1);
+  }
+  return pool_.get();
+}
+
+// -- Send side ---------------------------------------------------------------
 
 std::vector<idx::UpdateRun> SyncEngine::collect_runs() {
   StopWatch watch;
@@ -71,16 +172,47 @@ std::vector<idx::UpdateRun> SyncEngine::collect_runs() {
   // Dirty pages are unprotected and this thread owns the interval, so the
   // image can be diffed in place; one mprotect then re-arms the region for
   // the next interval.
-  std::vector<mem::ByteRange> ranges;
   const std::vector<std::size_t> dirty = region.dirty_pages();
   stats_.dirty_pages += dirty.size();
-  for (const std::size_t page : dirty) {
+
+  const auto diff_one = [&](std::size_t page, std::vector<mem::ByteRange>& out) {
     const std::size_t base = page * ps;
-    if (base >= image_size) continue;
+    if (base >= image_size) return;
     const std::size_t len = std::min(ps, image_size - base);
     mem::diff_bytes(region.data() + base, region.twin_page(page), len, base,
-                    ranges, opts_.merge_slack);
+                    out, opts_.merge_slack);
+  };
+
+  std::vector<mem::ByteRange> ranges;
+  const unsigned lanes = effective_lanes();
+  if (lanes > 1 && dirty.size() > 1 &&
+      dirty.size() * ps >= opts_.parallel_grain) {
+    // Parallel diff: contiguous chunks of the (ascending) dirty-page list,
+    // each scanned into its own range vector — every chunk alone satisfies
+    // diff_bytes' ascending-order precondition — then concatenated in
+    // order and re-coalesced so chunk seams merge exactly as the
+    // sequential scan would have merged them.
+    const std::size_t nchunks = std::min<std::size_t>(lanes, dirty.size());
+    const std::size_t per = (dirty.size() + nchunks - 1) / nchunks;
+    std::vector<std::vector<mem::ByteRange>> partial(nchunks);
+    pool()->run(nchunks, [&](std::size_t c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(dirty.size(), begin + per);
+      for (std::size_t i = begin; i < end; ++i) diff_one(dirty[i], partial[c]);
+    });
+    std::size_t total = 0;
+    for (const auto& p : partial) total += p.size();
+    ranges.reserve(total);
+    for (const auto& p : partial) {
+      ranges.insert(ranges.end(), p.begin(), p.end());
+    }
+    mem::coalesce_ranges(ranges, opts_.merge_slack);
+    ++stats_.parallel_batches;
+    stats_.conv_threads += nchunks;
+  } else {
+    for (const std::size_t page : dirty) diff_one(page, ranges);
   }
+
   std::vector<idx::UpdateRun> runs =
       idx::map_ranges_to_runs(table, ranges, opts_.coalesce_runs);
   region.rearm();
@@ -124,6 +256,53 @@ std::vector<UpdateBlock> SyncEngine::pack_runs(
   return blocks;
 }
 
+std::vector<std::byte> SyncEngine::pack_payload(
+    const std::vector<idx::UpdateRun>& runs) {
+  const idx::IndexTable& table = space_.table();
+
+  StopWatch watch;
+  // t_tag: generate the tag text for every run (the paper's sprintf work).
+  std::vector<std::string> tag_texts;
+  tag_texts.reserve(runs.size());
+  for (const idx::UpdateRun& run : runs) {
+    tag_texts.push_back(
+        render_run_tag(idx::run_tag(table, run), opts_.binary_tags));
+  }
+  stats_.tag_ns += watch.lap();
+  stats_.tags_generated += runs.size();
+
+  // t_pack: gather headers, tags, and element bytes straight into one wire
+  // buffer — a single allocation and a single copy of the element data
+  // (the legacy pack_runs + encode_update_blocks path copies each run
+  // twice: image -> block vector -> payload).
+  std::vector<std::uint64_t> offs(runs.size()), lens(runs.size());
+  std::size_t total = 4;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    offs[i] = idx::run_offset(table, runs[i]);
+    lens[i] = idx::run_byte_length(table, runs[i]);
+    total += update_block_wire_size(tag_texts[i].size(),
+                                    static_cast<std::size_t>(lens[i]));
+  }
+  std::vector<std::byte> out;
+  out.reserve(total);
+  wire::put_u32be(out, static_cast<std::uint32_t>(runs.size()));
+  const std::byte* image = space_.region().data();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    wire::put_u32be(out, runs[i].row);
+    wire::put_u64be(out, runs[i].first_elem);
+    wire::put_u32be(out, static_cast<std::uint32_t>(tag_texts[i].size()));
+    wire::put_u64be(out, lens[i]);
+    const std::byte* t =
+        reinterpret_cast<const std::byte*>(tag_texts[i].data());
+    out.insert(out.end(), t, t + tag_texts[i].size());
+    out.insert(out.end(), image + offs[i], image + offs[i] + lens[i]);
+    stats_.update_bytes_sent += lens[i];
+    ++stats_.updates_sent;
+  }
+  stats_.pack_ns += watch.lap();
+  return out;
+}
+
 std::vector<UpdateBlock> SyncEngine::collect_updates(
     std::vector<idx::UpdateRun>* runs_out) {
   const std::vector<idx::UpdateRun> runs = collect_runs();
@@ -131,87 +310,231 @@ std::vector<UpdateBlock> SyncEngine::collect_updates(
   return pack_runs(runs);
 }
 
-std::vector<idx::UpdateRun> SyncEngine::apply_payload(
+std::vector<std::byte> SyncEngine::collect_payload(
+    std::vector<idx::UpdateRun>* runs_out) {
+  const std::vector<idx::UpdateRun> runs = collect_runs();
+  if (runs_out != nullptr) *runs_out = runs;
+  return pack_payload(runs);
+}
+
+// -- Receive side: phase 1 (validate + plan) ---------------------------------
+
+std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
     const std::vector<std::byte>& payload,
     const msg::PlatformSummary& sender) {
   const idx::IndexTable& table = space_.table();
-  const plat::PlatformDesc sender_platform = wire_platform(sender);
   const plat::PlatformDesc& my_platform = space_.platform();
-  const bool sender_homogeneous =
-      msg::PlatformSummary::of(my_platform) == sender;
 
-  // t_unpack: decode the payload and parse every tag.
-  StopWatch watch;
-  const std::vector<UpdateBlock> blocks = decode_update_blocks(payload);
-  std::vector<ParsedRunTag> parsed;
-  parsed.reserve(blocks.size());
-  for (const UpdateBlock& b : blocks) {
-    parsed.push_back(parse_run_tag(b.tag, opts_.binary_tags));
-  }
-  stats_.unpack_ns += watch.lap();
+  const std::vector<UpdateBlockView> views =
+      decode_update_block_views(payload);
+  SenderPlanCache& cache = cache_for(sender);
 
-  // t_conv: convert (or memcpy) each block into this node's image.
-  std::vector<idx::UpdateRun> applied;
-  applied.reserve(blocks.size());
-  std::vector<std::byte> scratch;
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    const UpdateBlock& b = blocks[i];
-    const ParsedRunTag& t = parsed[i];
-    if (b.row >= table.rows().size()) {
+  std::vector<BlockPlan> plans;
+  plans.reserve(views.size());
+  for (const UpdateBlockView& v : views) {
+    if (v.row >= table.rows().size()) {
       throw std::runtime_error("update block row out of range");
     }
-    const idx::IndexRow& row = table.rows()[b.row];
+    const idx::IndexRow& row = table.rows()[v.row];
     if (row.is_padding()) {
       throw std::runtime_error("update block targets a padding row");
     }
-    if (t.is_pointer != row.is_pointer()) {
+
+    RowPlan& rp = cache.rows[v.row];
+    const bool hit = opts_.plan_cache && rp.valid && rp.tag_text == v.tag;
+    if (hit) {
+      ++stats_.plan_cache_hits;
+    } else {
+      const ParsedRunTag parsed = parse_run_tag(v.tag, opts_.binary_tags);
+      if (opts_.plan_cache) ++stats_.plan_cache_misses;
+      // The route depends only on (sender rep, row) facts, not the count,
+      // so it survives tag changes that merely re-run a different span.
+      if (!rp.valid || rp.elem_size != parsed.elem_size) {
+        rp.route = conv::plan_route(parsed.elem_size, cache.sender_platform,
+                                    row.size, my_platform, row.cat, row.kind,
+                                    opts_.bulk_swap_fastpath,
+                                    /*has_translator=*/false);
+      }
+      rp.valid = true;
+      rp.tag_text.assign(v.tag);
+      rp.elem_size = parsed.elem_size;
+      rp.count = parsed.count;
+      rp.is_pointer = parsed.is_pointer;
+    }
+
+    if (rp.is_pointer != row.is_pointer()) {
+      rp.valid = false;  // don't cache a plan that failed validation
       throw std::runtime_error("update tag pointer-ness mismatch");
     }
-    if (b.first_elem + t.count > row.element_count()) {
+    if (rp.count > row.element_count() ||
+        v.first_elem > row.element_count() - rp.count) {
+      rp.valid = false;
       throw std::runtime_error("update block exceeds row bounds");
     }
-    if (b.data.size() !=
-        static_cast<std::uint64_t>(t.elem_size) * t.count) {
+    const bool len_ok =
+        rp.count == 0
+            ? v.data_len == 0
+            : rp.elem_size != 0 && v.data_len % rp.elem_size == 0 &&
+                  v.data_len / rp.elem_size == rp.count;
+    if (!len_ok) {
+      rp.valid = false;
       throw std::runtime_error("update data length disagrees with tag");
     }
 
-    const std::uint64_t dst_off = row.offset + b.first_elem * row.size;
-    const std::uint64_t dst_len =
-        static_cast<std::uint64_t>(row.size) * t.count;
-    if (sender_homogeneous && t.elem_size == row.size) {
-      // "a string comparison to ensure identical tags" suffices: memcpy
-      // the wire bytes straight into the image.
-      space_.region().apply_update(dst_off, b.data.data(), dst_len);
-    } else {
-      scratch.resize(dst_len);
-      conv::convert_run(b.data.data(), t.elem_size, sender_platform,
-                        scratch.data(), row.size, my_platform, t.count,
-                        row.cat, row.kind, nullptr, nullptr,
-                        opts_.bulk_swap_fastpath);
-      space_.region().apply_update(dst_off, scratch.data(), dst_len);
-    }
-    stats_.update_bytes_received += b.data.size();
-    ++stats_.updates_received;
-
-    idx::UpdateRun run;
-    run.row = b.row;
-    run.first_elem = b.first_elem;
-    run.count = t.count;
-    applied.push_back(run);
+    BlockPlan p;
+    p.src = v.data;
+    p.src_len = v.data_len;
+    p.src_elem = rp.elem_size;
+    p.dst_off = row.offset + v.first_elem * row.size;
+    p.dst_len = static_cast<std::uint64_t>(row.size) * rp.count;
+    p.dst_elem = row.size;
+    p.count = rp.count;
+    p.route = rp.route;
+    p.cat = row.cat;
+    p.kind = row.kind;
+    p.run.row = v.row;
+    p.run.first_elem = v.first_elem;
+    p.run.count = rp.count;
+    plans.push_back(p);
   }
+  return plans;
+}
+
+// -- Receive side: phase 2 (execute) -----------------------------------------
+
+void SyncEngine::execute_plans(const std::vector<BlockPlan>& plans,
+                               const msg::PlatformSummary& sender) {
+  if (plans.empty()) return;
+  const plat::PlatformDesc sender_platform = wire_platform(sender);
+  const plat::PlatformDesc& my_platform = space_.platform();
+  mem::TrackedRegion& region = space_.region();
+
+  const auto apply_one = [&](const BlockPlan& p,
+                             std::vector<std::byte>& scratch) {
+    if (p.route == conv::Route::Memcpy) {
+      // Zero-copy fast path: the wire bytes go straight from the payload
+      // into the image ("a string comparison to ensure identical tags"
+      // suffices, paper §4).
+      region.apply_update(p.dst_off, p.src, p.dst_len);
+      return;
+    }
+    scratch.resize(p.dst_len);
+    conv::convert_run_routed(p.route, p.src, p.src_elem, sender_platform,
+                             scratch.data(), p.dst_elem, my_platform, p.count,
+                             p.cat, p.kind, nullptr, nullptr);
+    region.apply_update(p.dst_off, scratch.data(), p.dst_len);
+  };
+
+  std::uint64_t total = 0;
+  for (const BlockPlan& p : plans) total += p.dst_len;
+
+  // Plans whose destination ranges overlap (duplicate or adversarial
+  // blocks) must apply in payload order — parallel execution would race
+  // the overlap.  Sorted-sweep check; plans are usually ascending already.
+  const auto plans_overlap = [&plans]() {
+    std::vector<std::uint32_t> order(plans.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&plans](std::uint32_t a, std::uint32_t b) {
+                return plans[a].dst_off < plans[b].dst_off;
+              });
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const BlockPlan& prev = plans[order[i - 1]];
+      const BlockPlan& cur = plans[order[i]];
+      if (cur.dst_off < prev.dst_off + prev.dst_len) return true;
+    }
+    return false;
+  };
+
+  const unsigned lanes = effective_lanes();
+  const bool parallel = lanes > 1 && plans.size() > 1 &&
+                        total >= opts_.parallel_grain && !plans_overlap();
+  if (!parallel) {
+    std::vector<std::byte> scratch;
+    for (const BlockPlan& p : plans) apply_one(p, scratch);
+    return;
+  }
+
+  // Partition plans into byte-balanced contiguous chunks, one task per
+  // chunk; every chunk writes disjoint image bytes (checked above), and
+  // TrackedRegion::apply_update is safe for concurrent disjoint writes.
+  const std::uint64_t target = (total + lanes - 1) / lanes;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::size_t begin = 0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    acc += plans[i].dst_len;
+    if (acc >= target && chunks.size() + 1 < lanes) {
+      chunks.emplace_back(begin, i + 1);
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  if (begin < plans.size()) chunks.emplace_back(begin, plans.size());
+
+  if (chunks.size() < 2) {
+    std::vector<std::byte> scratch;
+    for (const BlockPlan& p : plans) apply_one(p, scratch);
+    return;
+  }
+
+  pool()->run(chunks.size(), [&](std::size_t c) {
+    std::vector<std::byte> scratch;
+    for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      apply_one(plans[i], scratch);
+    }
+  });
+  ++stats_.parallel_batches;
+  stats_.conv_threads += chunks.size();
+}
+
+std::vector<idx::UpdateRun> SyncEngine::apply_payload(
+    const std::vector<std::byte>& payload,
+    const msg::PlatformSummary& sender) {
+  // t_unpack: decode the payload, parse tags (plan cache), validate all.
+  StopWatch watch;
+  const std::vector<BlockPlan> plans = validate_payload(payload, sender);
+  stats_.unpack_ns += watch.lap();
+
+  // t_conv: convert (or memcpy) each planned block into this node's image.
+  execute_plans(plans, sender);
   stats_.conv_ns += watch.lap();
+
+  std::vector<idx::UpdateRun> applied;
+  applied.reserve(plans.size());
+  for (const BlockPlan& p : plans) {
+    stats_.update_bytes_received += p.src_len;
+    ++stats_.updates_received;
+    applied.push_back(p.run);
+  }
   return applied;
 }
 
 std::vector<idx::UpdateRun> SyncEngine::apply_payload_bulk(
     const std::vector<std::byte>& payload,
     const msg::PlatformSummary& sender) {
+  // Validate before the window opens: a malformed payload throws here and
+  // the region protection is never touched at all.
+  StopWatch watch;
+  const std::vector<BlockPlan> plans = validate_payload(payload, sender);
+  stats_.unpack_ns += watch.lap();
+
   mem::TrackedRegion& region = space_.region();
   const bool was_tracking = region.tracking();
   if (was_tracking) region.unprotect_for_apply();
-  std::vector<idx::UpdateRun> runs = apply_payload(payload, sender);
-  if (was_tracking) region.rearm();
-  return runs;
+  RearmGuard rearm(was_tracking ? &region : nullptr);
+
+  execute_plans(plans, sender);
+  stats_.conv_ns += watch.lap();
+
+  std::vector<idx::UpdateRun> applied;
+  applied.reserve(plans.size());
+  for (const BlockPlan& p : plans) {
+    stats_.update_bytes_received += p.src_len;
+    ++stats_.updates_received;
+    applied.push_back(p.run);
+  }
+  return applied;
 }
 
 std::vector<idx::UpdateRun> SyncEngine::full_image_runs(

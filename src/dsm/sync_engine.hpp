@@ -4,22 +4,36 @@
 // receive side ("receive updates / parse tags -> heterogeneous? transform
 // data : memcopy data").
 //
+// The receive side is a two-phase validate-then-apply pipeline: phase 1
+// decodes the payload zero-copy, parses tags through a per-(sender, row)
+// conversion-plan cache, and validates every block against the index table
+// *before any byte lands*; phase 2 executes the planned conversions —
+// optionally fanned out over a worker pool (SyncOptions::conv_threads).
+// Application is therefore all-or-nothing: a payload with one malformed
+// block changes nothing, and apply_payload_bulk's unprotected window is
+// re-armed by an RAII guard on every exit path.
+//
 // All work is accounted into the Eq.-1 ShareStats buckets of the owning
-// node.
+// node.  A SyncEngine is not internally synchronized: callers serialize
+// access exactly as they always have (home: the shell state mutex; remote:
+// the single application thread).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dsm/global_space.hpp"
 #include "dsm/stats.hpp"
 #include "dsm/update.hpp"
+#include "dsm/worker_pool.hpp"
 #include "msg/message.hpp"
 
 namespace hdsm::dsm {
 
-/// Knobs exposed for the ablation benches.
-struct DsdOptions {
+/// Knobs for the data plane (diff/tag/pack/unpack/convert pipeline),
+/// exposed for the ablation benches and the parallel-path A/B bench.
+struct SyncOptions {
   /// Group consecutive modified array elements into one tag (paper §5:
   /// "distill many indexes into a single tag").
   bool coalesce_runs = true;
@@ -33,27 +47,62 @@ struct DsdOptions {
   /// runs.  Off = the paper's 2006 element-wise conversion cost profile
   /// (what Figures 10/11 measure); on = this library's default.
   bool bulk_swap_fastpath = true;
+
+  // -- Parallel data plane (this library's extension) --
+
+  /// Worker lanes for dirty-page diffing and per-block conversion.
+  /// 0 = auto (hardware_concurrency, capped at 4); 1 = the sequential
+  /// path, kept selectable for A/B benching; N > 1 = N-way (the calling
+  /// thread is one lane, N-1 pool threads are spawned lazily).
+  unsigned conv_threads = 0;
+  /// Minimum bytes of diff/conversion work before the pool engages; below
+  /// it the sequential path runs (a single-run payload must not pay the
+  /// dispatch cost).
+  std::size_t parallel_grain = 64 * 1024;
+  /// Cache tag-parse + conversion-route decisions per (sender platform,
+  /// row), so repeated blocks of the same row skip the parse (off = the
+  /// 2006 once-per-block behaviour, for the ablation bench).
+  bool plan_cache = true;
 };
+
+/// Historic name (DSD = the paper's distributed-shared-data layer).
+using DsdOptions = SyncOptions;
 
 class SyncEngine {
  public:
-  SyncEngine(GlobalSpace& space, const DsdOptions& opts, ShareStats& stats)
-      : space_(space), opts_(opts), stats_(stats) {}
+  // Constructor/destructor out of line: plan-cache member types are
+  // defined in the .cpp.
+  SyncEngine(GlobalSpace& space, const SyncOptions& opts, ShareStats& stats);
+  ~SyncEngine();
 
   /// Diff the tracked region against its twins and map the changes to
-  /// element runs (t_index).  Restarts the tracking interval.
+  /// element runs (t_index).  Restarts the tracking interval.  Dirty sets
+  /// past SyncOptions::parallel_grain are partitioned across the worker
+  /// pool.
   std::vector<idx::UpdateRun> collect_runs();
 
   /// Tag (t_tag) and pack (t_pack) runs into wire blocks, reading element
-  /// bytes from this node's image.
+  /// bytes from this node's image.  (Legacy two-copy path; the wire path
+  /// uses pack_payload.)
   std::vector<UpdateBlock> pack_runs(const std::vector<idx::UpdateRun>& runs);
+
+  /// Tag and pack runs directly into one wire payload: a single allocation
+  /// and a single copy of the element bytes, byte-identical to
+  /// encode_update_blocks(pack_runs(runs)).
+  std::vector<std::byte> pack_payload(const std::vector<idx::UpdateRun>& runs);
 
   /// collect_runs() + pack_runs() — the full MTh_unlock send side.
   std::vector<UpdateBlock> collect_updates(
       std::vector<idx::UpdateRun>* runs_out = nullptr);
 
+  /// collect_runs() + pack_payload(): the zero-copy MTh_unlock send side.
+  std::vector<std::byte> collect_payload(
+      std::vector<idx::UpdateRun>* runs_out = nullptr);
+
   /// Decode a payload (t_unpack), convert every block into this node's
   /// representation (t_conv), and apply it to the image twin-transparently.
+  /// Two-phase: every block validates against the index table before any
+  /// is applied, so a malformed payload throws with the image untouched.
   /// Returns the runs applied (for pending-set merging at the home node).
   std::vector<idx::UpdateRun> apply_payload(
       const std::vector<std::byte>& payload,
@@ -61,7 +110,9 @@ class SyncEngine {
 
   /// apply_payload through an unprotected window (no per-page faults) —
   /// for barrier-release batches, where the applying thread is blocked and
-  /// the interval was just re-armed.  Re-arms the region afterwards.
+  /// the interval was just re-armed.  Re-arms the region afterwards on
+  /// every path, including exceptions (RAII guard), so a rejected payload
+  /// can never leave write tracking disabled.
   std::vector<idx::UpdateRun> apply_payload_bulk(
       const std::vector<std::byte>& payload,
       const msg::PlatformSummary& sender);
@@ -70,13 +121,37 @@ class SyncEngine {
   static std::vector<idx::UpdateRun> full_image_runs(
       const idx::IndexTable& table);
 
-  const DsdOptions& options() const noexcept { return opts_; }
+  const SyncOptions& options() const noexcept { return opts_; }
   GlobalSpace& space() noexcept { return space_; }
 
+  /// The parallelism collect/apply can reach under current options
+  /// (resolves conv_threads = 0 to the auto value).
+  unsigned effective_lanes() const noexcept;
+
  private:
+  struct BlockPlan;
+  struct RowPlan;
+  struct SenderPlanCache;
+
+  /// Phase 1: decode + validate `payload`, resolving each block to a fully
+  /// planned write.  Throws without side effects on any malformed block.
+  std::vector<BlockPlan> validate_payload(
+      const std::vector<std::byte>& payload,
+      const msg::PlatformSummary& sender);
+  /// Phase 2: execute validated plans (sequential or on the pool).
+  void execute_plans(const std::vector<BlockPlan>& plans,
+                     const msg::PlatformSummary& sender);
+  /// Plan cache lookup for `sender` (creates the per-sender table).
+  SenderPlanCache& cache_for(const msg::PlatformSummary& sender);
+  /// The pool sized per opts_.conv_threads (created lazily; null while the
+  /// effective lane count is 1).
+  WorkerPool* pool();
+
   GlobalSpace& space_;
-  DsdOptions opts_;
+  SyncOptions opts_;
   ShareStats& stats_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<std::unique_ptr<SenderPlanCache>> plan_caches_;
 };
 
 /// Merge `add` into the sorted, disjoint run set `into` (row-major order,

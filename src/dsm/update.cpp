@@ -4,7 +4,7 @@
 
 namespace hdsm::dsm {
 
-namespace {
+namespace wire {
 
 void put_u32be(std::vector<std::byte>& out, std::uint32_t v) {
   out.push_back(static_cast<std::byte>(v >> 24));
@@ -17,6 +17,10 @@ void put_u64be(std::vector<std::byte>& out, std::uint64_t v) {
   put_u32be(out, static_cast<std::uint32_t>(v >> 32));
   put_u32be(out, static_cast<std::uint32_t>(v));
 }
+
+}  // namespace wire
+
+namespace {
 
 class Reader {
  public:
@@ -37,18 +41,12 @@ class Reader {
     return (hi << 32) | u32();
   }
 
-  std::string str(std::size_t n) {
+  /// Borrow `n` bytes in place (no copy); the pointer aliases the payload.
+  const std::byte* view(std::size_t n) {
     need(n);
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    const std::byte* p = buf_.data() + pos_;
     pos_ += n;
-    return s;
-  }
-
-  std::vector<std::byte> bytes(std::size_t n) {
-    need(n);
-    std::vector<std::byte> b(buf_.begin() + pos_, buf_.begin() + pos_ + n);
-    pos_ += n;
-    return b;
+    return p;
   }
 
   bool done() const { return pos_ == buf_.size(); }
@@ -71,15 +69,15 @@ std::vector<std::byte> encode_update_blocks(
   std::vector<std::byte> out;
   std::size_t total = 4;
   for (const UpdateBlock& b : blocks) {
-    total += 4 + 8 + 4 + 8 + b.tag.size() + b.data.size();
+    total += update_block_wire_size(b.tag.size(), b.data.size());
   }
   out.reserve(total);
-  put_u32be(out, static_cast<std::uint32_t>(blocks.size()));
+  wire::put_u32be(out, static_cast<std::uint32_t>(blocks.size()));
   for (const UpdateBlock& b : blocks) {
-    put_u32be(out, b.row);
-    put_u64be(out, b.first_elem);
-    put_u32be(out, static_cast<std::uint32_t>(b.tag.size()));
-    put_u64be(out, b.data.size());
+    wire::put_u32be(out, b.row);
+    wire::put_u64be(out, b.first_elem);
+    wire::put_u32be(out, static_cast<std::uint32_t>(b.tag.size()));
+    wire::put_u64be(out, b.data.size());
     const std::byte* t = reinterpret_cast<const std::byte*>(b.tag.data());
     out.insert(out.end(), t, t + b.tag.size());
     out.insert(out.end(), b.data.begin(), b.data.end());
@@ -87,7 +85,7 @@ std::vector<std::byte> encode_update_blocks(
   return out;
 }
 
-std::vector<UpdateBlock> decode_update_blocks(
+std::vector<UpdateBlockView> decode_update_block_views(
     const std::vector<std::byte>& payload) {
   Reader r(payload);
   const std::uint32_t count = r.u32();
@@ -97,20 +95,38 @@ std::vector<UpdateBlock> decode_update_blocks(
   if (count > (payload.size() - 4) / 24) {
     throw std::runtime_error("update payload block count exceeds buffer");
   }
-  std::vector<UpdateBlock> blocks;
+  std::vector<UpdateBlockView> blocks;
   blocks.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    UpdateBlock b;
+    UpdateBlockView b;
     b.row = r.u32();
     b.first_elem = r.u64();
     const std::uint32_t tag_len = r.u32();
-    const std::uint64_t data_len = r.u64();
-    b.tag = r.str(tag_len);
-    b.data = r.bytes(data_len);
-    blocks.push_back(std::move(b));
+    b.data_len = r.u64();
+    b.tag = std::string_view(
+        reinterpret_cast<const char*>(r.view(tag_len)), tag_len);
+    b.data = r.view(static_cast<std::size_t>(b.data_len));
+    blocks.push_back(b);
   }
   if (!r.done()) {
     throw std::runtime_error("update payload has trailing bytes");
+  }
+  return blocks;
+}
+
+std::vector<UpdateBlock> decode_update_blocks(
+    const std::vector<std::byte>& payload) {
+  const std::vector<UpdateBlockView> views =
+      decode_update_block_views(payload);
+  std::vector<UpdateBlock> blocks;
+  blocks.reserve(views.size());
+  for (const UpdateBlockView& v : views) {
+    UpdateBlock b;
+    b.row = v.row;
+    b.first_elem = v.first_elem;
+    b.tag.assign(v.tag);
+    b.data.assign(v.data, v.data + v.data_len);
+    blocks.push_back(std::move(b));
   }
   return blocks;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "msg/message.hpp"
@@ -24,6 +25,17 @@ struct UpdateBlock {
   std::vector<std::byte> data;   ///< raw bytes, sender representation
 };
 
+/// A decoded block that *borrows* its tag and data from the payload buffer
+/// instead of copying them — the zero-copy unpack path.  Valid only while
+/// the payload vector it was decoded from is alive and unmodified.
+struct UpdateBlockView {
+  std::uint32_t row = 0;
+  std::uint64_t first_elem = 0;
+  std::string_view tag;          ///< borrowed from the payload
+  const std::byte* data = nullptr;  ///< borrowed from the payload
+  std::uint64_t data_len = 0;
+};
+
 /// Serialize blocks into a message payload (header fields network order;
 /// tag ASCII; data opaque).
 std::vector<std::byte> encode_update_blocks(
@@ -33,5 +45,25 @@ std::vector<std::byte> encode_update_blocks(
 /// input.
 std::vector<UpdateBlock> decode_update_blocks(
     const std::vector<std::byte>& payload);
+
+/// Zero-copy decode: same validation and framing as decode_update_blocks,
+/// but tags and data stay in place in `payload`.  Throws std::runtime_error
+/// on malformed input.
+std::vector<UpdateBlockView> decode_update_block_views(
+    const std::vector<std::byte>& payload);
+
+/// Big-endian wire primitives shared by the block codec and the zero-copy
+/// single-buffer packer in SyncEngine.
+namespace wire {
+void put_u32be(std::vector<std::byte>& out, std::uint32_t v);
+void put_u64be(std::vector<std::byte>& out, std::uint64_t v);
+}  // namespace wire
+
+/// Wire size of one block with `tag_len` tag bytes and `data_len` data
+/// bytes (the per-block fixed header is 24 bytes).
+constexpr std::size_t update_block_wire_size(std::size_t tag_len,
+                                             std::size_t data_len) {
+  return 4 + 8 + 4 + 8 + tag_len + data_len;
+}
 
 }  // namespace hdsm::dsm

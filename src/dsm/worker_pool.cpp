@@ -1,0 +1,80 @@
+#include "dsm/worker_pool.hpp"
+
+namespace hdsm::dsm {
+
+WorkerPool::WorkerPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::drain() noexcept {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    // Degenerate pool: pure sequential execution on the caller.
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    drain();
+    if (error_) std::rethrow_exception(error_);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  cv_.notify_all();
+  drain();  // the caller is a lane too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace hdsm::dsm

@@ -1,0 +1,74 @@
+// A small persistent worker pool for the parallel data plane.
+//
+// The Eq.-1 hot path (dirty-page diffing in t_index, per-block CGT-RMR
+// conversion in t_conv) is embarrassingly parallel once the update pipeline
+// is split into validate-then-apply phases: every work item reads and
+// writes disjoint bytes.  This pool keeps `workers` threads parked on a
+// condition variable so repeated sync intervals pay no thread-spawn cost.
+//
+// Usage contract:
+//   * run() executes fn(0..n-1); the *calling* thread participates, so a
+//     pool of W-1 workers yields W-way parallelism.
+//   * run() is not reentrant and must not be called from two threads at
+//     once — the SyncEngine that owns a pool is already externally
+//     serialized (home: state mutex; remote: single application thread).
+//   * exceptions thrown by fn are captured; the first one is rethrown on
+//     the caller after every index has been claimed and finished, so no
+//     task is left running when run() returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdsm::dsm {
+
+class WorkerPool {
+ public:
+  /// Spawns `workers` parked threads (0 is valid: run() then executes
+  /// everything on the caller, useful as a degenerate sequential pool).
+  explicit WorkerPool(unsigned workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Run fn(i) for every i in [0, n), work-stealing by atomic index.  The
+  /// caller participates; returns when all n items finished.  Rethrows the
+  /// first captured exception.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The parallelism run() achieves: workers + the calling thread.
+  unsigned lanes() const noexcept { return workers() + 1; }
+
+ private:
+  void worker_loop();
+  /// Claim indices until the job is exhausted; never throws (exceptions
+  /// are stashed in error_).
+  void drain() noexcept;
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;       // workers wait for a new job
+  std::condition_variable done_cv_;  // caller waits for workers to finish
+  std::uint64_t generation_ = 0;     // bumped per run()
+  bool stop_ = false;
+  unsigned active_ = 0;  // workers still draining the current job
+
+  // Current job (written under mutex_ before the generation bump).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace hdsm::dsm

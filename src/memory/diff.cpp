@@ -1,6 +1,7 @@
 #include "memory/diff.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace hdsm::mem {
 
@@ -46,6 +47,13 @@ std::size_t find_same(const std::byte* a, const std::byte* b, std::size_t i,
 void diff_bytes(const std::byte* current, const std::byte* twin,
                 std::size_t len, std::size_t base_offset,
                 std::vector<ByteRange>& out, std::size_t merge_slack) {
+  if (!out.empty() && base_offset < out.back().begin) {
+    // The back-merge below assumes callers scan pages in ascending offset
+    // order; silently accepting an out-of-order window would merge wrong
+    // ranges.  One compare per page — not per byte — so this is free.
+    throw std::invalid_argument(
+        "diff_bytes: windows must be diffed in ascending offset order");
+  }
   std::size_t i = 0;
   while (i < len) {
     const std::size_t d = find_diff(current, twin, i, len);

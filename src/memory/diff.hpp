@@ -23,7 +23,16 @@ struct ByteRange {
 
 /// Compare `len` bytes of `current` against `twin`; append the differing
 /// ranges (offset by `base_offset`) to `out`.  Ranges separated by an
-/// unchanged gap of at most `merge_slack` bytes are merged.
+/// unchanged gap of at most `merge_slack` bytes are merged — including
+/// across successive calls (the cross-page case): a new range whose begin
+/// is within `merge_slack` of `out.back().end` extends that range.
+///
+/// Precondition: successive calls appending into the same `out` must scan
+/// ascending, non-overlapping windows — `base_offset` must be at or after
+/// the begin of `out.back()` — or the in-place merge would corrupt the
+/// range list.  Violations throw std::invalid_argument.  (The parallel
+/// diff path satisfies this per worker chunk and coalesces chunk seams
+/// with coalesce_ranges afterwards.)
 void diff_bytes(const std::byte* current, const std::byte* twin,
                 std::size_t len, std::size_t base_offset,
                 std::vector<ByteRange>& out, std::size_t merge_slack = 0);

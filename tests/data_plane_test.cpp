@@ -1,0 +1,541 @@
+// Tests for the two-phase (validate-then-apply) parallel data plane:
+// all-or-nothing payload application, the RAII re-arm guarantee of
+// apply_payload_bulk, zero-copy single-buffer packing, the worker pool,
+// the per-(sender, row) conversion-plan cache, and sequential/parallel
+// equivalence of both collect and apply.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dsm/global_space.hpp"
+#include "dsm/home.hpp"
+#include "dsm/sync_engine.hpp"
+#include "dsm/trace.hpp"
+#include "dsm/update.hpp"
+#include "dsm/worker_pool.hpp"
+#include "msg/message.hpp"
+
+namespace dsm = hdsm::dsm;
+namespace tags = hdsm::tags;
+namespace plat = hdsm::plat;
+namespace msg = hdsm::msg;
+using tags::TypeDesc;
+
+namespace {
+
+tags::TypePtr small_gthv(std::uint64_t n = 64) {
+  return TypeDesc::struct_of("G", {{"GThP", TypeDesc::pointer()},
+                                   {"A", TypeDesc::array(tags::t_int(), n)},
+                                   {"D", TypeDesc::array(tags::t_double(), 8)},
+                                   {"n", tags::t_int()}});
+}
+
+/// A multi-page GThV big enough to clear the default parallel grain.
+tags::TypePtr big_gthv(std::uint64_t ints = 1 << 18) {
+  return TypeDesc::struct_of(
+      "G", {{"A", TypeDesc::array(tags::t_int(), ints)},
+            {"D", TypeDesc::array(tags::t_double(), 1 << 12)}});
+}
+
+std::vector<std::byte> image_snapshot(const dsm::GlobalSpace& g) {
+  const std::byte* base = g.region().data();
+  return std::vector<std::byte>(base, base + g.table().image_size());
+}
+
+dsm::SyncOptions lanes(unsigned n) {
+  dsm::SyncOptions o;
+  o.conv_threads = n;
+  return o;
+}
+
+}  // namespace
+
+// ---- worker pool -----------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  dsm::WorkerPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  EXPECT_EQ(pool.lanes(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossJobs) {
+  dsm::WorkerPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(17, [&](std::size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(WorkerPool, FirstExceptionRethrownAfterDrain) {
+  dsm::WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run(64,
+               [&](std::size_t i) {
+                 ++ran;
+                 if (i == 7) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // Every index was still claimed and finished: no task left behind.
+  EXPECT_EQ(ran.load(), 64);
+  // The pool is fully usable afterwards.
+  std::atomic<int> ok{0};
+  pool.run(8, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(WorkerPool, ZeroWorkersRunsOnCaller) {
+  dsm::WorkerPool pool(0);
+  EXPECT_EQ(pool.lanes(), 1u);
+  int sum = 0;  // no atomics needed: everything runs on this thread
+  pool.run(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+// ---- atomic (all-or-nothing) application -----------------------------------
+
+TEST(AtomicApply, ValidPrefixIsNotAppliedWhenALaterBlockIsMalformed) {
+  dsm::GlobalSpace receiver(small_gthv(), plat::linux_ia32());
+  dsm::ShareStats rs;
+  dsm::SyncEngine engine(receiver, {}, rs);
+  const auto summary = msg::PlatformSummary::of(plat::linux_ia32());
+
+  dsm::UpdateBlock good;
+  good.row = 2;  // "A"
+  good.first_elem = 0;
+  good.tag = "(4,1)";
+  good.data.assign(4, std::byte{0x5a});
+  dsm::UpdateBlock bad = good;
+  bad.row = 999;  // validation fails on the *second* block
+
+  const std::vector<std::byte> before = image_snapshot(receiver);
+  EXPECT_THROW(engine.apply_payload(dsm::encode_update_blocks({good, bad}),
+                                    summary),
+               std::runtime_error);
+  // Phase 1 rejected the payload before phase 2 wrote anything: the valid
+  // first block must not have landed (the pre-refactor engine interleaved
+  // validate and apply, leaving a torn update here).
+  EXPECT_EQ(image_snapshot(receiver), before);
+  EXPECT_EQ(rs.updates_received, 0u);
+
+  // The same good block alone still applies.
+  engine.apply_payload(dsm::encode_update_blocks({good}), summary);
+  EXPECT_EQ(receiver.view<std::int32_t>("A").get(0), 0x5a5a5a5a);
+}
+
+TEST(AtomicApply, BulkRearmsTrackingOnThrow) {
+  dsm::GlobalSpace receiver(small_gthv(), plat::linux_ia32());
+  dsm::ShareStats rs;
+  dsm::SyncEngine engine(receiver, {}, rs);
+  const auto summary = msg::PlatformSummary::of(plat::linux_ia32());
+
+  receiver.region().begin_tracking();
+  receiver.view<std::int32_t>("A").set(1, 11);
+  (void)engine.collect_runs();  // consume the interval; region re-armed
+
+  // Mid-interval, a malformed payload arrives on the bulk path: one valid
+  // block, then one whose data length disagrees with its tag.
+  dsm::UpdateBlock good;
+  good.row = 2;
+  good.first_elem = 3;
+  good.tag = "(4,1)";
+  good.data.assign(4, std::byte{0x77});
+  dsm::UpdateBlock torn;
+  torn.row = 2;
+  torn.first_elem = 10;
+  torn.tag = "(4,2)";
+  torn.data.assign(4, std::byte{0x13});  // 4 bytes, tag says 8
+
+  const std::vector<std::byte> before = image_snapshot(receiver);
+  EXPECT_THROW(engine.apply_payload_bulk(
+                   dsm::encode_update_blocks({good, torn}), summary),
+               std::runtime_error);
+
+  // No torn bytes, and write tracking is still armed (the pre-guard code
+  // skipped rearm() on the exception path, leaving every later write
+  // untracked for the rest of the run).
+  EXPECT_EQ(image_snapshot(receiver), before);
+  EXPECT_TRUE(receiver.region().tracking());
+  receiver.view<std::int32_t>("A").set(5, 55);
+  const auto runs = engine.collect_runs();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].first_elem, 5u);
+  EXPECT_EQ(runs[0].count, 1u);
+  receiver.region().end_tracking();
+}
+
+TEST(AtomicApply, HomeDetachesSenderOfMalformedPayload) {
+  // End to end through the home node: a malformed-block unlock payload
+  // must apply nothing to the master image, leave the home operational,
+  // and detach the sender.
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(small_gthv(), plat::linux_ia32(), hopts);
+  msg::EndpointPtr ep = home.attach(1);
+  home.start();
+  const std::string tag = home.space().image_tag_text();
+
+  const auto raw = [](msg::MsgType t, std::uint32_t seq, std::uint32_t sync_id,
+                      const std::string& hello_tag = "",
+                      std::vector<std::byte> payload = {}) {
+    msg::Message m;
+    m.type = t;
+    m.seq = seq;
+    m.sync_id = sync_id;
+    m.rank = 1;
+    m.sender = msg::PlatformSummary::of(plat::linux_ia32());
+    m.tag = hello_tag;
+    m.payload = std::move(payload);
+    return m;
+  };
+
+  ep->send(raw(msg::MsgType::Hello, 0, /*epoch=*/1, tag));
+  ep->send(raw(msg::MsgType::LockRequest, 1, 0));
+  ASSERT_EQ(ep->recv().type, msg::MsgType::LockGrant);
+
+  dsm::UpdateBlock good;
+  good.row = 2;
+  good.first_elem = 0;
+  good.tag = "(4,1)";
+  good.data.assign(4, std::byte{0x21});
+  dsm::UpdateBlock bad = good;
+  bad.first_elem = 63;
+  bad.tag = "(4,2)";  // overruns the row
+  bad.data.assign(8, std::byte{0x42});
+  ep->send(raw(msg::MsgType::UnlockRequest, 2, 0, "",
+               dsm::encode_update_blocks({good, bad})));
+
+  // The home detaches rank 1 instead of acking.
+  ASSERT_TRUE([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (const dsm::TraceEvent& e : log.snapshot()) {
+        if (e.kind == dsm::TraceEvent::Kind::Detached && e.rank == 1) {
+          return true;
+        }
+      }
+      std::this_thread::yield();
+    }
+    return false;
+  }());
+  EXPECT_TRUE(home.active_ranks().empty());
+
+  // Nothing landed — not even the valid first block.
+  home.lock(0);
+  EXPECT_EQ(home.space().view<std::int32_t>("A").get(0), 0);
+  home.space().view<std::int32_t>("A").set(7, 77);  // still tracked
+  home.unlock(0);
+  home.stop();
+}
+
+// ---- zero-copy packing -----------------------------------------------------
+
+TEST(ZeroCopyPack, PayloadByteIdenticalToLegacyEncoding) {
+  for (const bool binary : {false, true}) {
+    dsm::SyncOptions opts;
+    opts.binary_tags = binary;
+    dsm::GlobalSpace g(small_gthv(), plat::solaris_sparc32());
+    dsm::ShareStats s1, s2;
+    dsm::SyncEngine engine(g, opts, s1);
+    dsm::SyncEngine legacy(g, opts, s2);
+
+    g.region().begin_tracking();
+    auto a = g.view<std::int32_t>("A");
+    for (int i = 0; i < 20; ++i) a.set(i * 3, i - 9);
+    g.view<double>("D").set(4, 0.125);
+    g.view<std::uint64_t>("GThP").set(0xbeef);
+    const auto runs = engine.collect_runs();
+    g.region().end_tracking();
+    ASSERT_FALSE(runs.empty());
+
+    const std::vector<std::byte> wire = engine.pack_payload(runs);
+    const std::vector<std::byte> old =
+        dsm::encode_update_blocks(legacy.pack_runs(runs));
+    EXPECT_EQ(wire, old) << (binary ? "binary tags" : "ascii tags");
+    // And it decodes into the same blocks.
+    const auto blocks = dsm::decode_update_blocks(wire);
+    EXPECT_EQ(blocks.size(), runs.size());
+  }
+}
+
+// ---- sequential / parallel equivalence -------------------------------------
+
+TEST(ParallelDataPlane, CollectMatchesSequential) {
+  // Same writes on two identical spaces; one collects sequentially, one
+  // with 4 lanes.  The run lists must be identical, including runs that
+  // span worker-chunk seams (the full-array write makes every page dirty,
+  // so the seam-coalescing path is exercised).
+  dsm::GlobalSpace g_seq(big_gthv(), plat::linux_ia32());
+  dsm::GlobalSpace g_par(big_gthv(), plat::linux_ia32());
+  dsm::ShareStats s_seq, s_par;
+  dsm::SyncEngine e_seq(g_seq, lanes(1), s_seq);
+  dsm::SyncEngine e_par(g_par, lanes(4), s_par);
+  ASSERT_EQ(e_par.effective_lanes(), 4u);
+
+  for (dsm::GlobalSpace* g : {&g_seq, &g_par}) {
+    g->region().begin_tracking();
+    auto a = g->view<std::int32_t>("A");
+    for (std::uint64_t i = 0; i < a.size(); ++i) {
+      a.set(i, static_cast<std::int32_t>(i * 2654435761u));
+    }
+    auto d = g->view<double>("D");
+    for (std::uint64_t i = 0; i < d.size(); i += 3) d.set(i, 0.5 * i);
+  }
+  const auto runs_seq = e_seq.collect_runs();
+  const auto runs_par = e_par.collect_runs();
+  g_seq.region().end_tracking();
+  g_par.region().end_tracking();
+
+  EXPECT_EQ(runs_par, runs_seq);
+  EXPECT_EQ(s_seq.parallel_batches, 0u);
+  EXPECT_GT(s_par.parallel_batches, 0u);
+  EXPECT_GT(s_par.conv_threads, 1u);
+}
+
+TEST(ParallelDataPlane, ScatteredCollectMatchesSequential) {
+  dsm::GlobalSpace g_seq(big_gthv(), plat::linux_ia32());
+  dsm::GlobalSpace g_par(big_gthv(), plat::linux_ia32());
+  dsm::ShareStats s_seq, s_par;
+  dsm::SyncEngine e_seq(g_seq, lanes(1), s_seq);
+  dsm::SyncEngine e_par(g_par, lanes(3), s_par);
+
+  for (dsm::GlobalSpace* g : {&g_seq, &g_par}) {
+    g->region().begin_tracking();
+    auto a = g->view<std::int32_t>("A");
+    // Scattered single-element writes across many pages, plus a dense
+    // band, so runs of every shape cross the chunking.
+    for (std::uint64_t i = 0; i < a.size(); i += 997) a.set(i, 7);
+    for (std::uint64_t i = 40000; i < 48000; ++i) a.set(i, -1);
+  }
+  const auto runs_seq = e_seq.collect_runs();
+  const auto runs_par = e_par.collect_runs();
+  g_seq.region().end_tracking();
+  g_par.region().end_tracking();
+  EXPECT_EQ(runs_par, runs_seq);
+}
+
+TEST(ParallelDataPlane, ApplyMatchesSequentialHeterogeneous) {
+  // Big-endian sender, little-endian receivers: the bulk-swap route runs
+  // on every block.  A 4-lane receiver must produce the same image as a
+  // sequential one.
+  dsm::GlobalSpace sender(big_gthv(), plat::solaris_sparc32());
+  dsm::ShareStats ss;
+  dsm::SyncEngine se(sender, lanes(1), ss);
+  sender.region().begin_tracking();
+  auto a = sender.view<std::int32_t>("A");
+  for (std::uint64_t i = 0; i < a.size(); i += 2) {
+    a.set(i, static_cast<std::int32_t>(i ^ 0x55aa));
+  }
+  auto d = sender.view<double>("D");
+  for (std::uint64_t i = 0; i < d.size(); ++i) d.set(i, i * 1.25 - 3.0);
+  const std::vector<std::byte> payload = se.collect_payload();
+  sender.region().end_tracking();
+
+  const auto summary = msg::PlatformSummary::of(plat::solaris_sparc32());
+  dsm::GlobalSpace r_seq(big_gthv(), plat::linux_ia32());
+  dsm::GlobalSpace r_par(big_gthv(), plat::linux_ia32());
+  dsm::ShareStats s_seq, s_par;
+  dsm::SyncEngine e_seq(r_seq, lanes(1), s_seq);
+  dsm::SyncEngine e_par(r_par, lanes(4), s_par);
+
+  const auto runs_seq = e_seq.apply_payload(payload, summary);
+  const auto runs_par = e_par.apply_payload(payload, summary);
+  EXPECT_EQ(runs_par, runs_seq);
+  EXPECT_EQ(image_snapshot(r_par), image_snapshot(r_seq));
+  EXPECT_EQ(s_seq.parallel_batches, 0u);
+  EXPECT_GT(s_par.parallel_batches, 0u);
+
+  auto ra = r_par.view<std::int32_t>("A");
+  EXPECT_EQ(ra.get(0), 0 ^ 0x55aa);
+  EXPECT_EQ(ra.get(1000), static_cast<std::int32_t>(1000 ^ 0x55aa));
+  EXPECT_EQ(r_par.view<double>("D").get(5), 5 * 1.25 - 3.0);
+}
+
+TEST(ParallelDataPlane, SmallPayloadStaysSequential) {
+  // A single run below the grain must not pay pool dispatch.
+  dsm::GlobalSpace sender(small_gthv(), plat::linux_ia32());
+  dsm::GlobalSpace receiver(small_gthv(), plat::linux_ia32());
+  dsm::ShareStats ss, rs;
+  dsm::SyncEngine se(sender, lanes(4), ss);
+  dsm::SyncEngine re(receiver, lanes(4), rs);
+
+  sender.region().begin_tracking();
+  sender.view<std::int32_t>("A").set(0, 1);
+  const std::vector<std::byte> payload = se.collect_payload();
+  sender.region().end_tracking();
+  re.apply_payload(payload, msg::PlatformSummary::of(plat::linux_ia32()));
+
+  EXPECT_EQ(ss.parallel_batches, 0u);
+  EXPECT_EQ(rs.parallel_batches, 0u);
+  EXPECT_EQ(receiver.view<std::int32_t>("A").get(0), 1);
+}
+
+// ---- conversion-plan cache -------------------------------------------------
+
+TEST(PlanCache, RepeatedRowsHitAfterFirstParse) {
+  dsm::GlobalSpace receiver(small_gthv(), plat::linux_ia32());
+  dsm::ShareStats rs;
+  dsm::SyncEngine engine(receiver, {}, rs);
+  const auto summary = msg::PlatformSummary::of(plat::solaris_sparc32());
+
+  // 16 disjoint single-element blocks of the same row: identical tags.
+  std::vector<dsm::UpdateBlock> blocks;
+  for (int i = 0; i < 16; ++i) {
+    dsm::UpdateBlock b;
+    b.row = 2;
+    b.first_elem = static_cast<std::uint64_t>(i * 2);
+    b.tag = "(4,1)";
+    b.data.assign(4, std::byte{static_cast<unsigned char>(i)});
+    blocks.push_back(std::move(b));
+  }
+  const auto payload = dsm::encode_update_blocks(blocks);
+
+  engine.apply_payload(payload, summary);
+  EXPECT_EQ(rs.plan_cache_misses, 1u);
+  EXPECT_EQ(rs.plan_cache_hits, 15u);
+
+  // Second application of the same payload: pure hits.
+  engine.apply_payload(payload, summary);
+  EXPECT_EQ(rs.plan_cache_misses, 1u);
+  EXPECT_EQ(rs.plan_cache_hits, 31u);
+
+  // A different count re-parses (the tag text changed) once.
+  dsm::UpdateBlock wide;
+  wide.row = 2;
+  wide.first_elem = 40;
+  wide.tag = "(4,3)";
+  wide.data.assign(12, std::byte{1});
+  engine.apply_payload(dsm::encode_update_blocks({wide}), summary);
+  EXPECT_EQ(rs.plan_cache_misses, 2u);
+}
+
+TEST(PlanCache, DistinctSendersGetDistinctCaches) {
+  dsm::GlobalSpace receiver(small_gthv(), plat::linux_ia32());
+  dsm::ShareStats rs;
+  dsm::SyncEngine engine(receiver, {}, rs);
+
+  dsm::UpdateBlock b;
+  b.row = 2;
+  b.first_elem = 0;
+  b.tag = "(4,1)";
+  b.data.assign(4, std::byte{3});
+  const auto payload = dsm::encode_update_blocks({b});
+
+  engine.apply_payload(payload, msg::PlatformSummary::of(plat::linux_ia32()));
+  engine.apply_payload(payload,
+                       msg::PlatformSummary::of(plat::solaris_sparc32()));
+  // Each sender platform planned its own route: two misses, no hits.
+  EXPECT_EQ(rs.plan_cache_misses, 2u);
+  EXPECT_EQ(rs.plan_cache_hits, 0u);
+  // Same senders again: hits.
+  engine.apply_payload(payload, msg::PlatformSummary::of(plat::linux_ia32()));
+  EXPECT_EQ(rs.plan_cache_hits, 1u);
+}
+
+TEST(PlanCache, DisabledCacheCountsNothingAndStillApplies) {
+  dsm::SyncOptions opts;
+  opts.plan_cache = false;
+  dsm::GlobalSpace receiver(small_gthv(), plat::linux_ia32());
+  dsm::ShareStats rs;
+  dsm::SyncEngine engine(receiver, opts, rs);
+
+  dsm::UpdateBlock b;
+  b.row = 2;
+  b.first_elem = 0;
+  b.tag = "(4,2)";
+  b.data.assign(8, std::byte{9});
+  const auto summary = msg::PlatformSummary::of(plat::solaris_sparc32());
+  engine.apply_payload(dsm::encode_update_blocks({b}), summary);
+  engine.apply_payload(dsm::encode_update_blocks({b}), summary);
+  EXPECT_EQ(rs.plan_cache_hits, 0u);
+  EXPECT_EQ(rs.plan_cache_misses, 0u);
+  EXPECT_EQ(receiver.view<std::int32_t>("A").get(0), 0x09090909);
+}
+
+TEST(PlanCache, RejectedBlockDoesNotPoisonTheCache) {
+  dsm::GlobalSpace receiver(small_gthv(), plat::linux_ia32());
+  dsm::ShareStats rs;
+  dsm::SyncEngine engine(receiver, {}, rs);
+  const auto summary = msg::PlatformSummary::of(plat::linux_ia32());
+
+  // A tag whose pointer-ness mismatches the row fails validation *after*
+  // parsing; the cache entry must not be left claiming it is valid.
+  dsm::UpdateBlock bad;
+  bad.row = 2;
+  bad.first_elem = 0;
+  bad.tag = "(4,-1)";  // pointer tag for the int row
+  bad.data.assign(4, std::byte{1});
+  EXPECT_THROW(engine.apply_payload(dsm::encode_update_blocks({bad}), summary),
+               std::runtime_error);
+
+  // An identical tag must re-validate (and fail again), not hit a cached
+  // plan and slip through.
+  EXPECT_THROW(engine.apply_payload(dsm::encode_update_blocks({bad}), summary),
+               std::runtime_error);
+
+  dsm::UpdateBlock good;
+  good.row = 2;
+  good.first_elem = 0;
+  good.tag = "(4,1)";
+  good.data.assign(4, std::byte{2});
+  engine.apply_payload(dsm::encode_update_blocks({good}), summary);
+  EXPECT_EQ(receiver.view<std::int32_t>("A").get(0), 0x02020202);
+}
+
+// ---- merge_runs edge cases -------------------------------------------------
+
+TEST(MergeRunsEdges, AdjacentButNotOverlappingRunsUnify) {
+  // collect_runs under coalesce_runs=false can legitimately produce
+  // touching runs; the pending-set merge must still unify them.
+  std::vector<hdsm::idx::UpdateRun> into = {{2, 0, 3}};
+  dsm::merge_runs(into, {{2, 3, 4}});
+  ASSERT_EQ(into.size(), 1u);
+  EXPECT_EQ(into[0].first_elem, 0u);
+  EXPECT_EQ(into[0].count, 7u);
+
+  // Same row, gap of one element: stays split.
+  dsm::merge_runs(into, {{2, 8, 2}});
+  ASSERT_EQ(into.size(), 2u);
+  EXPECT_EQ(into[1].first_elem, 8u);
+}
+
+TEST(MergeRunsEdges, DuplicateIdenticalRunsCollapse) {
+  std::vector<hdsm::idx::UpdateRun> into = {{4, 10, 5}};
+  dsm::merge_runs(into, {{4, 10, 5}, {4, 10, 5}});
+  ASSERT_EQ(into.size(), 1u);
+  EXPECT_EQ(into[0].row, 4u);
+  EXPECT_EQ(into[0].first_elem, 10u);
+  EXPECT_EQ(into[0].count, 5u);
+}
+
+TEST(MergeRunsEdges, ContainedAndSpanningRuns) {
+  // A run already covering the whole row absorbs anything inside it, and
+  // a partial run extends to the row-spanning union.
+  std::vector<hdsm::idx::UpdateRun> into = {{2, 0, 64}};
+  dsm::merge_runs(into, {{2, 10, 5}});
+  ASSERT_EQ(into.size(), 1u);
+  EXPECT_EQ(into[0].count, 64u);
+
+  std::vector<hdsm::idx::UpdateRun> grow = {{2, 0, 40}};
+  dsm::merge_runs(grow, {{2, 30, 34}});
+  ASSERT_EQ(grow.size(), 1u);
+  EXPECT_EQ(grow[0].first_elem, 0u);
+  EXPECT_EQ(grow[0].count, 64u);
+
+  // Merging never crosses rows even when element indexes touch.
+  std::vector<hdsm::idx::UpdateRun> rows = {{2, 60, 4}};
+  dsm::merge_runs(rows, {{3, 0, 2}});
+  ASSERT_EQ(rows.size(), 2u);
+}

@@ -318,6 +318,61 @@ TEST(Diff, RandomPropertyRangesReconstructChanges) {
   }
 }
 
+TEST(Diff, CrossPageMergeSlackJoinsAcrossCalls) {
+  // Successive calls model successive pages: a change ending at the tail
+  // of page 0 and one at the head of page 1 merge when the gap is within
+  // the slack — the documented cross-page contract of diff_bytes.
+  std::vector<std::byte> p0(16), t0(16), p1(16), t1(16);
+  p0[14] = std::byte{1};
+  p0[15] = std::byte{1};
+  p1[1] = std::byte{1};  // gap of one unchanged byte (offset 16)
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(p0.data(), t0.data(), 16, 0, out, /*merge_slack=*/2);
+  mem::diff_bytes(p1.data(), t1.data(), 16, 16, out, /*merge_slack=*/2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (mem::ByteRange{14, 18}));
+
+  // Without slack, exactly-contiguous cross-page changes still merge.
+  std::vector<std::byte> q0(16), q1(16);
+  q0[15] = std::byte{2};
+  q1[0] = std::byte{2};
+  std::vector<mem::ByteRange> out2;
+  mem::diff_bytes(q0.data(), t0.data(), 16, 0, out2);
+  mem::diff_bytes(q1.data(), t1.data(), 16, 16, out2);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0], (mem::ByteRange{15, 17}));
+}
+
+TEST(Diff, FinalPartialPageWindow) {
+  // The last page of a region is typically a short window; a change in
+  // its final byte must be reported against the right absolute offset.
+  std::vector<std::byte> full(32), twin_full(32), part(5), twin_part(5);
+  full[3] = std::byte{1};
+  part[4] = std::byte{1};
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(full.data(), twin_full.data(), 32, 0, out);
+  mem::diff_bytes(part.data(), twin_part.data(), 5, 32, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (mem::ByteRange{3, 4}));
+  EXPECT_EQ(out[1], (mem::ByteRange{36, 37}));
+}
+
+TEST(Diff, OutOfOrderWindowsRejected) {
+  // The in-place back-merge assumes ascending windows; calling with a
+  // window that starts before the last recorded range must throw rather
+  // than corrupt the range list.
+  std::vector<std::byte> a(16), b(16);
+  a[2] = std::byte{1};
+  std::vector<mem::ByteRange> out;
+  mem::diff_bytes(a.data(), b.data(), 16, 64, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_THROW(mem::diff_bytes(a.data(), b.data(), 16, 0, out),
+               std::invalid_argument);
+  // The range list is untouched by the rejected call.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (mem::ByteRange{66, 67}));
+}
+
 TEST(Diff, CoalesceRanges) {
   std::vector<mem::ByteRange> r = {{0, 4}, {4, 8}, {10, 12}, {13, 20}};
   mem::coalesce_ranges(r, 0);
