@@ -1,0 +1,100 @@
+#pragma once
+// adapt::Probe — per-episode EWMA cost models over the raw Signal stream.
+//
+// The probe turns noisy per-episode measurements into a small set of slowly
+// moving cost estimates the Tuner's decision rules can consume:
+//
+//   diff_ns_per_byte    cost of diffing one byte of a dirty page
+//   per_run_ns          fixed overhead of one update run (tag + header)
+//   pack_ns_per_byte    cost of packing one payload byte
+//   seq_ns_per_byte     per-byte conversion cost on the sequential path
+//   par_ns_per_byte     per-byte conversion cost on the parallel path
+//   par_dispatch_ns     fixed overhead of waking the worker pool once
+//   plan_hit_rate       plan-cache hit fraction
+//   identity_rate       fraction of applies from an identical-rep sender
+//   density             diffed bytes / (dirty pages * page size)
+//   bytes_per_episode   mean payload bytes moved per episode
+//
+// All models are deterministic functions of the Signal sequence (fixed
+// alpha, no clocks, no randomness) so a recorded signal trace replays to
+// the identical model state.
+
+#include <cstdint>
+
+#include "adapt/signal.hpp"
+
+namespace hdsm::adapt {
+
+/// One exponentially-weighted moving average.  `update` folds a new sample
+/// in with weight `alpha`; the first sample initializes the estimate.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.25) : alpha_(alpha) {}
+
+  void update(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+    ++samples_;
+  }
+
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+class Probe {
+ public:
+  /// Minimum runs in a pack episode before it informs the per-run model
+  /// (fewer and the payload's fixed overhead masquerades as per-run cost).
+  static constexpr std::uint64_t kMinRunsForPerRunModel = 8;
+
+  explicit Probe(double alpha = 0.25);
+
+  /// Fold one episode's measurements into the models.  Fields with a zero
+  /// denominator contribute nothing (an apply-only episode does not disturb
+  /// the diff model, and vice versa).
+  void observe(const Signal& s);
+
+  // Cost model accessors (0.0 until the first relevant sample arrives).
+  double diff_ns_per_byte() const { return diff_cost_.value(); }
+  double per_run_ns() const { return per_run_ns_.value(); }
+  double pack_ns_per_byte() const { return pack_cost_.value(); }
+  double seq_ns_per_byte() const { return seq_cost_.value(); }
+  double par_ns_per_byte() const { return par_cost_.value(); }
+  double par_dispatch_ns() const { return par_dispatch_ns_.value(); }
+  double plan_hit_rate() const { return plan_hit_rate_.value(); }
+  double identity_rate() const { return identity_rate_.value(); }
+  double density() const { return density_.value(); }
+  double bytes_per_episode() const { return bytes_per_episode_.value(); }
+
+  bool has_seq_model() const { return seq_cost_.seeded(); }
+  bool has_par_model() const { return par_cost_.seeded(); }
+
+  /// Episodes observed so far (collect + apply both count).
+  std::uint64_t episodes() const { return episodes_; }
+
+ private:
+  Ewma diff_cost_;
+  Ewma per_run_ns_;
+  Ewma pack_cost_;
+  Ewma seq_cost_;
+  Ewma par_cost_;
+  Ewma par_dispatch_ns_;
+  Ewma plan_hit_rate_;
+  Ewma identity_rate_;
+  Ewma density_;
+  Ewma bytes_per_episode_;
+  std::uint64_t episodes_ = 0;
+};
+
+}  // namespace hdsm::adapt

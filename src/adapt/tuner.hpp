@@ -1,0 +1,131 @@
+#pragma once
+// adapt::Tuner — the pure decision core of the adaptive policy engine.
+//
+// Mirrors the CoherenceCore discipline: `step(Signal) -> Decision` is a
+// deterministic function of the signal sequence.  No clocks, no threads, no
+// randomness — feeding a recorded signal trace back through a fresh Tuner
+// reproduces the decision trace bit-for-bit (tested in adapt_test.cpp).
+//
+// Four knobs are tuned online, each individually pinnable for A/B runs:
+//
+//   1. whole_page_threshold  diff-vs-whole-page transfer: a page whose dirty
+//                            density meets the threshold is shipped whole on
+//                            the (authoritative) barrier-release path.
+//   2. identity_fastpath     skip per-block tag parsing for senders whose
+//                            platform representation matches ours and whose
+//                            rows already validated as straight memcpy.
+//   3. conv_threads /        sequential vs parallel conversion, and the
+//      parallel_grain        batch size below which parallelism is not worth
+//                            the dispatch overhead.
+//   4. merge_slack           coalesce adjacent update runs when per-run
+//                            overhead dominates per-byte cost (bounded by
+//                            max_merge_slack; see docs/ADAPTIVITY.md for the
+//                            ownership-granularity safety argument).
+//
+// Hysteresis: after any knob changes, that knob is frozen for `dwell`
+// episodes, and cost-model comparisons must win by `margin` before a switch
+// fires.  Together these prevent flapping on an oscillating signal.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "adapt/probe.hpp"
+#include "adapt/signal.hpp"
+
+namespace hdsm::adapt {
+
+/// The tuner's current answer for every knob it owns.  `changed` carries
+/// which knobs moved in the step that produced this decision.
+struct Decision {
+  enum Changed : std::uint32_t {
+    kThreshold = 1u << 0,
+    kFastpath = 1u << 1,
+    kLanes = 1u << 2,
+    kGrain = 1u << 3,
+    kSlack = 1u << 4,
+  };
+
+  double whole_page_threshold = 1.0;  ///< density >= t -> ship page whole
+  bool identity_fastpath = false;     ///< memcpy shortcut for identical reps
+  std::uint32_t conv_threads = 1;     ///< conversion lanes (1 = sequential)
+  std::size_t parallel_grain = 64 * 1024;  ///< min batch bytes to go parallel
+  std::size_t merge_slack = 0;        ///< bytes of gap to coalesce across
+  std::uint32_t changed = 0;          ///< Changed bits for this step
+
+  bool operator==(const Decision& o) const {
+    return whole_page_threshold == o.whole_page_threshold &&
+           identity_fastpath == o.identity_fastpath &&
+           conv_threads == o.conv_threads &&
+           parallel_grain == o.parallel_grain && merge_slack == o.merge_slack;
+  }
+};
+
+struct TunerConfig {
+  // EWMA smoothing for the probe layer.
+  double alpha = 0.25;
+  // Episodes a knob stays frozen after it changes.
+  std::uint32_t dwell = 4;
+  // Fractional cost advantage required before switching a modeled knob.
+  double margin = 0.20;
+  // Episodes before the tuner may change anything at all.
+  std::uint32_t warmup = 4;
+
+  // Environment / bounds.
+  std::uint64_t page_size = 4096;
+  std::uint32_t max_lanes = 4;
+  std::size_t min_grain = 4 * 1024;
+  std::size_t max_grain = 1024 * 1024;
+  // Hard cap on adaptive coalescing: slack beyond the minimum ownership
+  // granularity of concurrently-written pages would over-ship stale bytes
+  // (see docs/ADAPTIVITY.md); one cache line is safe for our workloads.
+  std::size_t max_merge_slack = 64;
+  // Modeled cost of moving one extra payload byte across the wire, added to
+  // the measured pack cost when weighing whole-page promotion and slack.
+  double wire_ns_per_byte = 0.5;
+
+  // Initial knob values (what adaptive-off behavior would use).
+  Decision initial;
+
+  // Pins: a pinned knob keeps its pinned value forever (A/B isolation).
+  // -1 = unpinned; for booleans 0/1 = force off/on.
+  double pin_whole_page_threshold = -1.0;
+  int pin_identity_fastpath = -1;
+  int pin_conv_threads = -1;
+  long pin_parallel_grain = -1;
+  long pin_merge_slack = -1;
+};
+
+class Tuner {
+ public:
+  explicit Tuner(const TunerConfig& cfg);
+
+  /// Fold one episode's measurements in and return the (possibly updated)
+  /// decision.  `decision().changed` reports which knobs moved this step.
+  const Decision& step(const Signal& s);
+
+  const Decision& decision() const { return cur_; }
+  const Probe& probe() const { return probe_; }
+  const TunerConfig& config() const { return cfg_; }
+  std::uint64_t episodes() const { return probe_.episodes(); }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  void apply_pins();
+  void tune_threshold();
+  void tune_fastpath();
+  void tune_lanes();
+  void tune_slack();
+  bool frozen(std::uint32_t knob_bit) const;
+  void mark_changed(std::uint32_t knob_bit);
+
+  TunerConfig cfg_;
+  Probe probe_;
+  Decision cur_;
+  Ewma runs_per_page_;
+  std::uint64_t switches_ = 0;
+  // Episode number at which each knob last changed (for dwell).
+  std::uint64_t last_change_[5] = {0, 0, 0, 0, 0};
+  bool explored_parallel_ = false;  ///< one bounded exploration episode fired
+};
+
+}  // namespace hdsm::adapt

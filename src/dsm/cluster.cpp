@@ -8,11 +8,17 @@ Cluster::Cluster(tags::TypePtr gthv, const plat::PlatformDesc& home_platform,
                  const std::vector<const plat::PlatformDesc*>& remote_platforms,
                  HomeOptions opts) {
   home_ = std::make_unique<HomeNode>(gthv, home_platform, opts);
+  // Remotes share the home's trace sink (TraceLog is internally mutexed;
+  // probe/decision and reliability events are lifecycle-exempt in the
+  // validator, so one combined log stays valid).
+  RemoteOptions ropts;
+  ropts.dsd = opts.dsd;
+  ropts.trace = opts.trace;
   for (std::size_t i = 0; i < remote_platforms.size(); ++i) {
     const std::uint32_t rank = static_cast<std::uint32_t>(i + 1);
     msg::EndpointPtr ep = home_->attach(rank);
     remotes_.push_back(std::make_unique<RemoteThread>(
-        gthv, *remote_platforms[i], rank, std::move(ep), opts.dsd));
+        gthv, *remote_platforms[i], rank, std::move(ep), ropts));
   }
 }
 

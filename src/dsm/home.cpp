@@ -29,6 +29,14 @@ std::vector<std::byte> HomeNode::EngineCodec::pack(
   return engine.pack_payload(runs);
 }
 
+std::vector<std::byte> HomeNode::EngineCodec::pack_release(
+    const std::vector<idx::UpdateRun>& runs) {
+  // Barrier release: every participant's updates are merged, the home
+  // image is authoritative — the adaptive tuner may promote dense pages
+  // to whole-page transfers (identity when adaptivity is off).
+  return engine.pack_payload(engine.promote_dense_runs(runs));
+}
+
 std::vector<idx::UpdateRun> HomeNode::EngineCodec::apply(
     const std::vector<std::byte>& payload,
     const msg::PlatformSummary& sender) {
@@ -41,7 +49,9 @@ HomeNode::HomeNode(tags::TypePtr gthv, const plat::PlatformDesc& platform,
       space_(gthv, platform),
       engine_(space_, opts_.dsd, stats_),
       codec_(engine_),
-      core_(core_config(opts_, space_), codec_, stats_) {}
+      core_(core_config(opts_, space_), codec_, stats_) {
+  engine_.set_trace(opts_.trace, kMasterRank);
+}
 
 HomeNode::~HomeNode() { stop(); }
 

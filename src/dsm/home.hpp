@@ -126,6 +126,8 @@ class HomeNode {
     explicit EngineCodec(SyncEngine& e) : engine(e) {}
     std::vector<std::byte> pack(
         const std::vector<idx::UpdateRun>& runs) override;
+    std::vector<std::byte> pack_release(
+        const std::vector<idx::UpdateRun>& runs) override;
     std::vector<idx::UpdateRun> apply(
         const std::vector<std::byte>& payload,
         const msg::PlatformSummary& sender) override;

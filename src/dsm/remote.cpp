@@ -42,6 +42,7 @@ RemoteThread::RemoteThread(tags::TypePtr gthv,
       opts_(std::move(opts)),
       retry_(opts_.retry, rank, opts_.reconnect != nullptr,
              opts_.max_reconnects) {
+  engine_.set_trace(opts_.trace, rank_);
   send_hello();
   space_.region().begin_tracking();
 }

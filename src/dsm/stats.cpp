@@ -53,6 +53,12 @@ std::string ShareStats::to_string() const {
        << " plan_hits=" << plan_cache_hits
        << " plan_misses=" << plan_cache_misses;
   }
+  if (adapt_episodes != 0) {
+    os << " adapt_episodes=" << adapt_episodes
+       << " adapt_switches=" << adapt_switches
+       << " page_promotions=" << whole_page_promotions
+       << " fastpath_blocks=" << fastpath_blocks;
+  }
   return os.str();
 }
 

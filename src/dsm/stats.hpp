@@ -47,7 +47,11 @@ namespace hdsm::dsm {
   X(conv_threads)                  \
   X(parallel_batches)              \
   X(plan_cache_hits)               \
-  X(plan_cache_misses)
+  X(plan_cache_misses)             \
+  X(adapt_episodes)                \
+  X(adapt_switches)                \
+  X(whole_page_promotions)         \
+  X(fastpath_blocks)
 
 struct ShareStats {
   // -- Eq.-1 cost buckets, all in nanoseconds of CPU-side work --
@@ -85,6 +89,14 @@ struct ShareStats {
                                         ///  cached (sender,row) conv plan
   std::uint64_t plan_cache_misses = 0;  ///< count: blocks that parsed their
                                         ///  tag and planned from scratch
+
+  // -- Adaptive policy engine (SyncOptions::adaptive, docs/ADAPTIVITY.md) --
+  std::uint64_t adapt_episodes = 0;  ///< count: tuner steps (probe samples)
+  std::uint64_t adapt_switches = 0;  ///< count: knob changes the tuner made
+  std::uint64_t whole_page_promotions = 0;  ///< count: pages shipped whole on
+                                            ///  the barrier-release path
+  std::uint64_t fastpath_blocks = 0;  ///< count: blocks applied through the
+                                      ///  identity/memcpy fast path
 
   std::uint64_t share_ns() const noexcept {
     return index_ns + tag_ns + pack_ns + unpack_ns + conv_ns;

@@ -1,7 +1,9 @@
 #include "dsm/sync_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -127,9 +129,56 @@ struct SyncEngine::SenderPlanCache {
 
 SyncEngine::SyncEngine(GlobalSpace& space, const SyncOptions& opts,
                        ShareStats& stats)
-    : space_(space), opts_(opts), stats_(stats) {}
+    : space_(space), opts_(opts), stats_(stats) {
+  if (opts_.adaptive) {
+    adapt::TunerConfig cfg = opts_.tuner;
+    cfg.page_size = mem::Region::host_page_size();
+    // Lanes the machine can actually run: exploring 4-way conversion on a
+    // single hardware thread would pay the pool's dispatch cost with no
+    // possible speedup, so the tuner's search space is clamped up front.
+    cfg.max_lanes = std::min(
+        cfg.max_lanes, std::clamp(std::thread::hardware_concurrency(), 1u, 4u));
+    // The tuner starts from the configured static behavior and moves the
+    // knobs from there; its decisions then overwrite the live options.
+    cfg.initial.conv_threads = effective_lanes();
+    cfg.initial.parallel_grain = opts_.parallel_grain;
+    cfg.initial.merge_slack = std::min(opts_.merge_slack, cfg.max_merge_slack);
+    tuner_ = std::make_unique<adapt::Tuner>(cfg);
+    apply_decision(tuner_->decision());  // pins may differ from the statics
+  }
+}
 
 SyncEngine::~SyncEngine() = default;
+
+void SyncEngine::apply_decision(const adapt::Decision& d) {
+  opts_.conv_threads = std::max(1u, d.conv_threads);
+  opts_.parallel_grain = d.parallel_grain;
+  opts_.merge_slack = d.merge_slack;
+}
+
+void SyncEngine::sample_episode(adapt::Signal& s) {
+  if (tuner_ == nullptr) return;
+  s.page_size = mem::Region::host_page_size();
+  const adapt::Decision& d = tuner_->step(s);
+  ++stats_.adapt_episodes;
+  const auto episode = static_cast<std::uint32_t>(tuner_->episodes());
+  if (trace_ != nullptr) {
+    trace_->append(TraceEvent::Kind::ProbeSampled, trace_rank_, episode);
+  }
+  if (d.changed == 0) return;
+  stats_.adapt_switches += std::popcount(d.changed);
+  if (trace_ != nullptr) {
+    // One event per affected subsystem, each in the same episode as (and
+    // after) the ProbeSampled above — validator invariant 5.
+    if (d.changed & (adapt::Decision::kThreshold | adapt::Decision::kFastpath))
+      trace_->append(TraceEvent::Kind::StrategySwitched, trace_rank_, episode);
+    if (d.changed & (adapt::Decision::kLanes | adapt::Decision::kGrain))
+      trace_->append(TraceEvent::Kind::LanesRetuned, trace_rank_, episode);
+    if (d.changed & adapt::Decision::kSlack)
+      trace_->append(TraceEvent::Kind::RunsCoalesced, trace_rank_, episode);
+  }
+  apply_decision(d);
+}
 
 SyncEngine::SenderPlanCache& SyncEngine::cache_for(
     const msg::PlatformSummary& sender) {
@@ -216,7 +265,17 @@ std::vector<idx::UpdateRun> SyncEngine::collect_runs() {
   std::vector<idx::UpdateRun> runs =
       idx::map_ranges_to_runs(table, ranges, opts_.coalesce_runs);
   region.rearm();
-  stats_.index_ns += watch.lap();
+  const std::uint64_t diff_ns = watch.lap();
+  stats_.index_ns += diff_ns;
+
+  if (tuner_ != nullptr) {
+    adapt::Signal s;
+    s.diff_ns = diff_ns;
+    s.dirty_pages = dirty.size();
+    for (const mem::ByteRange& r : ranges) s.diffed_bytes += r.end - r.begin;
+    s.runs = runs.size();
+    sample_episode(s);
+  }
   return runs;
 }
 
@@ -299,7 +358,16 @@ std::vector<std::byte> SyncEngine::pack_payload(
     stats_.update_bytes_sent += lens[i];
     ++stats_.updates_sent;
   }
-  stats_.pack_ns += watch.lap();
+  const std::uint64_t pack_ns = watch.lap();
+  stats_.pack_ns += pack_ns;
+
+  if (tuner_ != nullptr && !runs.empty()) {
+    adapt::Signal s;
+    s.pack_ns = pack_ns;
+    s.runs = runs.size();
+    s.bytes_packed = out.size();
+    sample_episode(s);
+  }
   return out;
 }
 
@@ -341,41 +409,59 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
     }
 
     RowPlan& rp = cache.rows[v.row];
-    const bool hit = opts_.plan_cache && rp.valid && rp.tag_text == v.tag;
-    if (hit) {
-      ++stats_.plan_cache_hits;
+    std::uint64_t count = 0;
+    // Identity fast path (adaptive decision 2): once a (sender, row) pair
+    // has validated as a straight memcpy of same-size non-pointer elements
+    // (so rp.is_pointer == row.is_pointer() held when the plan was cached),
+    // the element count follows from the byte length alone — the tag
+    // compare and parse are pure overhead.  Bounds still checked below.
+    const bool fastpath =
+        tuner_ != nullptr && tuner_->decision().identity_fastpath &&
+        rp.valid && rp.route == conv::Route::Memcpy && !rp.is_pointer &&
+        rp.elem_size == row.size && row.size != 0 &&
+        v.data_len % row.size == 0;
+    if (fastpath) {
+      count = v.data_len / row.size;
+      ++stats_.fastpath_blocks;
     } else {
-      const ParsedRunTag parsed = parse_run_tag(v.tag, opts_.binary_tags);
-      if (opts_.plan_cache) ++stats_.plan_cache_misses;
-      // The route depends only on (sender rep, row) facts, not the count,
-      // so it survives tag changes that merely re-run a different span.
-      if (!rp.valid || rp.elem_size != parsed.elem_size) {
-        rp.route = conv::plan_route(parsed.elem_size, cache.sender_platform,
-                                    row.size, my_platform, row.cat, row.kind,
-                                    opts_.bulk_swap_fastpath,
-                                    /*has_translator=*/false);
+      const bool hit = opts_.plan_cache && rp.valid && rp.tag_text == v.tag;
+      if (hit) {
+        ++stats_.plan_cache_hits;
+      } else {
+        const ParsedRunTag parsed = parse_run_tag(v.tag, opts_.binary_tags);
+        if (opts_.plan_cache) ++stats_.plan_cache_misses;
+        // The route depends only on (sender rep, row) facts, not the count,
+        // so it survives tag changes that merely re-run a different span.
+        if (!rp.valid || rp.elem_size != parsed.elem_size) {
+          rp.route = conv::plan_route(parsed.elem_size, cache.sender_platform,
+                                      row.size, my_platform, row.cat, row.kind,
+                                      opts_.bulk_swap_fastpath,
+                                      /*has_translator=*/false);
+        }
+        rp.valid = true;
+        rp.tag_text.assign(v.tag);
+        rp.elem_size = parsed.elem_size;
+        rp.count = parsed.count;
+        rp.is_pointer = parsed.is_pointer;
       }
-      rp.valid = true;
-      rp.tag_text.assign(v.tag);
-      rp.elem_size = parsed.elem_size;
-      rp.count = parsed.count;
-      rp.is_pointer = parsed.is_pointer;
-    }
 
-    if (rp.is_pointer != row.is_pointer()) {
-      rp.valid = false;  // don't cache a plan that failed validation
-      throw std::runtime_error("update tag pointer-ness mismatch");
+      if (rp.is_pointer != row.is_pointer()) {
+        rp.valid = false;  // don't cache a plan that failed validation
+        throw std::runtime_error("update tag pointer-ness mismatch");
+      }
+      count = rp.count;
     }
-    if (rp.count > row.element_count() ||
-        v.first_elem > row.element_count() - rp.count) {
+    if (count > row.element_count() ||
+        v.first_elem > row.element_count() - count) {
       rp.valid = false;
       throw std::runtime_error("update block exceeds row bounds");
     }
     const bool len_ok =
-        rp.count == 0
-            ? v.data_len == 0
-            : rp.elem_size != 0 && v.data_len % rp.elem_size == 0 &&
-                  v.data_len / rp.elem_size == rp.count;
+        fastpath ||
+        (count == 0
+             ? v.data_len == 0
+             : rp.elem_size != 0 && v.data_len % rp.elem_size == 0 &&
+                   v.data_len / rp.elem_size == count);
     if (!len_ok) {
       rp.valid = false;
       throw std::runtime_error("update data length disagrees with tag");
@@ -386,15 +472,15 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
     p.src_len = v.data_len;
     p.src_elem = rp.elem_size;
     p.dst_off = row.offset + v.first_elem * row.size;
-    p.dst_len = static_cast<std::uint64_t>(row.size) * rp.count;
+    p.dst_len = static_cast<std::uint64_t>(row.size) * count;
     p.dst_elem = row.size;
-    p.count = rp.count;
+    p.count = count;
     p.route = rp.route;
     p.cat = row.cat;
     p.kind = row.kind;
     p.run.row = v.row;
     p.run.first_elem = v.first_elem;
-    p.run.count = rp.count;
+    p.run.count = count;
     plans.push_back(p);
   }
   return plans;
@@ -402,9 +488,9 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
 
 // -- Receive side: phase 2 (execute) -----------------------------------------
 
-void SyncEngine::execute_plans(const std::vector<BlockPlan>& plans,
-                               const msg::PlatformSummary& sender) {
-  if (plans.empty()) return;
+unsigned SyncEngine::execute_plans(const std::vector<BlockPlan>& plans,
+                                   const msg::PlatformSummary& sender) {
+  if (plans.empty()) return 1;
   const plat::PlatformDesc sender_platform = wire_platform(sender);
   const plat::PlatformDesc& my_platform = space_.platform();
   mem::TrackedRegion& region = space_.region();
@@ -452,7 +538,7 @@ void SyncEngine::execute_plans(const std::vector<BlockPlan>& plans,
   if (!parallel) {
     std::vector<std::byte> scratch;
     for (const BlockPlan& p : plans) apply_one(p, scratch);
-    return;
+    return 1;
   }
 
   // Partition plans into byte-balanced contiguous chunks, one task per
@@ -475,7 +561,7 @@ void SyncEngine::execute_plans(const std::vector<BlockPlan>& plans,
   if (chunks.size() < 2) {
     std::vector<std::byte> scratch;
     for (const BlockPlan& p : plans) apply_one(p, scratch);
-    return;
+    return 1;
   }
 
   pool()->run(chunks.size(), [&](std::size_t c) {
@@ -486,6 +572,32 @@ void SyncEngine::execute_plans(const std::vector<BlockPlan>& plans,
   });
   ++stats_.parallel_batches;
   stats_.conv_threads += chunks.size();
+  return static_cast<unsigned>(chunks.size());
+}
+
+void SyncEngine::sample_apply(const std::vector<BlockPlan>& plans,
+                              unsigned lanes_used, std::uint64_t unpack_ns,
+                              std::uint64_t conv_ns,
+                              std::uint64_t hits_before,
+                              std::uint64_t misses_before) {
+  if (tuner_ == nullptr || plans.empty()) return;
+  adapt::Signal s;
+  s.unpack_ns = unpack_ns;
+  s.conv_ns = conv_ns;
+  s.blocks = plans.size();
+  bool identity = true;
+  for (const BlockPlan& p : plans) {
+    s.bytes_applied += p.dst_len;
+    if (p.route != conv::Route::Memcpy || p.src_elem != p.dst_elem) {
+      identity = false;
+    }
+  }
+  s.plan_hits = stats_.plan_cache_hits - hits_before;
+  s.plan_misses = stats_.plan_cache_misses - misses_before;
+  s.identity_sender = identity;
+  s.parallel = lanes_used > 1;
+  s.lanes_used = lanes_used;
+  sample_episode(s);
 }
 
 std::vector<idx::UpdateRun> SyncEngine::apply_payload(
@@ -493,12 +605,16 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload(
     const msg::PlatformSummary& sender) {
   // t_unpack: decode the payload, parse tags (plan cache), validate all.
   StopWatch watch;
+  const std::uint64_t hits0 = stats_.plan_cache_hits;
+  const std::uint64_t misses0 = stats_.plan_cache_misses;
   const std::vector<BlockPlan> plans = validate_payload(payload, sender);
-  stats_.unpack_ns += watch.lap();
+  const std::uint64_t unpack_ns = watch.lap();
+  stats_.unpack_ns += unpack_ns;
 
   // t_conv: convert (or memcpy) each planned block into this node's image.
-  execute_plans(plans, sender);
-  stats_.conv_ns += watch.lap();
+  const unsigned lanes_used = execute_plans(plans, sender);
+  const std::uint64_t conv_ns = watch.lap();
+  stats_.conv_ns += conv_ns;
 
   std::vector<idx::UpdateRun> applied;
   applied.reserve(plans.size());
@@ -507,6 +623,7 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload(
     ++stats_.updates_received;
     applied.push_back(p.run);
   }
+  sample_apply(plans, lanes_used, unpack_ns, conv_ns, hits0, misses0);
   return applied;
 }
 
@@ -516,16 +633,20 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload_bulk(
   // Validate before the window opens: a malformed payload throws here and
   // the region protection is never touched at all.
   StopWatch watch;
+  const std::uint64_t hits0 = stats_.plan_cache_hits;
+  const std::uint64_t misses0 = stats_.plan_cache_misses;
   const std::vector<BlockPlan> plans = validate_payload(payload, sender);
-  stats_.unpack_ns += watch.lap();
+  const std::uint64_t unpack_ns = watch.lap();
+  stats_.unpack_ns += unpack_ns;
 
   mem::TrackedRegion& region = space_.region();
   const bool was_tracking = region.tracking();
   if (was_tracking) region.unprotect_for_apply();
   RearmGuard rearm(was_tracking ? &region : nullptr);
 
-  execute_plans(plans, sender);
-  stats_.conv_ns += watch.lap();
+  const unsigned lanes_used = execute_plans(plans, sender);
+  const std::uint64_t conv_ns = watch.lap();
+  stats_.conv_ns += conv_ns;
 
   std::vector<idx::UpdateRun> applied;
   applied.reserve(plans.size());
@@ -534,6 +655,7 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload_bulk(
     ++stats_.updates_received;
     applied.push_back(p.run);
   }
+  sample_apply(plans, lanes_used, unpack_ns, conv_ns, hits0, misses0);
   return applied;
 }
 
@@ -550,6 +672,69 @@ std::vector<idx::UpdateRun> SyncEngine::full_image_runs(
     runs.push_back(run);
   }
   return runs;
+}
+
+std::vector<idx::UpdateRun> SyncEngine::promote_dense_runs(
+    const std::vector<idx::UpdateRun>& runs) {
+  if (tuner_ == nullptr || runs.empty()) return runs;
+  const double threshold = tuner_->decision().whole_page_threshold;
+  if (threshold >= 1.0) return runs;
+
+  const idx::IndexTable& table = space_.table();
+  const std::size_t ps = mem::Region::host_page_size();
+  const std::uint64_t image_size = table.image_size();
+
+  // Runs -> sorted disjoint byte ranges.
+  std::vector<mem::ByteRange> ranges;
+  ranges.reserve(runs.size());
+  for (const idx::UpdateRun& run : runs) {
+    const std::uint64_t off = idx::run_offset(table, run);
+    const std::uint64_t len = idx::run_byte_length(table, run);
+    if (len == 0) continue;
+    ranges.push_back({static_cast<std::size_t>(off),
+                      static_cast<std::size_t>(off + len)});
+  }
+  if (ranges.empty()) return runs;
+  std::sort(ranges.begin(), ranges.end(),
+            [](const mem::ByteRange& a, const mem::ByteRange& b) {
+              return a.begin < b.begin;
+            });
+  mem::coalesce_ranges(ranges, 0);
+
+  // Dirty-byte coverage per page.
+  std::map<std::size_t, std::size_t> covered;
+  for (const mem::ByteRange& r : ranges) {
+    for (std::size_t page = r.begin / ps; page * ps < r.end; ++page) {
+      const std::size_t lo = std::max(r.begin, page * ps);
+      const std::size_t hi = std::min(r.end, (page + 1) * ps);
+      covered[page] += hi - lo;
+    }
+  }
+
+  // Pages dense enough get their whole span shipped; the home image is
+  // authoritative here, so the extra (unchanged-at-home) bytes are the
+  // merged truth, not stale data.
+  bool any = false;
+  for (const auto& [page, bytes] : covered) {
+    const std::size_t base = page * ps;
+    const std::size_t span =
+        std::min(ps, static_cast<std::size_t>(image_size) - base);
+    if (bytes >= span) continue;  // already fully covered
+    if (static_cast<double>(bytes) >=
+        threshold * static_cast<double>(span)) {
+      ranges.push_back({base, base + span});
+      ++stats_.whole_page_promotions;
+      any = true;
+    }
+  }
+  if (!any) return runs;
+
+  std::sort(ranges.begin(), ranges.end(),
+            [](const mem::ByteRange& a, const mem::ByteRange& b) {
+              return a.begin < b.begin;
+            });
+  mem::coalesce_ranges(ranges, 0);
+  return idx::map_ranges_to_runs(table, ranges, opts_.coalesce_runs);
 }
 
 void merge_runs(std::vector<idx::UpdateRun>& into,

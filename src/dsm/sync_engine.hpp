@@ -23,8 +23,10 @@
 #include <memory>
 #include <vector>
 
+#include "adapt/tuner.hpp"
 #include "dsm/global_space.hpp"
 #include "dsm/stats.hpp"
+#include "dsm/trace.hpp"
 #include "dsm/update.hpp"
 #include "dsm/worker_pool.hpp"
 #include "msg/message.hpp"
@@ -63,6 +65,19 @@ struct SyncOptions {
   /// row), so repeated blocks of the same row skip the parse (off = the
   /// 2006 once-per-block behaviour, for the ablation bench).
   bool plan_cache = true;
+
+  // -- Adaptive policy engine (docs/ADAPTIVITY.md) --
+
+  /// Drive conv_threads / parallel_grain / merge_slack plus whole-page
+  /// promotion and the identity fast path from an online adapt::Tuner
+  /// instead of the static values above.  Off = today's exact behavior
+  /// (no tuner is constructed, no probe runs, no trace events).
+  bool adaptive = false;
+  /// Tuner configuration when `adaptive` is on: EWMA smoothing, hysteresis
+  /// (dwell + margin), bounds, and per-knob pins for A/B isolation.  The
+  /// tuner's starting point for conv_threads / parallel_grain / merge_slack
+  /// is seeded from the static fields above.
+  adapt::TunerConfig tuner;
 };
 
 /// Historic name (DSD = the paper's distributed-shared-data layer).
@@ -121,8 +136,27 @@ class SyncEngine {
   static std::vector<idx::UpdateRun> full_image_runs(
       const idx::IndexTable& table);
 
+  /// Diff-vs-whole-page promotion (adaptive decision 1): expand runs on
+  /// pages whose dirty density meets the tuner's threshold to cover the
+  /// page completely.  Only safe where this node's image is authoritative
+  /// for the whole page — the barrier-release path at the home node after
+  /// all updates merged (see docs/ADAPTIVITY.md) — which is the only call
+  /// site.  Identity when the tuner is off or the threshold is 1.0.
+  std::vector<idx::UpdateRun> promote_dense_runs(
+      const std::vector<idx::UpdateRun>& runs);
+
+  /// Emit adaptive decision events (ProbeSampled, StrategySwitched, ...)
+  /// into `log` as this `rank`.  Null detaches.
+  void set_trace(TraceLog* log, std::uint32_t rank) noexcept {
+    trace_ = log;
+    trace_rank_ = rank;
+  }
+
   const SyncOptions& options() const noexcept { return opts_; }
   GlobalSpace& space() noexcept { return space_; }
+
+  /// The live tuner (null unless SyncOptions::adaptive).
+  const adapt::Tuner* tuner() const noexcept { return tuner_.get(); }
 
   /// The parallelism collect/apply can reach under current options
   /// (resolves conv_threads = 0 to the auto value).
@@ -139,8 +173,18 @@ class SyncEngine {
       const std::vector<std::byte>& payload,
       const msg::PlatformSummary& sender);
   /// Phase 2: execute validated plans (sequential or on the pool).
-  void execute_plans(const std::vector<BlockPlan>& plans,
-                     const msg::PlatformSummary& sender);
+  /// Returns the number of lanes the batch actually ran on (1 = sequential).
+  unsigned execute_plans(const std::vector<BlockPlan>& plans,
+                         const msg::PlatformSummary& sender);
+  /// Feed one episode's measurements to the tuner and act on its decision
+  /// (no-op when the tuner is off).
+  void sample_episode(adapt::Signal& s);
+  /// Build + sample the apply-side episode signal (no-op when off).
+  void sample_apply(const std::vector<BlockPlan>& plans, unsigned lanes_used,
+                    std::uint64_t unpack_ns, std::uint64_t conv_ns,
+                    std::uint64_t hits_before, std::uint64_t misses_before);
+  /// Copy a tuner decision into the live options (lanes, grain, slack).
+  void apply_decision(const adapt::Decision& d);
   /// Plan cache lookup for `sender` (creates the per-sender table).
   SenderPlanCache& cache_for(const msg::PlatformSummary& sender);
   /// The pool sized per opts_.conv_threads (created lazily; null while the
@@ -152,6 +196,9 @@ class SyncEngine {
   ShareStats& stats_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<std::unique_ptr<SenderPlanCache>> plan_caches_;
+  std::unique_ptr<adapt::Tuner> tuner_;  ///< null = adaptive off
+  TraceLog* trace_ = nullptr;            ///< decision-event sink (optional)
+  std::uint32_t trace_rank_ = 0;
 };
 
 /// Merge `add` into the sorted, disjoint run set `into` (row-major order,

@@ -23,6 +23,10 @@ const char* trace_kind_name(TraceEvent::Kind k) noexcept {
     case TraceEvent::Kind::ReplyResent: return "ReplyResent";
     case TraceEvent::Kind::Reconnected: return "Reconnected";
     case TraceEvent::Kind::TimeoutDetached: return "TimeoutDetached";
+    case TraceEvent::Kind::ProbeSampled: return "ProbeSampled";
+    case TraceEvent::Kind::StrategySwitched: return "StrategySwitched";
+    case TraceEvent::Kind::LanesRetuned: return "LanesRetuned";
+    case TraceEvent::Kind::RunsCoalesced: return "RunsCoalesced";
   }
   return "?";
 }
@@ -84,6 +88,9 @@ std::optional<std::string> validate_trace(
   std::map<std::uint32_t, std::set<std::uint32_t>> entered;  // barrier -> ranks
   std::set<std::uint32_t> gone;  // joined or detached, not re-attached
   std::map<std::uint32_t, std::uint64_t> applied_req;  // rank -> last req
+  // rank -> episode (sync_id) of its most recent ProbeSampled, for the
+  // adaptive-causality invariant.  No entry = never sampled.
+  std::map<std::uint32_t, std::uint32_t> probed_episode;
 
   const auto is_reliability_bookkeeping = [](TraceEvent::Kind k) {
     // Retransmits of a gone rank's final request legitimately reach the
@@ -93,10 +100,19 @@ std::optional<std::string> validate_trace(
            k == TraceEvent::Kind::DuplicateDropped ||
            k == TraceEvent::Kind::ReplyResent;
   };
+  const auto is_adaptive = [](TraceEvent::Kind k) {
+    // Tuner bookkeeping, not protocol activity: a remote's final collect
+    // (e.g. after a TimeoutDetached) still samples its local tuner.
+    return k == TraceEvent::Kind::ProbeSampled ||
+           k == TraceEvent::Kind::StrategySwitched ||
+           k == TraceEvent::Kind::LanesRetuned ||
+           k == TraceEvent::Kind::RunsCoalesced;
+  };
 
   for (const TraceEvent& e : events) {
     if (e.kind != TraceEvent::Kind::Attached && e.rank != 0 &&
-        !is_reliability_bookkeeping(e.kind) && gone.count(e.rank) != 0) {
+        !is_reliability_bookkeeping(e.kind) && !is_adaptive(e.kind) &&
+        gone.count(e.rank) != 0) {
       return fail(e, "activity from a joined/detached rank");
     }
     switch (e.kind) {
@@ -168,6 +184,24 @@ std::optional<std::string> validate_trace(
                                " applied twice (duplicate application)");
           }
           it->second = e.req;
+        }
+        break;
+      }
+      case TraceEvent::Kind::ProbeSampled:
+        probed_episode[e.rank] = e.sync_id;
+        break;
+      case TraceEvent::Kind::StrategySwitched:
+      case TraceEvent::Kind::LanesRetuned:
+      case TraceEvent::Kind::RunsCoalesced: {
+        auto it = probed_episode.find(e.rank);
+        if (it == probed_episode.end()) {
+          return fail(e, "strategy change without any prior probe sample");
+        }
+        if (it->second != e.sync_id) {
+          return fail(e, "strategy change in episode " +
+                             std::to_string(e.sync_id) +
+                             " but last probe sample was episode " +
+                             std::to_string(it->second));
         }
         break;
       }

@@ -35,6 +35,13 @@ struct TraceEvent {
     ReplyResent,       ///< home re-sent the cached reply for a duplicate
     Reconnected,       ///< a remote re-established its transport
     TimeoutDetached,   ///< a remote detached after exhausting its retries
+    // Adaptive policy engine events (see docs/ADAPTIVITY.md).  sync_id
+    // carries the tuner's episode number; decision events must follow a
+    // ProbeSampled from the same rank in the same episode (invariant 5).
+    ProbeSampled,      ///< the tuner folded one episode's signal in
+    StrategySwitched,  ///< diff-vs-whole-page or identity-fastpath changed
+    LanesRetuned,      ///< conv_threads / parallel_grain changed
+    RunsCoalesced,     ///< adaptive merge_slack changed
   };
 
   std::uint64_t seq = 0;  ///< global order at the home node
@@ -89,6 +96,12 @@ class TraceLog {
 ///   4. Idempotency: UpdatesApplied events carrying a request sequence
 ///      number (req != 0) are strictly increasing per rank — the same
 ///      request's payload is never applied twice.
+///   5. Adaptive causality: a decision event (StrategySwitched,
+///      LanesRetuned, RunsCoalesced) is always preceded by a ProbeSampled
+///      from the same rank carrying the same episode number (sync_id) —
+///      the tuner never switches strategy without having sampled first.
+///      Adaptive events are lifecycle-exempt like reliability bookkeeping:
+///      a detached remote's final collect may still sample its tuner.
 std::optional<std::string> validate_trace(
     const std::vector<TraceEvent>& events);
 

@@ -18,12 +18,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
+#include "dsm/stats.hpp"
 #include "mig/roles.hpp"
 
 namespace hdsm::sched {
+
+class LoadModel;
 
 struct PolicyConfig {
   /// A node whose load exceeds this is a migration source.
@@ -59,9 +64,13 @@ class AdaptationPolicy {
       const std::vector<double>& node_load) const;
 
   /// Apply decide() repeatedly (each application updates the role map and
-  /// re-estimates load via `model`) until balanced or `max_moves` reached.
-  /// Returns the decisions taken, in order.
-  template <typename LoadFn>
+  /// re-estimates load via `load_of_node`) until balanced or `max_moves`
+  /// reached.  Returns the decisions taken, in order.  An arbitrary load
+  /// functor is opaque, so each iteration re-evaluates every node; pass a
+  /// LoadModel to get the incremental overload below instead.
+  template <typename LoadFn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<LoadFn>, LoadModel>>>
   std::vector<MigrationDecision> rebalance(mig::RoleTracker& roles,
                                            LoadFn&& load_of_node,
                                            std::size_t max_moves = 16) const {
@@ -78,6 +87,15 @@ class AdaptationPolicy {
     }
     return taken;
   }
+
+  /// LoadModel-aware rebalance: the load vector is computed once, then
+  /// adjusted incrementally — a migration moves exactly one computing
+  /// thread, so only the source and destination shift (by the model's
+  /// per-thread cost).  Works with synthetic external loads and with
+  /// measured loads fed in via LoadModel::set_measured.
+  std::vector<MigrationDecision> rebalance(mig::RoleTracker& roles,
+                                           const LoadModel& model,
+                                           std::size_t max_moves = 16) const;
 
  private:
   PolicyConfig cfg_;
@@ -97,6 +115,23 @@ class LoadModel {
   double external(std::size_t node) const { return external_.at(node); }
   /// Grow alongside RoleTracker::add_node().
   void add_node(double external_load) { external_.push_back(external_load); }
+
+  /// Replace `node`'s synthetic external load with a measured busy
+  /// fraction: busy_ns of work observed over a wall_ns sampling window,
+  /// clamped to [0, 1] (parallel lanes can make busy exceed wall).
+  void set_measured(std::size_t node, std::uint64_t busy_ns,
+                    std::uint64_t wall_ns);
+
+  /// Same, with the busy time read straight from the node's ShareStats:
+  /// the Eq.-1 data-sharing cost (C_share) is the DSM-side busy signal a
+  /// real scheduler samples, instead of the synthetic owner-load vector.
+  void set_measured(std::size_t node, const dsm::ShareStats& stats,
+                    std::uint64_t wall_ns) {
+    set_measured(node, stats.share_ns(), wall_ns);
+  }
+
+  /// Load added by one computing thread (for incremental rebalancing).
+  double per_thread_cost() const noexcept { return per_thread_; }
 
   /// Total load of `node` under the current role map.
   double operator()(const mig::RoleTracker& roles, std::size_t node) const;

@@ -1,0 +1,285 @@
+// Deterministic pure-core tests for the adaptive policy engine: EWMA/probe
+// math, warmup, pins, hysteresis (no flapping on an oscillating signal),
+// the lanes/slack/threshold decision rules, and seeded replay (the same
+// signal trace always reproduces the same decision trace).  No I/O, no
+// threads, no clocks — everything here is a function of the inputs.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adapt/probe.hpp"
+#include "adapt/signal.hpp"
+#include "adapt/tuner.hpp"
+#include "baseline/page_dsm.hpp"
+
+namespace adapt = hdsm::adapt;
+
+namespace {
+
+/// Aggressive config so tests don't need long warmup/dwell stretches.
+adapt::TunerConfig fast_cfg() {
+  adapt::TunerConfig cfg;
+  cfg.warmup = 1;
+  cfg.dwell = 1;
+  return cfg;
+}
+
+/// Apply-side episode with an identity (or not) sender.
+adapt::Signal apply_signal(bool identity, std::uint64_t bytes = 512) {
+  adapt::Signal s;
+  s.blocks = 4;
+  s.bytes_applied = bytes;
+  s.unpack_ns = 1000;
+  s.conv_ns = 2000;
+  s.identity_sender = identity;
+  s.lanes_used = 1;
+  return s;
+}
+
+}  // namespace
+
+TEST(Ewma, SeedsOnFirstSampleThenSmooths) {
+  adapt::Ewma e(0.25);
+  EXPECT_FALSE(e.seeded());
+  e.update(100.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);
+  e.update(200.0);
+  EXPECT_DOUBLE_EQ(e.value(), 125.0);  // 100 + 0.25 * (200 - 100)
+  EXPECT_EQ(e.samples(), 2u);
+}
+
+TEST(Probe, FieldGroupsFoldIndependently) {
+  adapt::Probe p(0.5);
+
+  // Pack-only episode: diff and apply models untouched.
+  adapt::Signal pack;
+  pack.pack_ns = 1000;
+  pack.runs = 10;
+  pack.bytes_packed = 1000;
+  p.observe(pack);
+  EXPECT_GT(p.per_run_ns(), 0.0);
+  EXPECT_GT(p.pack_ns_per_byte(), 0.0);
+  EXPECT_DOUBLE_EQ(p.diff_ns_per_byte(), 0.0);
+  EXPECT_FALSE(p.has_seq_model());
+
+  // Apply-only episode: seq conversion model seeds, pack models unchanged.
+  adapt::Signal apply;
+  apply.blocks = 2;
+  apply.bytes_applied = 100;
+  apply.conv_ns = 500;
+  apply.plan_hits = 3;
+  apply.plan_misses = 1;
+  p.observe(apply);
+  EXPECT_TRUE(p.has_seq_model());
+  EXPECT_DOUBLE_EQ(p.seq_ns_per_byte(), 5.0);
+  EXPECT_DOUBLE_EQ(p.plan_hit_rate(), 0.75);
+  EXPECT_EQ(p.episodes(), 2u);
+
+  // Collect-only episode: diff cost + density.
+  adapt::Signal coll;
+  coll.dirty_pages = 2;
+  coll.diff_ns = 8192;
+  coll.diffed_bytes = 4096;
+  coll.page_size = 4096;
+  p.observe(coll);
+  EXPECT_DOUBLE_EQ(p.diff_ns_per_byte(), 1.0);
+  EXPECT_DOUBLE_EQ(p.density(), 0.5);
+}
+
+TEST(Tuner, WarmupFreezesAllDecisions) {
+  adapt::TunerConfig cfg;
+  cfg.warmup = 5;
+  cfg.dwell = 1;
+  adapt::Tuner t(cfg);
+  for (int i = 0; i < 4; ++i) {
+    const adapt::Decision& d = t.step(apply_signal(/*identity=*/true));
+    EXPECT_EQ(d.changed, 0u) << "episode " << i;
+    EXPECT_FALSE(d.identity_fastpath);
+  }
+  // Episode 5 reaches warmup; identity rate is pegged at 1.0 by now.
+  const adapt::Decision& d = t.step(apply_signal(true));
+  EXPECT_TRUE(d.identity_fastpath);
+  EXPECT_TRUE(d.changed & adapt::Decision::kFastpath);
+}
+
+TEST(Tuner, PinnedKnobsNeverMove) {
+  adapt::TunerConfig cfg = fast_cfg();
+  cfg.pin_identity_fastpath = 0;
+  cfg.pin_conv_threads = 2;
+  cfg.pin_merge_slack = 0;
+  adapt::Tuner t(cfg);
+  EXPECT_EQ(t.decision().conv_threads, 2u);
+  for (int i = 0; i < 50; ++i) {
+    const adapt::Decision& d = t.step(apply_signal(true, 200000));
+    EXPECT_FALSE(d.identity_fastpath);
+    EXPECT_EQ(d.conv_threads, 2u);
+    EXPECT_EQ(d.merge_slack, 0u);
+    EXPECT_EQ(d.changed & adapt::Decision::kFastpath, 0u);
+    EXPECT_EQ(d.changed & adapt::Decision::kLanes, 0u);
+  }
+}
+
+TEST(Tuner, NoFlappingOnOscillatingSignal) {
+  // Identity traffic alternating every episode: the EWMA hovers around
+  // 0.5, so without hysteresis the fast path would toggle constantly.
+  // With the engage>=0.5 / release<0.25 band it changes at most once.
+  adapt::Tuner t(adapt::TunerConfig{});  // default warmup/dwell
+  std::uint64_t fastpath_changes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const adapt::Decision& d = t.step(apply_signal(i % 2 == 0));
+    if (d.changed & adapt::Decision::kFastpath) ++fastpath_changes;
+  }
+  EXPECT_LE(fastpath_changes, 1u);
+}
+
+TEST(Tuner, SeededReplayReproducesDecisionTrace) {
+  // A deterministic LCG drives 300 episodes of mixed collect/pack/apply
+  // signals; feeding the identical trace through a fresh tuner must yield
+  // the identical decision trace (values and changed bits).
+  const auto make_trace = [] {
+    std::vector<adapt::Signal> trace;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    const auto next = [&x] {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      return (x >> 33);
+    };
+    for (int i = 0; i < 300; ++i) {
+      adapt::Signal s;
+      switch (next() % 3) {
+        case 0:  // collect
+          s.dirty_pages = 1 + next() % 8;
+          s.diff_ns = 1000 + next() % 100000;
+          s.diffed_bytes = next() % (s.dirty_pages * 4096);
+          s.runs = 1 + next() % 64;
+          break;
+        case 1:  // pack
+          s.pack_ns = 1000 + next() % 50000;
+          s.runs = 1 + next() % 64;
+          s.bytes_packed = 100 + next() % 100000;
+          break;
+        default:  // apply
+          s.blocks = 1 + next() % 32;
+          s.bytes_applied = 100 + next() % 200000;
+          s.unpack_ns = 100 + next() % 10000;
+          s.conv_ns = 100 + next() % 400000;
+          s.identity_sender = next() % 2 == 0;
+          s.parallel = next() % 4 == 0;
+          s.lanes_used = s.parallel ? 4 : 1;
+          s.plan_hits = next() % 32;
+          s.plan_misses = next() % 8;
+          break;
+      }
+      trace.push_back(s);
+    }
+    return trace;
+  };
+
+  const std::vector<adapt::Signal> trace = make_trace();
+  adapt::TunerConfig cfg = fast_cfg();
+  adapt::Tuner a(cfg), b(cfg);
+  for (const adapt::Signal& s : trace) {
+    const adapt::Decision da = a.step(s);
+    const adapt::Decision db = b.step(s);
+    ASSERT_TRUE(da == db);
+    ASSERT_EQ(da.changed, db.changed);
+  }
+  EXPECT_EQ(a.switches(), b.switches());
+}
+
+TEST(Tuner, LanesFollowTheMeasuredCostModels) {
+  adapt::TunerConfig cfg = fast_cfg();
+  cfg.max_lanes = 4;
+  cfg.min_grain = 4096;
+  adapt::Tuner t(cfg);
+
+  // Sequential conversion measured expensive on big batches: the tuner's
+  // bounded exploration kicks in and raises the lane count.
+  adapt::Signal seq = apply_signal(false, /*bytes=*/100000);
+  seq.conv_ns = 1000000;  // 10 ns/B sequential
+  t.step(seq);
+  t.step(seq);
+  EXPECT_EQ(t.decision().conv_threads, 4u) << "exploration should fire";
+
+  // Parallel path measures much cheaper: lanes stay up.
+  adapt::Signal par = apply_signal(false, 100000);
+  par.conv_ns = 300000;  // 3 ns/B parallel
+  par.parallel = true;
+  par.lanes_used = 4;
+  for (int i = 0; i < 5; ++i) t.step(par);
+  EXPECT_EQ(t.decision().conv_threads, 4u);
+
+  // Parallel path turns expensive (e.g. contended machine): fall back.
+  adapt::Signal slow_par = par;
+  slow_par.conv_ns = 4000000;  // 40 ns/B parallel
+  for (int i = 0; i < 10; ++i) t.step(slow_par);
+  EXPECT_EQ(t.decision().conv_threads, 1u);
+}
+
+TEST(Tuner, SlackIsCappedByTheSafetyBound) {
+  // Huge per-run overhead relative to byte cost: unbounded coalescing
+  // would want ~99 bytes of slack, but the ownership-granularity cap
+  // holds it at max_merge_slack.
+  adapt::TunerConfig cfg = fast_cfg();
+  adapt::Tuner t(cfg);
+  adapt::Signal s;
+  s.pack_ns = 100000;  // per_run = 5000 ns at 10 runs
+  s.runs = 10;
+  s.bytes_packed = 1000;  // pack cost = 50 ns/B
+  for (int i = 0; i < 10; ++i) t.step(s);
+  EXPECT_EQ(t.decision().merge_slack, cfg.max_merge_slack);
+
+  adapt::TunerConfig tight = fast_cfg();
+  tight.max_merge_slack = 8;
+  adapt::Tuner t2(tight);
+  for (int i = 0; i < 10; ++i) t2.step(s);
+  EXPECT_EQ(t2.decision().merge_slack, 8u);
+}
+
+TEST(Tuner, ChangedBitsClearOnStationaryEpisodes) {
+  adapt::Tuner t(fast_cfg());
+  adapt::Signal s = apply_signal(true);
+  t.step(s);
+  t.step(s);  // fastpath engages here or earlier
+  // Once converged, further identical episodes change nothing.
+  for (int i = 0; i < 10; ++i) {
+    const adapt::Decision& d = t.step(s);
+    if (i > 2) {
+      EXPECT_EQ(d.changed, 0u);
+    }
+  }
+}
+
+// Satellite: the re-derived PageDsmOptions::whole_page_threshold default
+// came out of the bench_abl_diff_threshold sweep; on a stationary workload
+// with the cost profile that sweep measured (tens of runs per dirty page,
+// ~50 ns per-run overhead, sub-ns/byte stream cost), the online tuner must
+// land within one 0.1 bucket of that derived default.
+TEST(Tuner, ConvergesToTheDerivedStaticThreshold) {
+  adapt::TunerConfig cfg;
+  cfg.warmup = 2;
+  cfg.dwell = 2;
+  cfg.page_size = 4096;
+  cfg.wire_ns_per_byte = 0.5;
+  adapt::Tuner t(cfg);
+
+  // Stationary episode modeled on the sweep's moderate-density point:
+  // 53 runs/page, ~50.4 ns per run, ~0.3 ns/B pack cost
+  //   -> t* = 1 - 52 * 50.4 / (4096 * 0.8) ~= 0.20.
+  adapt::Signal s;
+  s.dirty_pages = 2;
+  s.diff_ns = 2000;
+  s.diffed_bytes = 1638;  // 20% density
+  s.runs = 106;
+  s.pack_ns = 10685;
+  s.bytes_packed = 17808;
+  s.page_size = 4096;
+  for (int i = 0; i < 40; ++i) t.step(s);
+
+  const double derived = hdsm::base::PageDsmOptions{}.whole_page_threshold;
+  EXPECT_NEAR(t.decision().whole_page_threshold, derived, 0.1 + 1e-9)
+      << "tuner must converge to within one bucket of the static default";
+}

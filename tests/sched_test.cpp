@@ -143,3 +143,50 @@ TEST(Roles, AddAndRemoveNodes) {
   // The home node never leaves.
   EXPECT_THROW(roles.remove_node(0), std::logic_error);
 }
+
+// ---- measured-load bridge + incremental rebalance ---------------------------
+
+TEST(LoadModel, MeasuredBusyFractionReplacesTheSyntheticLoad) {
+  sched::LoadModel model({0.9, 0.3}, 0.1);
+
+  // Busy time straight from a node's ShareStats: share_ns() over the wall
+  // window, i.e. the Eq.-1 data-sharing cost as a busy fraction.
+  hdsm::dsm::ShareStats stats;
+  stats.index_ns = 200;
+  stats.pack_ns = 100;
+  stats.conv_ns = 100;
+  model.set_measured(0, stats, /*wall_ns=*/1000);
+  EXPECT_DOUBLE_EQ(model.external(0), 0.4);
+
+  // A zero-length window carries no information: load reads 0.
+  model.set_measured(1, 500, 0);
+  EXPECT_DOUBLE_EQ(model.external(1), 0.0);
+  // Parallel lanes can make busy exceed wall: clamped to 1.
+  model.set_measured(1, 3000, 1000);
+  EXPECT_DOUBLE_EQ(model.external(1), 1.0);
+}
+
+TEST(Policy, IncrementalRebalanceMatchesTheGenericPath) {
+  // The LoadModel overload computes the load vector once and adjusts it by
+  // per_thread_cost per move; it must take exactly the moves the generic
+  // recompute-everything path takes.
+  const auto build = [](mig::RoleTracker& roles, sched::LoadModel& model) {
+    roles.add_node();
+    model.add_node(0.05);
+    roles.add_node();
+    model.add_node(0.0);
+  };
+  mig::RoleTracker r1(1, 5), r2(1, 5);
+  sched::LoadModel m1({0.1}, 0.22), m2({0.1}, 0.22);
+  build(r1, m1);
+  build(r2, m2);
+
+  sched::AdaptationPolicy policy;
+  const auto generic = policy.rebalance(
+      r1, [&](const mig::RoleTracker& roles, std::size_t n) {
+        return m1(roles, n);
+      });
+  const auto incremental = policy.rebalance(r2, m2);
+  EXPECT_EQ(generic, incremental);
+  EXPECT_FALSE(incremental.empty());
+}

@@ -313,3 +313,44 @@ TEST(TraceEndToEnd, TamperedTraceFails) {
   tampered.push_back(grant);
   EXPECT_TRUE(dsm::validate_trace(tampered).has_value());
 }
+
+// ---- adaptive decision events (invariant 5) ---------------------------------
+
+TEST(Validator, StrategySwitchRequiresAProbeSample) {
+  // A decision event with no probe sample at all: invalid.
+  auto events = make_events({{Kind::StrategySwitched, 1, 7}});
+  EXPECT_TRUE(dsm::validate_trace(events).has_value());
+
+  // A probe from an *earlier* episode does not license a later switch.
+  events = make_events(
+      {{Kind::ProbeSampled, 1, 6}, {Kind::StrategySwitched, 1, 7}});
+  EXPECT_TRUE(dsm::validate_trace(events).has_value());
+
+  // Another rank's probe of the right episode does not count either:
+  // tuners are per-node.
+  events = make_events(
+      {{Kind::ProbeSampled, 2, 7}, {Kind::StrategySwitched, 1, 7}});
+  EXPECT_TRUE(dsm::validate_trace(events).has_value());
+}
+
+TEST(Validator, ProbeThenDecisionsOfTheSameEpisodeValidate) {
+  const auto events = make_events({{Kind::ProbeSampled, 1, 7},
+                                   {Kind::StrategySwitched, 1, 7},
+                                   {Kind::LanesRetuned, 1, 7},
+                                   {Kind::RunsCoalesced, 1, 7},
+                                   {Kind::ProbeSampled, 1, 8},
+                                   {Kind::LanesRetuned, 1, 8}});
+  const auto err = dsm::validate_trace(events);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST(Validator, AdaptiveEventsAreLifecycleExempt) {
+  // Probe/decision events interleave freely with protocol traffic without
+  // counting as lock/barrier lifecycle steps.
+  const auto events = make_events({{Kind::LockGranted, 1, 0},
+                                   {Kind::ProbeSampled, 1, 3},
+                                   {Kind::StrategySwitched, 1, 3},
+                                   {Kind::LockReleased, 1, 0}});
+  const auto err = dsm::validate_trace(events);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
