@@ -4,10 +4,10 @@
 // heterogeneous pair pays for conversion; homogeneous pairs are
 // memcpy-bound.  Per-barrier updates are small (band edges + own band),
 // so C_share is barrier-count dominated rather than volume dominated.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/timer.hpp"
 #include "workloads/sor.hpp"
 
 using hdsm::bench::ms;
@@ -27,15 +27,15 @@ int main() {
                               hdsm::dsm::ShareStats& out) {
     hdsm::dsm::Cluster cluster(hdsm::work::sor_gthv(n), *pair.home,
                                {pair.remote, pair.remote}, opts);
-    const auto t0 = std::chrono::steady_clock::now();
+    hdsm::obs::ScopedTimer timer;
     const auto grid = hdsm::work::run_sor(cluster, n, iters, 1.5);
-    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = static_cast<double>(timer.elapsed_ns()) / 1e9;
     if (grid != hdsm::work::sor_reference(n, iters, 1.5)) {
       std::fprintf(stderr, "FATAL: %s did not verify\n", pair.name.c_str());
       std::exit(1);
     }
     out = cluster.total_stats();
-    return std::chrono::duration<double>(t1 - t0).count();
+    return wall;
   };
 
   double sl_conv = 0, ll_conv = 0;

@@ -1,0 +1,116 @@
+# CI smoke for the JSON-emitting gbench binaries: run each in quick mode
+# (HDSM_BENCH_FAST=1 comes from the test's ENVIRONMENT) and check the
+# BENCH_*.json artifact exists and is well-formed.
+#
+# Invoked as:
+#   cmake -DBENCH_DIR=<dir-with-binaries> -P bench_smoke.cmake
+#
+# Keep this list in sync with the binaries that default --benchmark_out.
+set(SMOKE_BINARIES bench_data_plane bench_reliability_overhead
+    bench_adaptive bench_obs_overhead)
+
+if(NOT DEFINED BENCH_DIR)
+  message(FATAL_ERROR "bench_smoke: pass -DBENCH_DIR=<dir>")
+endif()
+
+# bench_obs_overhead's side artifacts — removed up front so a stale copy
+# from a previous run can't satisfy the checks below.
+file(REMOVE "${BENCH_DIR}/BENCH_obs_trace.json"
+     "${BENCH_DIR}/BENCH_obs_metrics.json")
+
+foreach(bin IN LISTS SMOKE_BINARIES)
+  # bench_data_plane -> BENCH_data_plane.json (matches the name the binary
+  # would default on its own; passed explicitly so binaries without a
+  # default-out main still emit one).
+  string(REGEX REPLACE "^bench_" "" stem "${bin}")
+  set(artifact "${BENCH_DIR}/BENCH_${stem}.json")
+  file(REMOVE "${artifact}")
+
+  execute_process(
+    COMMAND "${BENCH_DIR}/${bin}" --benchmark_min_time=0.01
+            "--benchmark_out=${artifact}" --benchmark_out_format=json
+    WORKING_DIRECTORY "${BENCH_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: ${bin} exited ${rc}\n${out}\n${err}")
+  endif()
+
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench_smoke: ${bin} did not write ${artifact}")
+  endif()
+  file(READ "${artifact}" json)
+  string(LENGTH "${json}" json_len)
+  if(json_len EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: ${artifact} is empty")
+  endif()
+
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    # Real JSON validation: parse, and require a non-empty benchmarks array.
+    string(JSON n_benchmarks ERROR_VARIABLE json_err
+           LENGTH "${json}" benchmarks)
+    if(json_err)
+      message(FATAL_ERROR
+              "bench_smoke: ${artifact} is not well-formed benchmark JSON: "
+              "${json_err}")
+    endif()
+    if(n_benchmarks EQUAL 0)
+      message(FATAL_ERROR "bench_smoke: ${artifact} has no benchmark entries")
+    endif()
+    message(STATUS
+            "bench_smoke: ${bin} ok (${n_benchmarks} benchmark entries)")
+  else()
+    # Pre-3.19 fallback: structural sniff only.
+    if(NOT json MATCHES "\"benchmarks\"[ \t\r\n]*:[ \t\r\n]*\\[")
+      message(FATAL_ERROR
+              "bench_smoke: ${artifact} lacks a benchmarks array")
+    endif()
+    message(STATUS "bench_smoke: ${bin} ok (regex check; CMake < 3.19)")
+  endif()
+endforeach()
+
+# bench_obs_overhead additionally exports a Chrome trace-event file and the
+# aggregated cluster metrics (written into BENCH_DIR, its working dir).
+# Validate both: the trace must parse as JSON with a non-empty traceEvents
+# array (that is exactly what Perfetto / chrome://tracing require to load
+# it), the metrics must parse and carry the "merged" cluster view.
+set(trace "${BENCH_DIR}/BENCH_obs_trace.json")
+set(metrics "${BENCH_DIR}/BENCH_obs_metrics.json")
+foreach(artifact IN ITEMS "${trace}" "${metrics}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench_smoke: bench_obs_overhead did not write "
+            "${artifact}")
+  endif()
+endforeach()
+
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  file(READ "${trace}" json)
+  string(JSON n_events ERROR_VARIABLE json_err LENGTH "${json}" traceEvents)
+  if(json_err)
+    message(FATAL_ERROR
+            "bench_smoke: ${trace} is not well-formed trace JSON: ${json_err}")
+  endif()
+  if(n_events EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: ${trace} has no trace events")
+  endif()
+  message(STATUS "bench_smoke: obs trace ok (${n_events} trace events)")
+
+  file(READ "${metrics}" json)
+  string(JSON merged ERROR_VARIABLE json_err GET "${json}" merged)
+  if(json_err)
+    message(FATAL_ERROR
+            "bench_smoke: ${metrics} lacks a merged cluster view: ${json_err}")
+  endif()
+  message(STATUS "bench_smoke: obs metrics ok")
+else()
+  file(READ "${trace}" json)
+  if(NOT json MATCHES "\"traceEvents\"[ \t\r\n]*:[ \t\r\n]*\\[")
+    message(FATAL_ERROR "bench_smoke: ${trace} lacks a traceEvents array")
+  endif()
+  file(READ "${metrics}" json)
+  if(NOT json MATCHES "\"merged\"")
+    message(FATAL_ERROR "bench_smoke: ${metrics} lacks a merged view")
+  endif()
+  message(STATUS "bench_smoke: obs artifacts ok (regex check; CMake < 3.19)")
+endif()

@@ -1,22 +1,14 @@
 #include "baseline/page_dsm.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/timer.hpp"
+
 namespace hdsm::base {
 
-namespace {
-
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
+using obs::ScopedTimer;
 
 PageDsmNode::PageDsmNode(std::size_t image_size, PageDsmOptions opts)
     : image_size_(image_size), opts_(opts), region_(image_size) {
@@ -24,7 +16,7 @@ PageDsmNode::PageDsmNode(std::size_t image_size, PageDsmOptions opts)
 }
 
 std::vector<PageUpdate> PageDsmNode::collect_updates() {
-  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t0 = ScopedTimer::now_ns();
   const std::size_t ps = mem::Region::host_page_size();
   std::vector<PageUpdate> out;
 
@@ -62,19 +54,27 @@ std::vector<PageUpdate> PageDsmNode::collect_updates() {
     }
   }
   region_.begin_tracking();
-  stats_.diff_ns += now_ns() - t0;
+  const std::uint64_t dur = ScopedTimer::now_ns() - t0;
+  stats_.diff_ns += dur;
+  if (obs_ != nullptr) {
+    obs_->record_phase(obs::SpanKind::Diff, t0, dur, out.size());
+  }
   return out;
 }
 
 void PageDsmNode::apply_updates(const std::vector<PageUpdate>& updates) {
-  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t0 = ScopedTimer::now_ns();
   for (const PageUpdate& u : updates) {
     if (u.offset + u.data.size() > image_size_) {
       throw std::out_of_range("PageDsmNode::apply_updates");
     }
     region_.apply_update(u.offset, u.data.data(), u.data.size());
   }
-  stats_.apply_ns += now_ns() - t0;
+  const std::uint64_t dur = ScopedTimer::now_ns() - t0;
+  stats_.apply_ns += dur;
+  if (obs_ != nullptr) {
+    obs_->record_phase(obs::SpanKind::Unpack, t0, dur, updates.size());
+  }
 }
 
 }  // namespace hdsm::base

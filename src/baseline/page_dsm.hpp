@@ -14,6 +14,7 @@
 
 #include "memory/diff.hpp"
 #include "memory/write_trap.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hdsm::base {
 
@@ -80,11 +81,17 @@ class PageDsmNode {
 
   const PageDsmStats& stats() const noexcept { return stats_; }
 
+  /// Optional telemetry (borrowed, must outlive the node): collect/apply
+  /// record Diff/Unpack spans so baseline runs land in the same exported
+  /// trace as the heterogeneous system's, on their own lanes.
+  void set_obs(obs::Telemetry* telemetry) noexcept { obs_ = telemetry; }
+
  private:
   std::size_t image_size_;
   PageDsmOptions opts_;
   mem::TrackedRegion region_;
   PageDsmStats stats_;
+  obs::Telemetry* obs_ = nullptr;
 };
 
 }  // namespace hdsm::base

@@ -14,6 +14,7 @@ Cluster::Cluster(tags::TypePtr gthv, const plat::PlatformDesc& home_platform,
   RemoteOptions ropts;
   ropts.dsd = opts.dsd;
   ropts.trace = opts.trace;
+  ropts.obs = opts.obs;
   for (std::size_t i = 0; i < remote_platforms.size(); ++i) {
     const std::uint32_t rank = static_cast<std::uint32_t>(i + 1);
     msg::EndpointPtr ep = home_->attach(rank);
@@ -32,6 +33,17 @@ void Cluster::run(const std::function<void(HomeNode&)>& master_fn,
   }
   master_fn(*home_);
   for (std::thread& t : threads) t.join();
+}
+
+obs::ClusterTelemetry Cluster::telemetry() {
+  for (auto& remote : remotes_) {
+    if (remote->detached()) continue;
+    // A joined remote's last pre-join pull is already aggregated; pulling
+    // again would throw (the home dropped its peer state), so skip it.
+    if (remote->joined()) continue;
+    remote->pull_cluster_metrics();
+  }
+  return home_->cluster_telemetry();
 }
 
 ShareStats Cluster::total_stats() const {

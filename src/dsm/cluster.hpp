@@ -42,6 +42,13 @@ class Cluster {
     return remotes_.at(rank - 1)->stats();
   }
 
+  /// Cluster-wide telemetry: scrape every live (attached, not detached)
+  /// remote via MetricsPull, then return the home's aggregated view — one
+  /// merged MetricsSnapshot plus the per-rank breakdown.  Call between
+  /// episodes or after run(); scraping drives each remote's RPC path, so
+  /// it must not race that remote's own synchronization calls.
+  obs::ClusterTelemetry telemetry();
+
  private:
   std::unique_ptr<HomeNode> home_;
   std::vector<std::unique_ptr<RemoteThread>> remotes_;

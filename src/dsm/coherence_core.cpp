@@ -651,6 +651,34 @@ void CoherenceCore::handle_message(std::uint32_t rank, const msg::Message& m,
       maybe_release_barrier(m.sync_id, out);
       return;
     }
+    case msg::MsgType::MetricsPull: {
+      // Telemetry scrape (docs/OBSERVABILITY.md): the request payload is
+      // the remote's serialized NodeSnapshot; fold it into the cluster
+      // aggregate and reply with the serialized cluster view.  Sequenced
+      // and reply-cached like every other request, so a retransmitted pull
+      // is answered from the cache instead of double-counted.
+      obs::NodeSnapshot snap;
+      if (!obs::NodeSnapshot::deserialize(
+              reinterpret_cast<const std::uint8_t*>(m.payload.data()),
+              m.payload.size(), snap) ||
+          snap.rank != rank) {
+        violation(rank, "home: bad MetricsPull payload", out);
+        return;
+      }
+      aggregator_.report(snap);
+      trace(out, TraceEvent::Kind::MetricsScraped, rank, 0, 0,
+            m.payload.size(), m.seq);
+      msg::Message reply;
+      reply.type = msg::MsgType::MetricsReport;
+      reply.rank = kMasterRank;
+      reply.sender = cfg_.self;
+      std::vector<std::uint8_t> body;
+      telemetry().serialize(body);
+      const std::byte* b = reinterpret_cast<const std::byte*>(body.data());
+      reply.payload.assign(b, b + body.size());
+      send_reply(rank, peer, std::move(reply), out);
+      return;
+    }
     case msg::MsgType::JoinRequest: {
       std::vector<idx::UpdateRun> runs;
       try {
@@ -678,6 +706,15 @@ void CoherenceCore::handle_message(std::uint32_t rank, const msg::Message& m,
                 out);
       return;
   }
+}
+
+obs::ClusterTelemetry CoherenceCore::telemetry() const {
+  obs::NodeSnapshot home;
+  home.rank = kMasterRank;
+  home.epoch = 0;  // the home never reincarnates within a session
+  if (cfg_.telemetry != nullptr) home.metrics = cfg_.telemetry->metrics();
+  append_share_stats(home.metrics, stats_);
+  return aggregator_.view(home);
 }
 
 void CoherenceCore::trace(Actions& out, TraceEvent::Kind kind,

@@ -33,6 +33,7 @@
 #include "dsm/trace.hpp"
 #include "index/index_table.hpp"
 #include "msg/message.hpp"
+#include "obs/telemetry.hpp"
 #include "tags/layout.hpp"
 
 namespace hdsm::dsm {
@@ -133,6 +134,11 @@ struct CoherenceConfig {
   /// Local layout runs for Hello shape negotiation; empty skips the check
   /// (unit-test harnesses that never exchange real tags).
   std::vector<tags::FlatRun> layout_runs;
+  /// Borrowed telemetry for the home node itself (may be null).  The
+  /// MetricsPull handler folds it — together with the ShareStats mirror —
+  /// into the cluster view as rank 0, so scrape replies include the home
+  /// even when obs recording is off.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class CoherenceCore {
@@ -179,6 +185,12 @@ class CoherenceCore {
   /// and honored/denied recovery closes the sender's.
   std::size_t recovery_entries(std::uint32_t rank) const;
   std::uint32_t num_locks() const noexcept { return cfg_.num_locks; }
+
+  /// Cluster-wide telemetry view: the home's own snapshot (obs registry, if
+  /// attached, plus the ShareStats mirror) as rank 0 merged with every
+  /// snapshot remotes have reported via MetricsPull.  Call under the same
+  /// exclusion as step() — it reads the ShareStats the shell mutates.
+  obs::ClusterTelemetry telemetry() const;
 
  private:
   struct PeerState {
@@ -265,6 +277,7 @@ class CoherenceCore {
   CoherenceConfig cfg_;
   UpdateCodec& codec_;
   ShareStats& stats_;
+  obs::ClusterAggregator aggregator_;
   std::map<std::uint32_t, PeerState> peers_;
   std::vector<LockState> locks_;
   std::vector<BarrierState> barriers_;

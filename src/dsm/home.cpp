@@ -10,14 +10,15 @@ namespace hdsm::dsm {
 
 namespace {
 
-CoherenceConfig core_config(const HomeOptions& opts,
-                            const GlobalSpace& space) {
+CoherenceConfig core_config(const HomeOptions& opts, const GlobalSpace& space,
+                            obs::Telemetry* telemetry) {
   CoherenceConfig cfg;
   cfg.num_locks = opts.num_locks;
   cfg.num_barriers = opts.num_barriers;
   cfg.self = msg::PlatformSummary::of(space.platform());
   cfg.image_tag_text = space.image_tag_text();
   cfg.layout_runs = space.table().layout().runs;
+  cfg.telemetry = telemetry;
   return cfg;
 }
 
@@ -47,10 +48,14 @@ HomeNode::HomeNode(tags::TypePtr gthv, const plat::PlatformDesc& platform,
                    HomeOptions opts)
     : opts_(opts),
       space_(gthv, platform),
+      telemetry_(opts_.obs.enabled
+                     ? std::make_unique<obs::Telemetry>(opts_.obs)
+                     : nullptr),
       engine_(space_, opts_.dsd, stats_),
       codec_(engine_),
-      core_(core_config(opts_, space_), codec_, stats_) {
+      core_(core_config(opts_, space_, telemetry_.get()), codec_, stats_) {
   engine_.set_trace(opts_.trace, kMasterRank);
+  engine_.set_obs(telemetry_.get());
 }
 
 HomeNode::~HomeNode() { stop(); }
@@ -99,6 +104,7 @@ void HomeNode::attach_endpoint(std::uint32_t rank, msg::EndpointPtr ep) {
 }
 
 void HomeNode::start() {
+  if (telemetry_ != nullptr) telemetry_->set_thread_label("master");
   std::unique_lock<std::mutex> lock(mutex_);
   if (started_) return;
   started_ = true;
@@ -125,6 +131,11 @@ void HomeNode::stop() {
 ShareStats HomeNode::stats() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return stats_;
+}
+
+obs::ClusterTelemetry HomeNode::cluster_telemetry() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return core_.telemetry();
 }
 
 bool HomeNode::quiesced() const {
@@ -156,14 +167,19 @@ std::vector<std::uint32_t> HomeNode::active_ranks() const {
 // ---- master-thread API -----------------------------------------------------
 
 void HomeNode::lock(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
   std::unique_lock<std::mutex> lock(mutex_);
   core_.check_lock_index(index);
   process_event(lock, CoherenceEvent::master_lock(index));
   // The master image is authoritative: nothing to pull on acquire.
-  cv_.wait(lock, [this, index] { return core_.master_holds(index); });
+  {
+    obs::SpanScope wait(telemetry_.get(), obs::SpanKind::LockWait, index);
+    cv_.wait(lock, [this, index] { return core_.master_holds(index); });
+  }
 }
 
 void HomeNode::unlock(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
   std::unique_lock<std::mutex> lock(mutex_);
   // Validate before collect_runs(): collecting restarts the tracking
   // interval, so an exception must fire before that side effect.
@@ -174,14 +190,18 @@ void HomeNode::unlock(std::uint32_t index) {
 }
 
 void HomeNode::barrier(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
   std::unique_lock<std::mutex> lock(mutex_);
   core_.check_barrier_index(index);
   std::vector<idx::UpdateRun> runs = engine_.collect_runs();
   const std::uint64_t gen = core_.barrier_generation(index);
   process_event(lock, CoherenceEvent::master_barrier(index, std::move(runs)));
-  cv_.wait(lock, [this, index, gen] {
-    return core_.barrier_generation(index) != gen;
-  });
+  {
+    obs::SpanScope wait(telemetry_.get(), obs::SpanKind::BarrierWait, index);
+    cv_.wait(lock, [this, index, gen] {
+      return core_.barrier_generation(index) != gen;
+    });
+  }
 }
 
 void HomeNode::wait_all_joined() {
@@ -280,6 +300,9 @@ void HomeNode::process_event(std::unique_lock<std::mutex>& lock,
 // ---- receiver --------------------------------------------------------------
 
 void HomeNode::receiver_loop(std::uint32_t rank) {
+  if (telemetry_ != nullptr) {
+    telemetry_->set_thread_label("recv-rank" + std::to_string(rank));
+  }
   std::shared_ptr<msg::Endpoint> ep;
   {
     std::unique_lock<std::mutex> lock(mutex_);

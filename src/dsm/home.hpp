@@ -49,6 +49,10 @@ struct HomeOptions {
   /// Optional protocol trace sink (see trace.hpp); not owned, must outlive
   /// the home node.
   TraceLog* trace = nullptr;
+  /// Telemetry (docs/OBSERVABILITY.md).  Disabled ⇒ no Telemetry object is
+  /// constructed and every instrumentation site is a null check; the
+  /// MetricsPull scrape still answers (ShareStats mirror only).
+  obs::ObsOptions obs;
 };
 
 class HomeNode {
@@ -88,6 +92,16 @@ class HomeNode {
   const GlobalSpace& space() const noexcept { return space_; }
   ShareStats stats() const;
   std::uint32_t num_locks() const noexcept { return opts_.num_locks; }
+
+  /// This node's telemetry (null when HomeOptions::obs is disabled).
+  obs::Telemetry* telemetry() noexcept { return telemetry_.get(); }
+
+  /// The cluster-wide telemetry view the home has aggregated so far: its
+  /// own snapshot as rank 0 plus every snapshot remotes reported via
+  /// MetricsPull.  Remotes report on their own schedule (or when
+  /// RemoteThread::pull_cluster_metrics runs); Cluster::telemetry() drives
+  /// a fresh scrape of every live remote first.
+  obs::ClusterTelemetry cluster_telemetry() const;
 
   /// Ranks currently attached and not joined.
   std::vector<std::uint32_t> active_ranks() const;
@@ -161,6 +175,9 @@ class HomeNode {
   HomeOptions opts_;
   GlobalSpace space_;
   ShareStats stats_;
+  /// Owned telemetry (null = obs off).  Declared before engine_/core_:
+  /// both borrow the raw pointer.
+  std::unique_ptr<obs::Telemetry> telemetry_;
   SyncEngine engine_;
   EngineCodec codec_;
   CoherenceCore core_;

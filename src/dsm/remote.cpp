@@ -35,6 +35,8 @@ RemoteThread::RemoteThread(tags::TypePtr gthv,
                            std::uint32_t rank, msg::EndpointPtr endpoint,
                            RemoteOptions opts)
     : space_(gthv, platform),
+      telemetry_(opts.obs.enabled ? std::make_unique<obs::Telemetry>(opts.obs)
+                                  : nullptr),
       engine_(space_, opts.dsd, stats_),
       rank_(rank),
       epoch_(incarnation_epoch(rank)),
@@ -43,6 +45,10 @@ RemoteThread::RemoteThread(tags::TypePtr gthv,
       retry_(opts_.retry, rank, opts_.reconnect != nullptr,
              opts_.max_reconnects) {
   engine_.set_trace(opts_.trace, rank_);
+  engine_.set_obs(telemetry_.get());
+  if (telemetry_) {
+    telemetry_->set_thread_label("rank" + std::to_string(rank_));
+  }
   send_hello();
   space_.region().begin_tracking();
 }
@@ -102,6 +108,7 @@ bool RemoteThread::try_reconnect() {
         endpoint_ = std::move(fresh);
         ++stats_.reconnects;
         trace(TraceEvent::Kind::Reconnected, 0, send_seq_);
+        if (telemetry_) telemetry_->event(obs::SpanKind::Reconnect, send_seq_);
         send_hello(/*resume=*/true);
         return true;
       }
@@ -122,6 +129,10 @@ msg::Message RemoteThread::rpc(msg::Message req, msg::MsgType want) {
   req.seq = ++send_seq_;  // requests are numbered from 1; 0 = unsequenced
   req.rank = rank_;
   req.sender = msg::PlatformSummary::of(space_.platform());
+  // One ReplyWait span covers the full request lifetime: send, timeouts,
+  // retransmits, reconnects, until the matching reply (or the throw).
+  obs::SpanScope reply_wait(telemetry_.get(), obs::SpanKind::ReplyWait,
+                            req.seq);
 
   RetryCore::Decision d = retry_.begin(req.seq);
   bool need_send = true;
@@ -188,11 +199,13 @@ msg::Message RemoteThread::rpc(msg::Message req, msg::MsgType want) {
     }
     ++stats_.retries;
     trace(TraceEvent::Kind::RetrySent, req.sync_id, req.seq);
+    if (telemetry_) telemetry_->event(obs::SpanKind::Retry, req.seq);
     need_send = true;  // retransmit the identical encoded request
   }
 }
 
 void RemoteThread::lock(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
   msg::Message req;
   req.type = msg::MsgType::LockRequest;
   req.sync_id = index;
@@ -208,6 +221,7 @@ void RemoteThread::lock(std::uint32_t index) {
 }
 
 void RemoteThread::unlock(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
   msg::Message req;
   req.type = msg::MsgType::UnlockRequest;
   req.sync_id = index;
@@ -219,6 +233,7 @@ void RemoteThread::unlock(std::uint32_t index) {
 }
 
 void RemoteThread::barrier(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
   msg::Message enter;
   enter.type = msg::MsgType::BarrierEnter;
   enter.sync_id = index;
@@ -231,12 +246,44 @@ void RemoteThread::barrier(std::uint32_t index) {
 
 void RemoteThread::join() {
   if (joined_ || detached_) return;
+  // Final scrape before the home drops this rank's peer state: the
+  // aggregator keeps this incarnation's last snapshot, so a post-run
+  // Cluster::telemetry() still sees every joined node.  Only when obs is
+  // on — the off path's join stays a single RPC.
+  if (telemetry_) pull_cluster_metrics();
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode);
   msg::Message req;
   req.type = msg::MsgType::JoinRequest;
   req.payload = engine_.collect_payload();
   rpc(std::move(req), msg::MsgType::JoinAck);
   space_.region().end_tracking();
   joined_ = true;
+}
+
+obs::ClusterTelemetry RemoteThread::pull_cluster_metrics() {
+  obs::SpanScope scrape(telemetry_.get(), obs::SpanKind::Scrape);
+  obs::NodeSnapshot snap;
+  snap.rank = rank_;
+  snap.epoch = epoch_;
+  if (telemetry_) snap.metrics = telemetry_->metrics();
+  append_share_stats(snap.metrics, stats_);
+
+  msg::Message req;
+  req.type = msg::MsgType::MetricsPull;
+  std::vector<std::uint8_t> body;
+  snap.serialize(body);
+  const std::byte* b = reinterpret_cast<const std::byte*>(body.data());
+  req.payload.assign(b, b + body.size());
+
+  const msg::Message reply = rpc(std::move(req), msg::MsgType::MetricsReport);
+  obs::ClusterTelemetry view;
+  if (!obs::ClusterTelemetry::deserialize(
+          reinterpret_cast<const std::uint8_t*>(reply.payload.data()),
+          reply.payload.size(), view)) {
+    throw std::runtime_error("remote rank " + std::to_string(rank_) +
+                             ": malformed MetricsReport payload");
+  }
+  return view;
 }
 
 }  // namespace hdsm::dsm

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 
 #include "dsm/global_space.hpp"
@@ -23,6 +24,7 @@
 #include "dsm/sync_engine.hpp"
 #include "dsm/trace.hpp"
 #include "msg/endpoint.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hdsm::dsm {
 
@@ -51,6 +53,10 @@ struct RemoteOptions {
   /// is fatal after the retry budget.
   std::function<msg::EndpointPtr()> reconnect;
   std::uint32_t max_reconnects = 3;  ///< reconnect budget per remote
+  /// Telemetry (docs/OBSERVABILITY.md).  Disabled ⇒ no Telemetry object is
+  /// constructed; synchronization calls pay one null check each, and
+  /// pull_cluster_metrics() ships the ShareStats mirror only.
+  obs::ObsOptions obs;
 };
 
 class RemoteThread {
@@ -91,6 +97,17 @@ class RemoteThread {
   /// True after retry exhaustion detached this remote (HomeUnreachable).
   bool detached() const noexcept { return detached_; }
 
+  /// This remote's telemetry (null when RemoteOptions::obs is disabled).
+  obs::Telemetry* telemetry() noexcept { return telemetry_.get(); }
+
+  /// Scrape: ship this node's metrics snapshot home (MetricsPull) and
+  /// return the cluster-wide view the home replies with (MetricsReport).
+  /// Works with obs disabled — the snapshot then carries the ShareStats
+  /// mirror ("stats.*" counters) only.  Sequenced + retried like every
+  /// other request; a retransmitted pull is answered from the home's reply
+  /// cache, so nothing is double-counted.
+  obs::ClusterTelemetry pull_cluster_metrics();
+
  private:
   /// Send `req` (stamped with the next sequence number) and wait for the
   /// matching `want` reply, retransmitting and reconnecting as RetryCore
@@ -107,6 +124,9 @@ class RemoteThread {
 
   GlobalSpace space_;
   ShareStats stats_;
+  /// Owned telemetry (null = obs off).  Declared before engine_, which
+  /// borrows the raw pointer.
+  std::unique_ptr<obs::Telemetry> telemetry_;
   SyncEngine engine_;
   std::uint32_t rank_;
   /// Incarnation epoch nonce, generated per RemoteThread and carried in

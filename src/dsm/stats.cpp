@@ -93,4 +93,10 @@ std::string ShareStats::to_csv_row() const {
   return os.str();
 }
 
+void append_share_stats(obs::MetricsSnapshot& out, const ShareStats& s) {
+#define HDSM_X(field) out.counters["stats." #field] += s.field;
+  HDSM_SHARE_STATS_FIELDS(HDSM_X)
+#undef HDSM_X
+}
+
 }  // namespace hdsm::dsm

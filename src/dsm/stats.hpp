@@ -13,9 +13,11 @@
 // platform pair exactly as the paper's stacked bars do.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace hdsm::dsm {
 
@@ -119,25 +121,14 @@ struct ShareStats {
   std::string to_csv_row() const;
 };
 
-/// Steady-clock stopwatch accumulating into a ShareStats bucket.
-class StopWatch {
- public:
-  using clock = std::chrono::steady_clock;
+/// Mirror every ShareStats counter into a metrics snapshot under a
+/// "stats." prefix.  Generated from HDSM_SHARE_STATS_FIELDS, so the
+/// cluster scrape (docs/OBSERVABILITY.md) can never desync from the
+/// struct — and carries the Eq.-1 buckets even when obs recording is off.
+void append_share_stats(obs::MetricsSnapshot& out, const ShareStats& s);
 
-  StopWatch() : t0_(clock::now()) {}
-
-  /// Nanoseconds since construction or the last lap().
-  std::uint64_t lap() noexcept {
-    const clock::time_point now = clock::now();
-    const std::uint64_t ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(now - t0_)
-            .count());
-    t0_ = now;
-    return ns;
-  }
-
- private:
-  clock::time_point t0_;
-};
+/// Historic name for the tree-wide monotonic timer (obs::ScopedTimer);
+/// the three hand-rolled copies of this class were deduplicated there.
+using StopWatch = obs::ScopedTimer;
 
 }  // namespace hdsm::dsm

@@ -204,7 +204,9 @@ WorkerPool* SyncEngine::pool() {
   const unsigned lanes = effective_lanes();
   if (lanes <= 1) return nullptr;
   if (pool_ == nullptr || pool_->lanes() != lanes) {
-    pool_ = std::make_unique<WorkerPool>(lanes - 1);
+    // The pool captures the telemetry pointer before its workers spawn
+    // (set_obs after the first parallel batch would race them under TSan).
+    pool_ = std::make_unique<WorkerPool>(lanes - 1, obs_);
   }
   return pool_.get();
 }
@@ -267,6 +269,9 @@ std::vector<idx::UpdateRun> SyncEngine::collect_runs() {
   region.rearm();
   const std::uint64_t diff_ns = watch.lap();
   stats_.index_ns += diff_ns;
+  // One measurement, three consumers: the Eq.-1 bucket above, the obs span
+  // here, and the tuner signal below all see the same diff_ns.
+  obs_phase(obs::SpanKind::Diff, diff_ns, dirty.size());
 
   if (tuner_ != nullptr) {
     adapt::Signal s;
@@ -293,8 +298,10 @@ std::vector<UpdateBlock> SyncEngine::pack_runs(
     tag_texts.push_back(
         render_run_tag(idx::run_tag(table, run), opts_.binary_tags));
   }
-  stats_.tag_ns += watch.lap();
+  const std::uint64_t tag_ns = watch.lap();
+  stats_.tag_ns += tag_ns;
   stats_.tags_generated += runs.size();
+  obs_phase(obs::SpanKind::Tag, tag_ns, runs.size());
 
   // t_pack: copy the raw element bytes out of the image.
   const std::byte* image = space_.region().data();
@@ -311,7 +318,9 @@ std::vector<UpdateBlock> SyncEngine::pack_runs(
     ++stats_.updates_sent;
     blocks.push_back(std::move(b));
   }
-  stats_.pack_ns += watch.lap();
+  const std::uint64_t pack_ns = watch.lap();
+  stats_.pack_ns += pack_ns;
+  obs_phase(obs::SpanKind::Pack, pack_ns, runs.size());
   return blocks;
 }
 
@@ -327,8 +336,10 @@ std::vector<std::byte> SyncEngine::pack_payload(
     tag_texts.push_back(
         render_run_tag(idx::run_tag(table, run), opts_.binary_tags));
   }
-  stats_.tag_ns += watch.lap();
+  const std::uint64_t tag_ns = watch.lap();
+  stats_.tag_ns += tag_ns;
   stats_.tags_generated += runs.size();
+  obs_phase(obs::SpanKind::Tag, tag_ns, runs.size());
 
   // t_pack: gather headers, tags, and element bytes straight into one wire
   // buffer — a single allocation and a single copy of the element data
@@ -360,6 +371,7 @@ std::vector<std::byte> SyncEngine::pack_payload(
   }
   const std::uint64_t pack_ns = watch.lap();
   stats_.pack_ns += pack_ns;
+  obs_phase(obs::SpanKind::Pack, pack_ns, runs.size());
 
   if (tuner_ != nullptr && !runs.empty()) {
     adapt::Signal s;
@@ -610,11 +622,13 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload(
   const std::vector<BlockPlan> plans = validate_payload(payload, sender);
   const std::uint64_t unpack_ns = watch.lap();
   stats_.unpack_ns += unpack_ns;
+  obs_phase(obs::SpanKind::Unpack, unpack_ns, plans.size());
 
   // t_conv: convert (or memcpy) each planned block into this node's image.
   const unsigned lanes_used = execute_plans(plans, sender);
   const std::uint64_t conv_ns = watch.lap();
   stats_.conv_ns += conv_ns;
+  obs_phase(obs::SpanKind::Convert, conv_ns, plans.size());
 
   std::vector<idx::UpdateRun> applied;
   applied.reserve(plans.size());
@@ -638,6 +652,7 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload_bulk(
   const std::vector<BlockPlan> plans = validate_payload(payload, sender);
   const std::uint64_t unpack_ns = watch.lap();
   stats_.unpack_ns += unpack_ns;
+  obs_phase(obs::SpanKind::Unpack, unpack_ns, plans.size());
 
   mem::TrackedRegion& region = space_.region();
   const bool was_tracking = region.tracking();
@@ -647,6 +662,7 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload_bulk(
   const unsigned lanes_used = execute_plans(plans, sender);
   const std::uint64_t conv_ns = watch.lap();
   stats_.conv_ns += conv_ns;
+  obs_phase(obs::SpanKind::Convert, conv_ns, plans.size());
 
   std::vector<idx::UpdateRun> applied;
   applied.reserve(plans.size());

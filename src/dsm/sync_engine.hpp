@@ -30,6 +30,7 @@
 #include "dsm/update.hpp"
 #include "dsm/worker_pool.hpp"
 #include "msg/message.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hdsm::dsm {
 
@@ -152,6 +153,15 @@ class SyncEngine {
     trace_rank_ = rank;
   }
 
+  /// Attach telemetry (docs/OBSERVABILITY.md): every Eq.-1 phase the
+  /// engine times — the same measurement that feeds ShareStats and the
+  /// adaptive tuner's Signal — is also recorded as an obs span and phase
+  /// histogram.  Null (the default) detaches; the off path is one null
+  /// check per phase.  Call before the first collect/apply: the worker
+  /// pool captures the pointer when it spawns.
+  void set_obs(obs::Telemetry* telemetry) noexcept { obs_ = telemetry; }
+  obs::Telemetry* obs() const noexcept { return obs_; }
+
   const SyncOptions& options() const noexcept { return opts_; }
   GlobalSpace& space() noexcept { return space_; }
 
@@ -187,6 +197,17 @@ class SyncEngine {
   void apply_decision(const adapt::Decision& d);
   /// Plan cache lookup for `sender` (creates the per-sender table).
   SenderPlanCache& cache_for(const msg::PlatformSummary& sender);
+  /// Record a just-finished phase of `dur_ns` into the telemetry (span +
+  /// per-phase histogram).  The phase ended "now", so its start is
+  /// recovered from the same steady clock the StopWatch laps on — the
+  /// off path never reads the clock at all.
+  void obs_phase(obs::SpanKind kind, std::uint64_t dur_ns,
+                 std::uint64_t id = 0) {
+    if (obs_ != nullptr) {
+      obs_->record_phase(kind, obs::ScopedTimer::now_ns() - dur_ns, dur_ns,
+                         id);
+    }
+  }
   /// The pool sized per opts_.conv_threads (created lazily; null while the
   /// effective lane count is 1).
   WorkerPool* pool();
@@ -199,6 +220,7 @@ class SyncEngine {
   std::unique_ptr<adapt::Tuner> tuner_;  ///< null = adaptive off
   TraceLog* trace_ = nullptr;            ///< decision-event sink (optional)
   std::uint32_t trace_rank_ = 0;
+  obs::Telemetry* obs_ = nullptr;        ///< telemetry sink (optional)
 };
 
 /// Merge `add` into the sorted, disjoint run set `into` (row-major order,

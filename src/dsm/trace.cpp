@@ -27,6 +27,7 @@ const char* trace_kind_name(TraceEvent::Kind k) noexcept {
     case TraceEvent::Kind::StrategySwitched: return "StrategySwitched";
     case TraceEvent::Kind::LanesRetuned: return "LanesRetuned";
     case TraceEvent::Kind::RunsCoalesced: return "RunsCoalesced";
+    case TraceEvent::Kind::MetricsScraped: return "MetricsScraped";
   }
   return "?";
 }
@@ -98,7 +99,11 @@ std::optional<std::string> validate_trace(
     // "activity" in the lifecycle sense.
     return k == TraceEvent::Kind::RetrySent ||
            k == TraceEvent::Kind::DuplicateDropped ||
-           k == TraceEvent::Kind::ReplyResent;
+           k == TraceEvent::Kind::ReplyResent ||
+           // A scrape is pure bookkeeping too: a remote's last MetricsPull
+           // may race its Join/Detach, and folding the snapshot is not
+           // protocol activity.
+           k == TraceEvent::Kind::MetricsScraped;
   };
   const auto is_adaptive = [](TraceEvent::Kind k) {
     // Tuner bookkeeping, not protocol activity: a remote's final collect
@@ -210,6 +215,7 @@ std::optional<std::string> validate_trace(
       case TraceEvent::Kind::ReplyResent:
       case TraceEvent::Kind::Reconnected:
       case TraceEvent::Kind::UpdatesShipped:
+      case TraceEvent::Kind::MetricsScraped:
         break;
     }
   }

@@ -42,6 +42,9 @@ struct TraceEvent {
     StrategySwitched,  ///< diff-vs-whole-page or identity-fastpath changed
     LanesRetuned,      ///< conv_threads / parallel_grain changed
     RunsCoalesced,     ///< adaptive merge_slack changed
+    // Telemetry events (see docs/OBSERVABILITY.md).  Bookkeeping like the
+    // reliability events: lifecycle-exempt, no protocol invariants.
+    MetricsScraped,    ///< home folded a MetricsPull snapshot (bytes = size)
   };
 
   std::uint64_t seq = 0;  ///< global order at the home node

@@ -1,11 +1,17 @@
 #include "dsm/worker_pool.hpp"
 
+#include <string>
+
 namespace hdsm::dsm {
 
-WorkerPool::WorkerPool(unsigned workers) {
+WorkerPool::WorkerPool(unsigned workers, obs::Telemetry* telemetry)
+    : obs_(telemetry) {
+  if (obs_ != nullptr) {
+    lane_busy_ns_ = &obs_->registry().counter("pool.lane_busy_ns");
+  }
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -18,7 +24,10 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(unsigned worker_index) {
+  if (obs_ != nullptr) {
+    obs_->set_thread_label("pool-" + std::to_string(worker_index));
+  }
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -27,7 +36,7 @@ void WorkerPool::worker_loop() {
       if (stop_) return;
       seen = generation_;
     }
-    drain();
+    drain_with_obs();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--active_ == 0) done_cv_.notify_all();
@@ -35,10 +44,12 @@ void WorkerPool::worker_loop() {
   }
 }
 
-void WorkerPool::drain() noexcept {
+std::size_t WorkerPool::drain() noexcept {
+  std::size_t ran = 0;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n_) return;
+    if (i >= n_) return ran;
+    ++ran;
     try {
       (*fn_)(i);
     } catch (...) {
@@ -46,6 +57,21 @@ void WorkerPool::drain() noexcept {
       if (!error_) error_ = std::current_exception();
     }
   }
+}
+
+void WorkerPool::drain_with_obs() noexcept {
+  if (obs_ == nullptr) {
+    drain();
+    return;
+  }
+  const std::uint64_t t0 = obs::ScopedTimer::now_ns();
+  const std::size_t ran = drain();
+  // Lanes that lost every claim race record nothing — the trace shows the
+  // lanes that actually carried the batch.
+  if (ran == 0) return;
+  const std::uint64_t dur = obs::ScopedTimer::now_ns() - t0;
+  lane_busy_ns_->add(dur);
+  obs_->record_phase(obs::SpanKind::PoolLane, t0, dur, ran);
 }
 
 void WorkerPool::run(std::size_t n,
@@ -71,7 +97,7 @@ void WorkerPool::run(std::size_t n,
     ++generation_;
   }
   cv_.notify_all();
-  drain();  // the caller is a lane too
+  drain_with_obs();  // the caller is a lane too
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return active_ == 0; });
   if (error_) std::rethrow_exception(error_);

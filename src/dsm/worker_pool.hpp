@@ -26,13 +26,21 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace hdsm::dsm {
 
 class WorkerPool {
  public:
   /// Spawns `workers` parked threads (0 is valid: run() then executes
   /// everything on the caller, useful as a degenerate sequential pool).
-  explicit WorkerPool(unsigned workers);
+  /// `telemetry` (optional, borrowed, must outlive the pool) records one
+  /// PoolLane span per lane per job — lane utilization in the exported
+  /// trace — and accumulates pool.lane_busy_ns.  It is captured at
+  /// construction, before the workers spawn, so recording needs no
+  /// synchronization with them.
+  explicit WorkerPool(unsigned workers,
+                      obs::Telemetry* telemetry = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -51,11 +59,16 @@ class WorkerPool {
   unsigned lanes() const noexcept { return workers() + 1; }
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned worker_index);
   /// Claim indices until the job is exhausted; never throws (exceptions
-  /// are stashed in error_).
-  void drain() noexcept;
+  /// are stashed in error_).  Returns the number of items this lane ran.
+  std::size_t drain() noexcept;
+  /// drain() plus a PoolLane span + busy-ns accounting when telemetry is
+  /// attached (lanes that claimed no item record nothing).
+  void drain_with_obs() noexcept;
 
+  obs::Telemetry* obs_;
+  obs::Counter* lane_busy_ns_ = nullptr;  ///< pre-resolved, hot path
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable cv_;       // workers wait for a new job

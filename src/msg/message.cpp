@@ -48,6 +48,8 @@ const char* msg_type_name(MsgType t) noexcept {
     case MsgType::MigrateState: return "MigrateState";
     case MsgType::MigrateAck: return "MigrateAck";
     case MsgType::Shutdown: return "Shutdown";
+    case MsgType::MetricsPull: return "MetricsPull";
+    case MsgType::MetricsReport: return "MetricsReport";
   }
   return "?";
 }
@@ -87,7 +89,7 @@ bool FrameDecoder::next(Message& out) {
   }
   const std::uint8_t type = std::to_integer<std::uint8_t>(p[4]);
   if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
-      type > static_cast<std::uint8_t>(MsgType::Shutdown)) {
+      type > static_cast<std::uint8_t>(MsgType::MetricsReport)) {
     throw std::runtime_error("FrameDecoder: bad message type");
   }
   const std::uint8_t endian = std::to_integer<std::uint8_t>(p[5]);

@@ -33,6 +33,12 @@ enum class MsgType : std::uint8_t {
   MigrateState,
   MigrateAck,
   Shutdown,
+  /// Telemetry scrape (docs/PROTOCOL.md): a remote pushes its serialized
+  /// obs::NodeSnapshot in the request payload; the home folds it into the
+  /// cluster aggregate and replies MetricsReport carrying the serialized
+  /// cluster view.  Sequenced like every other request.
+  MetricsPull,
+  MetricsReport,
 };
 
 const char* msg_type_name(MsgType t) noexcept;

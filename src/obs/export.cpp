@@ -1,0 +1,77 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace hdsm::obs {
+
+namespace {
+
+// Trace-event timestamps are microseconds; keep nanosecond precision with
+// a fixed three-decimal rendering (avoids double rounding drift on long
+// runs and locale surprises from operator<<).
+void append_us(std::ostringstream& os, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<NodeTrace>& nodes) {
+  // Normalise to the earliest span so the trace opens at t≈0.
+  std::uint64_t t0 = ~0ull;
+  for (const NodeTrace& node : nodes) {
+    for (const LaneSnapshot& lane : node.spans.lanes) {
+      for (const SpanRecord& s : lane.spans) {
+        if (s.start_ns < t0) t0 = s.start_ns;
+      }
+    }
+  }
+  if (t0 == ~0ull) t0 = 0;
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+
+  for (const NodeTrace& node : nodes) {
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node.rank
+       << ",\"tid\":0,\"args\":{\"name\":\"" << node.name << "\"}}";
+    for (const LaneSnapshot& lane : node.spans.lanes) {
+      comma();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << node.rank
+         << ",\"tid\":" << lane.lane << ",\"args\":{\"name\":\"" << lane.label
+         << "\"}}";
+      for (const SpanRecord& s : lane.spans) {
+        comma();
+        const char* name = span_kind_name(s.kind);
+        if (s.dur_ns == 0) {
+          os << "{\"name\":\"" << name
+             << "\",\"cat\":\"obs\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+          append_us(os, s.start_ns - t0);
+          os << ",\"pid\":" << node.rank << ",\"tid\":" << lane.lane
+             << ",\"args\":{\"id\":" << s.id << "}}";
+        } else {
+          os << "{\"name\":\"" << name
+             << "\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":";
+          append_us(os, s.start_ns - t0);
+          os << ",\"dur\":";
+          append_us(os, s.dur_ns);
+          os << ",\"pid\":" << node.rank << ",\"tid\":" << lane.lane
+             << ",\"args\":{\"id\":" << s.id << "}}";
+        }
+      }
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hdsm::obs

@@ -1,0 +1,28 @@
+// Exporters: Chrome trace-event JSON (loads in Perfetto / chrome://tracing)
+// from flight-recorder snapshots, with one process lane per rank and one
+// thread lane per recording thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace hdsm::obs {
+
+/// One node's contribution to a cluster trace.
+struct NodeTrace {
+  std::uint32_t rank = 0;
+  std::string name;  ///< process label, e.g. "home" or "remote-1 (sparc32)"
+  RecorderSnapshot spans;
+};
+
+/// Render a cluster of recorder snapshots as Chrome trace-event JSON:
+/// `{"traceEvents":[...]}` with "M" process_name/thread_name metadata,
+/// "X" complete events for spans, and "i" instant events for
+/// zero-duration records.  pid = rank, tid = lane index.  Timestamps are
+/// microseconds, normalised so the earliest span starts at 0.
+std::string chrome_trace_json(const std::vector<NodeTrace>& nodes);
+
+}  // namespace hdsm::obs

@@ -1,0 +1,330 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace hdsm::obs {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+  count += o.count;
+  sum += o.sum;
+  // Merge two ascending sparse bucket lists.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + o.buckets.size());
+  std::size_t a = 0, b = 0;
+  while (a < buckets.size() || b < o.buckets.size()) {
+    if (b >= o.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < o.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() || o.buckets[b].first < buckets[a].first) {
+      merged.push_back(o.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + o.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double p) const {
+  if (count == 0 || buckets.empty()) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (const auto& [idx, n] : buckets) {
+    seen += n;
+    if (static_cast<double>(seen) >= target) {
+      return Histogram::bucket_lower_bound(idx);
+    }
+  }
+  return Histogram::bucket_lower_bound(buckets.back().first);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+void MetricsSnapshot::merge(const MetricsSnapshot& o) {
+  for (const auto& [name, v] : o.counters) counters[name] += v;
+  for (const auto& [name, v] : o.gauges) gauges[name] += v;
+  for (const auto& [name, h] : o.histograms) histograms[name].merge(h);
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(os, name);
+    os << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(os, name);
+    os << "\":" << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(os, name);
+    os << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << h.quantile(0.5) << ",\"p99\":" << h.quantile(0.99)
+       << ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [idx, n] : h.buckets) {
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << "[" << Histogram::bucket_lower_bound(idx) << "," << n << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "name,value\n";
+  for (const auto& [name, v] : counters) os << name << ',' << v << '\n';
+  for (const auto& [name, v] : gauges) os << name << ',' << v << '\n';
+  for (const auto& [name, h] : histograms) {
+    os << name << ".count," << h.count << '\n';
+    os << name << ".sum," << h.sum << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Binary wire form.  Little-endian, length-prefixed strings, no padding.
+//
+//   u32 magic 'O''B''S''1'
+//   u32 n_counters   { u16 name_len, bytes, u64 value } * n
+//   u32 n_gauges     { u16 name_len, bytes, i64 value } * n
+//   u32 n_histograms { u16 name_len, bytes, u64 count, u64 sum,
+//                      u32 n_buckets, { u32 idx, u64 n } * n_buckets } * n
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x3153424Fu;  // "OBS1"
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  const std::uint16_t n =
+      static_cast<std::uint16_t>(std::min<std::size_t>(s.size(), 0xFFFF));
+  put_u16(out, n);
+  out.insert(out.end(), s.begin(), s.begin() + n);
+}
+
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  bool u16(std::uint16_t& v) {
+    if (left < 2) return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    p += 2;
+    left -= 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (left < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (left < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint16_t n = 0;
+    if (!u16(n)) return false;
+    if (left < n) return false;
+    s.assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+}  // namespace
+
+void MetricsSnapshot::serialize(std::vector<std::uint8_t>& out) const {
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(counters.size()));
+  for (const auto& [name, v] : counters) {
+    put_str(out, name);
+    put_u64(out, v);
+  }
+  put_u32(out, static_cast<std::uint32_t>(gauges.size()));
+  for (const auto& [name, v] : gauges) {
+    put_str(out, name);
+    put_u64(out, static_cast<std::uint64_t>(v));
+  }
+  put_u32(out, static_cast<std::uint32_t>(histograms.size()));
+  for (const auto& [name, h] : histograms) {
+    put_str(out, name);
+    put_u64(out, h.count);
+    put_u64(out, h.sum);
+    put_u32(out, static_cast<std::uint32_t>(h.buckets.size()));
+    for (const auto& [idx, n] : h.buckets) {
+      put_u32(out, idx);
+      put_u64(out, n);
+    }
+  }
+}
+
+bool MetricsSnapshot::deserialize(const std::uint8_t* data, std::size_t size,
+                                  MetricsSnapshot& out) {
+  out = MetricsSnapshot{};
+  Reader r{data, size};
+  std::uint32_t magic = 0;
+  if (!r.u32(magic) || magic != kMagic) return false;
+
+  std::uint32_t n = 0;
+  if (!r.u32(n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t v = 0;
+    if (!r.str(name) || !r.u64(v)) return false;
+    out.counters[name] += v;
+  }
+  if (!r.u32(n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t v = 0;
+    if (!r.str(name) || !r.u64(v)) return false;
+    out.gauges[name] = static_cast<std::int64_t>(v);
+  }
+  if (!r.u32(n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    HistogramSnapshot h;
+    std::uint32_t nb = 0;
+    if (!r.str(name) || !r.u64(h.count) || !r.u64(h.sum) || !r.u32(nb)) {
+      return false;
+    }
+    // Each bucket entry needs 12 bytes; reject counts the payload can't hold
+    // before reserving (malformed-length defense).
+    if (static_cast<std::uint64_t>(nb) * 12 > r.left) return false;
+    h.buckets.reserve(nb);
+    std::uint32_t prev_idx = 0;
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      std::uint32_t idx = 0;
+      std::uint64_t cnt = 0;
+      if (!r.u32(idx) || !r.u64(cnt)) return false;
+      if (idx >= Histogram::kBuckets) return false;
+      if (b > 0 && idx <= prev_idx) return false;  // must ascend
+      prev_idx = idx;
+      h.buckets.emplace_back(idx, cnt);
+    }
+    out.histograms[name] = std::move(h);
+  }
+  return r.left == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, gv] : gauges_) snap.gauges[name] = gv->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n != 0) hs.buckets.emplace_back(i, n);
+    }
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+}  // namespace hdsm::obs

@@ -1,0 +1,203 @@
+#include "obs/telemetry.hpp"
+
+#include <sstream>
+
+namespace hdsm::obs {
+
+Telemetry::Telemetry(ObsOptions opts)
+    : opts_(opts), recorder_(opts.ring_capacity) {
+  // Pre-resolve every per-kind instrument so record_phase/event never do a
+  // name lookup on the hot path.
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    const char* name = span_kind_name(static_cast<SpanKind>(k));
+    phase_hist_[k] =
+        &registry_.histogram(std::string("phase.") + name + ".ns");
+    event_count_[k] = &registry_.counter(std::string("event.") + name);
+  }
+}
+
+void Telemetry::set_thread_label(const std::string& label) {
+  recorder_.set_thread_label(label);
+}
+
+MetricsSnapshot Telemetry::metrics() const {
+  MetricsSnapshot snap = registry_.snapshot();
+  // Fold recorder bookkeeping in so the cluster scrape carries drop
+  // accounting without a second channel.
+  std::uint64_t pushed = 0;
+  const RecorderSnapshot rec = recorder_.snapshot();
+  for (const auto& lane : rec.lanes) pushed += lane.pushed;
+  snap.counters["obs.spans_pushed"] += pushed;
+  snap.counters["obs.spans_dropped"] += rec.dropped;
+  snap.counters["obs.lanes"] += rec.lanes.size();
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// NodeSnapshot wire form: u32 rank, u64 epoch, u32 metrics_len, metrics.
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool get_u32(const std::uint8_t*& p, std::size_t& left, std::uint32_t& v) {
+  if (left < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  p += 4;
+  left -= 4;
+  return true;
+}
+
+bool get_u64(const std::uint8_t*& p, std::size_t& left, std::uint64_t& v) {
+  if (left < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  p += 8;
+  left -= 8;
+  return true;
+}
+
+}  // namespace
+
+void NodeSnapshot::serialize(std::vector<std::uint8_t>& out) const {
+  put_u32(out, rank);
+  put_u64(out, epoch);
+  std::vector<std::uint8_t> body;
+  metrics.serialize(body);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+bool NodeSnapshot::deserialize(const std::uint8_t* data, std::size_t size,
+                               NodeSnapshot& out) {
+  out = NodeSnapshot{};
+  const std::uint8_t* p = data;
+  std::size_t left = size;
+  std::uint32_t len = 0;
+  if (!get_u32(p, left, out.rank)) return false;
+  if (!get_u64(p, left, out.epoch)) return false;
+  if (!get_u32(p, left, len)) return false;
+  if (left != len) return false;
+  return MetricsSnapshot::deserialize(p, len, out.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterTelemetry: u32 n_nodes { u32 len, node } *, u32 n_retired { … } *.
+// `merged` is derived, so it is recomputed on deserialize rather than sent.
+
+namespace {
+
+void put_node(std::vector<std::uint8_t>& out, const NodeSnapshot& n) {
+  std::vector<std::uint8_t> body;
+  n.serialize(body);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+bool get_node(const std::uint8_t*& p, std::size_t& left, NodeSnapshot& n) {
+  std::uint32_t len = 0;
+  if (!get_u32(p, left, len)) return false;
+  if (left < len) return false;
+  if (!NodeSnapshot::deserialize(p, len, n)) return false;
+  p += len;
+  left -= len;
+  return true;
+}
+
+}  // namespace
+
+void ClusterTelemetry::serialize(std::vector<std::uint8_t>& out) const {
+  put_u32(out, static_cast<std::uint32_t>(nodes.size()));
+  for (const NodeSnapshot& n : nodes) put_node(out, n);
+  put_u32(out, static_cast<std::uint32_t>(retired.size()));
+  for (const NodeSnapshot& n : retired) put_node(out, n);
+}
+
+bool ClusterTelemetry::deserialize(const std::uint8_t* data, std::size_t size,
+                                   ClusterTelemetry& out) {
+  out = ClusterTelemetry{};
+  const std::uint8_t* p = data;
+  std::size_t left = size;
+  std::uint32_t n = 0;
+  if (!get_u32(p, left, n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NodeSnapshot node;
+    if (!get_node(p, left, node)) return false;
+    out.nodes.push_back(std::move(node));
+  }
+  if (!get_u32(p, left, n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NodeSnapshot node;
+    if (!get_node(p, left, node)) return false;
+    out.retired.push_back(std::move(node));
+  }
+  if (left != 0) return false;
+  for (const NodeSnapshot& node : out.nodes) out.merged.merge(node.metrics);
+  for (const NodeSnapshot& node : out.retired) out.merged.merge(node.metrics);
+  return true;
+}
+
+std::string ClusterTelemetry::to_json() const {
+  std::ostringstream os;
+  os << "{\"merged\":" << merged.to_json() << ",\"nodes\":[";
+  bool first = true;
+  for (const NodeSnapshot& n : nodes) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rank\":" << n.rank << ",\"epoch\":" << n.epoch
+       << ",\"metrics\":" << n.metrics.to_json() << "}";
+  }
+  os << "],\"retired\":[";
+  first = true;
+  for (const NodeSnapshot& n : retired) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rank\":" << n.rank << ",\"epoch\":" << n.epoch
+       << ",\"metrics\":" << n.metrics.to_json() << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ClusterAggregator
+
+void ClusterAggregator::report(const NodeSnapshot& snap) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = current_.find(snap.rank);
+  if (it != current_.end() && it->second.epoch != snap.epoch) {
+    // A new incarnation of this rank: archive the old one's last snapshot
+    // so per-incarnation deltas stay recoverable (the counters would
+    // otherwise merge indistinguishably across the reconnect).
+    retired_.push_back(std::move(it->second));
+  }
+  current_[snap.rank] = snap;
+}
+
+ClusterTelemetry ClusterAggregator::view(const NodeSnapshot& home) const {
+  ClusterTelemetry ct;
+  std::lock_guard<std::mutex> g(mu_);
+  ct.nodes.reserve(current_.size() + 1);
+  ct.nodes.push_back(home);
+  for (const auto& [rank, snap] : current_) {
+    if (rank == home.rank) continue;
+    ct.nodes.push_back(snap);
+  }
+  ct.retired = retired_;
+  for (const NodeSnapshot& n : ct.nodes) ct.merged.merge(n.metrics);
+  for (const NodeSnapshot& n : ct.retired) ct.merged.merge(n.metrics);
+  return ct;
+}
+
+}  // namespace hdsm::obs

@@ -1,0 +1,63 @@
+// The one monotonic-clock helper for the whole tree.  Every subsystem that
+// wants "nanoseconds since some earlier point" — the Eq.-1 cost buckets in
+// SyncEngine, the page-DSM baseline, bench wall timing, flight-recorder
+// spans — goes through this type instead of hand-rolling
+// steady_clock arithmetic (three copies of which this file replaced).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hdsm::obs {
+
+/// Steady-clock stopwatch.  `lap()` returns the nanoseconds since
+/// construction or the previous lap and restarts; `elapsed_ns()` peeks
+/// without restarting.  Trivially copyable, no allocation, no virtuals —
+/// safe on any hot path.
+class ScopedTimer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  ScopedTimer() : t0_(clock::now()) {}
+
+  /// Nanoseconds on the process-wide monotonic timeline.  All span
+  /// timestamps in the flight recorder use this origin, so spans recorded
+  /// on different threads order correctly in one exported trace.
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Nanoseconds since construction or the last lap(); restarts the timer.
+  std::uint64_t lap() noexcept {
+    const clock::time_point now = clock::now();
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - t0_)
+            .count());
+    t0_ = now;
+    return ns;
+  }
+
+  /// Nanoseconds since construction or the last lap(), without restarting.
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             t0_)
+            .count());
+  }
+
+  /// Monotonic timestamp of the last restart (construction or lap()).
+  std::uint64_t start_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t0_.time_since_epoch())
+            .count());
+  }
+
+ private:
+  clock::time_point t0_;
+};
+
+}  // namespace hdsm::obs

@@ -1,7 +1,8 @@
 #include "workloads/experiment.hpp"
 
-#include <chrono>
 #include <cmath>
+
+#include "obs/timer.hpp"
 
 namespace hdsm::work {
 
@@ -43,14 +44,13 @@ ExperimentResult run_matmul_experiment(const PairSpec& pair, std::uint32_t n,
 
   dsm::Cluster cluster(matmul_gthv(n), *pair.home,
                        {pair.remote, pair.remote}, opts);
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedTimer timer;
   const std::vector<std::int32_t> c = run_matmul(cluster, n);
-  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = static_cast<double>(timer.elapsed_ns()) / 1e9;
 
   const std::vector<std::int32_t> ref = matmul_reference(n);
   const bool ok = c == ref;
-  return finish(cluster, std::move(r),
-                std::chrono::duration<double>(t1 - t0).count(), ok);
+  return finish(cluster, std::move(r), wall, ok);
 }
 
 ExperimentResult run_lu_experiment(const PairSpec& pair, std::uint32_t n,
@@ -62,9 +62,9 @@ ExperimentResult run_lu_experiment(const PairSpec& pair, std::uint32_t n,
 
   dsm::Cluster cluster(lu_gthv(n), *pair.home, {pair.remote, pair.remote},
                        opts);
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedTimer timer;
   const std::vector<double> m = run_lu(cluster, n);
-  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = static_cast<double>(timer.elapsed_ns()) / 1e9;
 
   const std::vector<double> ref = lu_reference(n);
   bool ok = m.size() == ref.size();
@@ -77,8 +77,7 @@ ExperimentResult run_lu_experiment(const PairSpec& pair, std::uint32_t n,
       }
     }
   }
-  return finish(cluster, std::move(r),
-                std::chrono::duration<double>(t1 - t0).count(), ok);
+  return finish(cluster, std::move(r), wall, ok);
 }
 
 }  // namespace hdsm::work
