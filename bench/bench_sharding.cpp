@@ -1,0 +1,171 @@
+// Sharded-home directory bench (docs/SHARDING.md).  Emitted as
+// BENCH_sharding.json:
+//
+//   BM_DisjointLocks/S    - four remotes, each hammering its own mutex,
+//                           with the four regions spread across S home
+//                           shards (S = 1, 2, 4, 8).  The control planes
+//                           run in parallel, so throughput should rise
+//                           with S until the remote count is the limit;
+//                           S=1 is the single-home baseline the 1-shard
+//                           equivalence tests pin.
+//   BM_ContendedLock/S    - four remotes all on mutex 0: one region, one
+//                           shard does all the work whatever S is.  The
+//                           directory must not tax the contended case —
+//                           S=8 should track S=1.
+//   BM_MigrationPause/S   - the region-handoff stop-the-world window
+//                           (quiesce -> export -> import -> epoch bump ->
+//                           release), measured from migrate_region's own
+//                           pause clock on an idle S-shard home.  This is
+//                           the latency a request redirected mid-handoff
+//                           eats before the chase succeeds.
+//
+// Set HDSM_BENCH_FAST=1 for a smoke-sized run (CI's bench-smoke target).
+// On a single-core container the S>1 scaling flattens (more shard threads,
+// not more cores); the pause numbers are per-handoff and show regardless.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsm/sharded_cluster.hpp"
+
+namespace dsm = hdsm::dsm;
+namespace tags = hdsm::tags;
+namespace plat = hdsm::plat;
+
+namespace {
+
+constexpr std::uint64_t kElems = 1024;
+constexpr std::uint32_t kRemotes = 4;
+
+bool fast_mode() {
+  const char* v = std::getenv("HDSM_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+int ops_per_remote() { return fast_mode() ? 25 : 400; }
+
+tags::TypePtr gthv() {
+  return tags::TypeDesc::struct_of(
+      "G", {{"A", tags::TypeDesc::array(tags::t_longlong(), kElems)}});
+}
+
+/// One full cluster run: every remote does `ops` lock/write/unlock rounds
+/// on `mutex_of(rank)`, then the shared barrier and join.
+void run_cluster(std::uint32_t num_shards, int ops, bool disjoint) {
+  dsm::ShardedHomeOptions opts;
+  opts.num_shards = num_shards;
+  std::vector<const plat::PlatformDesc*> platforms(kRemotes,
+                                                   &plat::linux_ia32());
+  dsm::ShardedCluster cluster(gthv(), plat::linux_ia32(), platforms, opts);
+  if (disjoint) {
+    // Pin region r to shard r % S so the four lock streams really land on
+    // distinct directory shards (the hash placement may clump them).
+    for (std::uint32_t r = 0; r < kRemotes; ++r) {
+      cluster.home().migrate_region(r, r % num_shards);
+    }
+  }
+  cluster.run(
+      [&](dsm::ShardedHome& home) {
+        home.set_barrier_count(0, kRemotes + 1);
+        home.barrier(0);
+        home.wait_all_joined();
+      },
+      [&](dsm::ShardedRemote& remote) {
+        const std::uint32_t mutex = disjoint ? remote.rank() - 1 : 0;
+        auto a = remote.space().view<std::int64_t>("A");
+        for (int i = 0; i < ops; ++i) {
+          remote.lock(mutex);
+          const std::uint64_t e = (remote.rank() - 1) * 64 + i % 64;
+          a.set(e, a.get(e) + 1);
+          remote.unlock(mutex);
+        }
+        remote.barrier(0);
+        remote.join();
+      });
+}
+
+void lock_bench(benchmark::State& state, bool disjoint) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  const int ops = ops_per_remote();
+  for (auto _ : state) {
+    run_cluster(shards, ops, disjoint);
+  }
+  // One item = one acquire-release round (grant + ack + shipped updates).
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRemotes) * ops);
+  state.counters["shards"] = static_cast<double>(shards);
+}
+
+void BM_DisjointLocks(benchmark::State& state) {
+  lock_bench(state, /*disjoint=*/true);
+}
+BENCHMARK(BM_DisjointLocks)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ContendedLock(benchmark::State& state) {
+  lock_bench(state, /*disjoint=*/false);
+}
+BENCHMARK(BM_ContendedLock)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MigrationPause(benchmark::State& state) {
+  // Manual time: the pause window migrate_region itself reports — wall
+  // clock around the bench loop would mostly measure the ping-pong setup.
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  dsm::ShardedHomeOptions opts;
+  opts.num_shards = shards;
+  dsm::ShardedHome home(gthv(), plat::linux_ia32(), opts);
+  home.start();
+  std::uint32_t dst = 1 % shards;
+  for (auto _ : state) {
+    const std::chrono::nanoseconds pause = home.migrate_region(0, dst);
+    dst = (dst + 1) % shards;
+    state.SetIterationTime(std::chrono::duration<double>(pause).count());
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  home.stop();
+}
+BENCHMARK(BM_MigrationPause)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+// Default the JSON artifact on so a bare run leaves BENCH_sharding.json
+// next to the binary; explicit --benchmark_out still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out = "--benchmark_out=BENCH_sharding.json";
+  std::string fmt = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "dsm/shard_map.hpp"
+
+#include <stdexcept>
+
+namespace hdsm::dsm {
+
+namespace {
+
+void put_u32be(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>(v >> 16));
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint32_t get_u32be(const std::byte* p) {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::uint32_t num_shards) : num_shards_(num_shards) {
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    throw std::invalid_argument("ShardMap: num_shards must be in [1, 32]");
+  }
+}
+
+std::uint32_t ShardMap::hash_shard(std::uint32_t region,
+                                   std::uint32_t num_shards) {
+  // 64-bit FNV-1a over the four little-endian bytes of the region id, then
+  // xor-folded.  Fully specified arithmetic on fixed-width integers: the
+  // same region maps to the same shard on every platform.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 4; ++i) {
+    h ^= (region >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 32;
+  return static_cast<std::uint32_t>(h % num_shards);
+}
+
+std::uint32_t ShardMap::shard_of(std::uint32_t region) const {
+  const auto it = overrides_.find(region);
+  if (it != overrides_.end()) return it->second;
+  return hash_shard(region, num_shards_);
+}
+
+void ShardMap::set_override(std::uint32_t region, std::uint32_t shard) {
+  if (shard >= num_shards_) {
+    throw std::out_of_range("ShardMap::set_override: shard out of range");
+  }
+  if (hash_shard(region, num_shards_) == shard) {
+    overrides_.erase(region);
+  } else {
+    overrides_[region] = shard;
+  }
+  ++epoch_;
+}
+
+std::vector<std::byte> ShardMap::serialize() const {
+  std::vector<std::byte> out;
+  out.reserve(12 + overrides_.size() * 8);
+  put_u32be(out, num_shards_);
+  put_u32be(out, epoch_);
+  put_u32be(out, static_cast<std::uint32_t>(overrides_.size()));
+  for (const auto& [region, shard] : overrides_) {
+    put_u32be(out, region);
+    put_u32be(out, shard);
+  }
+  return out;
+}
+
+std::optional<ShardMap> ShardMap::deserialize(const std::byte* data,
+                                              std::size_t len) {
+  if (data == nullptr || len < 12) return std::nullopt;
+  const std::uint32_t num_shards = get_u32be(data);
+  const std::uint32_t epoch = get_u32be(data + 4);
+  const std::uint32_t count = get_u32be(data + 8);
+  if (num_shards == 0 || num_shards > kMaxShards || epoch == 0) {
+    return std::nullopt;
+  }
+  if (len != 12 + static_cast<std::size_t>(count) * 8) return std::nullopt;
+  ShardMap map(num_shards);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::byte* p = data + 12 + i * 8;
+    const std::uint32_t region = get_u32be(p);
+    const std::uint32_t shard = get_u32be(p + 4);
+    if (shard >= num_shards) return std::nullopt;
+    map.overrides_[region] = shard;
+  }
+  map.epoch_ = epoch;
+  return map;
+}
+
+}  // namespace hdsm::dsm

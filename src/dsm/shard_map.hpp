@@ -1,0 +1,68 @@
+// The consistent region→shard map of the home directory
+// (docs/SHARDING.md).
+//
+// A "region" is a sync-object id: distributed mutex i and barrier i share
+// region id i, and an entry-consistency mutex drags its bound rows along
+// with it — so the unit of distribution is exactly the unit of
+// synchronization.  Placement is a deterministic hash (FNV-1a over the
+// little-endian region bytes — never std::hash, whose result differs
+// between LL and SL nodes and across standard libraries) plus an override
+// table for regions the directory has migrated away from their hash home.
+//
+// Every override bumps the map epoch.  Remotes cache the map, stamp their
+// cached epoch into each request's map_epoch header field, and revalidate
+// lazily: a request that arrives at a shard which does not own the target
+// region is bounced with a WrongShard redirect carrying the serialized
+// authoritative map, never served against wrong-home state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace hdsm::dsm {
+
+class ShardMap {
+ public:
+  /// At most 32 shards: grant/release replies advertise cross-shard
+  /// pending data as a u32 bitmask (Message::aux).
+  static constexpr std::uint32_t kMaxShards = 32;
+
+  ShardMap() : ShardMap(1) {}
+  explicit ShardMap(std::uint32_t num_shards);
+
+  std::uint32_t num_shards() const noexcept { return num_shards_; }
+  std::uint32_t epoch() const noexcept { return epoch_; }
+
+  /// The shard that owns `region` under this map.
+  std::uint32_t shard_of(std::uint32_t region) const;
+
+  /// Platform-independent hash placement (ignores overrides).  Pinned by a
+  /// golden-value test: every node must agree on ownership byte-for-byte.
+  static std::uint32_t hash_shard(std::uint32_t region,
+                                  std::uint32_t num_shards);
+
+  /// Move `region` to `shard` and bump the epoch.  An override back to the
+  /// hash home is erased (the table only holds deviations) but still bumps
+  /// the epoch — remotes must still revalidate.
+  void set_override(std::uint32_t region, std::uint32_t shard);
+
+  std::size_t override_count() const noexcept { return overrides_.size(); }
+
+  /// Wire form (all fields big-endian u32):
+  ///   num_shards, epoch, override_count, {region, shard}*
+  std::vector<std::byte> serialize() const;
+  static std::optional<ShardMap> deserialize(const std::byte* data,
+                                             std::size_t len);
+
+  bool operator==(const ShardMap&) const = default;
+
+ private:
+  std::uint32_t num_shards_ = 1;
+  std::uint32_t epoch_ = 1;
+  std::map<std::uint32_t, std::uint32_t> overrides_;
+};
+
+}  // namespace hdsm::dsm

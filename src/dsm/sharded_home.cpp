@@ -1,0 +1,705 @@
+#include "dsm/sharded_home.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hdsm::dsm {
+
+namespace {
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+// ---- the shared data plane -------------------------------------------------
+
+// Busy time is measured from before the mutex acquisition: time spent
+// queueing for the shared engine is contention this shard's request stream
+// caused, so the rebalancer should see it.
+
+std::vector<std::byte> ShardedHome::LockingCodec::pack(
+    const std::vector<idx::UpdateRun>& runs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(engine_mutex);
+  std::vector<std::byte> out = engine.pack_payload(runs);
+  busy_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<std::byte> ShardedHome::LockingCodec::pack_release(
+    const std::vector<idx::UpdateRun>& runs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(engine_mutex);
+  std::vector<std::byte> out =
+      engine.pack_payload(engine.promote_dense_runs(runs));
+  busy_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<idx::UpdateRun> ShardedHome::LockingCodec::apply(
+    const std::vector<std::byte>& payload, const msg::PlatformSummary& sender) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(engine_mutex);
+  std::vector<idx::UpdateRun> out = engine.apply_payload(payload, sender);
+  busy_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  return out;
+}
+
+// ---- construction ----------------------------------------------------------
+
+namespace {
+
+CoherenceConfig shard_core_config(const ShardedHomeOptions& opts,
+                                  const GlobalSpace& space,
+                                  obs::Telemetry* telemetry,
+                                  std::uint32_t shard) {
+  CoherenceConfig cfg;
+  cfg.num_locks = opts.num_locks;
+  cfg.num_barriers = opts.num_barriers;
+  cfg.self = msg::PlatformSummary::of(space.platform());
+  cfg.image_tag_text = space.image_tag_text();
+  cfg.layout_runs = space.table().layout().runs;
+  // Shard 0 anchors the cluster scrape: remotes MetricsPull it, and its
+  // aggregator keeps their snapshots for cluster_telemetry().
+  cfg.telemetry = shard == 0 ? telemetry : nullptr;
+  return cfg;
+}
+
+}  // namespace
+
+ShardedHome::Shard::Shard(std::uint32_t idx, ShardedHome& owner)
+    : index(idx),
+      codec(owner.engine_, owner.engine_mutex_, busy_ns),
+      core(shard_core_config(owner.opts_, owner.space_,
+                             owner.telemetry_.get(), idx),
+           codec, stats) {
+  if (idx < owner.opts_.shard_traces.size()) {
+    trace = owner.opts_.shard_traces[idx];
+  }
+}
+
+ShardedHome::ShardedHome(tags::TypePtr gthv,
+                         const plat::PlatformDesc& platform,
+                         ShardedHomeOptions opts)
+    : opts_(std::move(opts)),
+      space_(gthv, platform),
+      telemetry_(opts_.obs.enabled
+                     ? std::make_unique<obs::Telemetry>(opts_.obs)
+                     : nullptr),
+      engine_(space_, opts_.dsd, data_stats_),
+      map_(opts_.num_shards) {  // validates num_shards (1..kMaxShards)
+  epoch_mirror_.store(map_.epoch());
+  shards_.reserve(opts_.num_shards);
+  for (std::uint32_t s = 0; s < opts_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(s, *this));
+  }
+  // Data-plane trace events (rank 0) land in shard 0's log: the engine is
+  // shared, so they have no natural shard and the scrape anchor hosts them.
+  engine_.set_trace(shards_[0]->trace, kMasterRank);
+  engine_.set_obs(telemetry_.get());
+}
+
+ShardedHome::~ShardedHome() { stop(); }
+
+// ---- attach / lifecycle ----------------------------------------------------
+
+std::vector<msg::EndpointPtr> ShardedHome::attach(std::uint32_t rank) {
+  std::vector<msg::EndpointPtr> remote_sides;
+  remote_sides.reserve(opts_.num_shards);
+  for (std::uint32_t s = 0; s < opts_.num_shards; ++s) {
+    auto [home_side, remote_side] = msg::make_channel_pair();
+    attach_endpoint(rank, s, std::move(home_side));
+    remote_sides.push_back(std::move(remote_side));
+  }
+  return remote_sides;
+}
+
+void ShardedHome::attach_endpoint(std::uint32_t rank, std::uint32_t shard,
+                                  msg::EndpointPtr ep) {
+  if (rank == kMasterRank) {
+    throw std::invalid_argument("rank 0 is the master thread at home");
+  }
+  if (shard >= opts_.num_shards) {
+    throw std::out_of_range("shard " + std::to_string(shard) + " of " +
+                            std::to_string(opts_.num_shards));
+  }
+  Shard& sh = *shards_[shard];
+  // Same re-attach discipline as HomeNode::attach_endpoint: wait out a
+  // migrating rank's detach window, reap the old receiver outside the lock.
+  std::thread old_receiver;
+  {
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    if (stopped_.load()) throw std::logic_error("attach after stop()");
+    ShellPeer& peer = sh.peers[rank];
+    if (!sh.cv.wait_for(lock, std::chrono::seconds(30), [&sh, rank] {
+          return !sh.core.peer_active(rank);
+        })) {
+      throw std::invalid_argument("rank already attached: " +
+                                  std::to_string(rank));
+    }
+    if (peer.endpoint) close_endpoint(peer);
+    old_receiver = std::move(peer.receiver);
+  }
+  if (old_receiver.joinable()) old_receiver.join();
+  {
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    ShellPeer& peer = sh.peers[rank];
+    peer.endpoint = std::shared_ptr<msg::Endpoint>(std::move(ep));
+    ++peer.attach_gen;
+    // Only the shard-0 session seeds the full image: the GThV image is
+    // shared across shards, so one full-image grant (from whichever shard
+    // answers the remote's first acquire — shard 0 by convention) is
+    // enough.  Other shards start the rank with an empty pending set.
+    std::vector<idx::UpdateRun> seed;
+    if (shard == 0) seed = SyncEngine::full_image_runs(space_.table());
+    process_event(sh, lock,
+                  CoherenceEvent::peer_attached(rank, std::move(seed)));
+    peer.receiver =
+        std::thread([this, shard, rank] { receiver_loop(shard, rank); });
+  }
+}
+
+void ShardedHome::start() {
+  if (telemetry_ != nullptr) telemetry_->set_thread_label("master");
+  if (started_.exchange(true)) return;
+  space_.region().begin_tracking();
+}
+
+void ShardedHome::stop() {
+  if (stopped_.exchange(true)) return;
+  std::vector<std::thread> to_join;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    for (auto& [rank, peer] : sh.peers) {
+      if (peer.endpoint) close_endpoint(peer);
+      if (peer.receiver.joinable()) {
+        to_join.push_back(std::move(peer.receiver));
+      }
+    }
+    sh.core.shutdown();
+    sh.cv.notify_all();
+  }
+  for (std::thread& t : to_join) t.join();
+  if (space_.region().tracking()) space_.region().end_tracking();
+}
+
+// ---- map / routing ---------------------------------------------------------
+
+ShardMap ShardedHome::shard_map() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return map_;
+}
+
+std::uint32_t ShardedHome::shard_of(std::uint32_t region) const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return map_.shard_of(region);
+}
+
+std::uint32_t ShardedHome::owner_of(std::uint32_t region) const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return map_.shard_of(region);
+}
+
+bool ShardedHome::owns(std::uint32_t shard, std::uint32_t region) const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return map_.shard_of(region) == shard && importing_.count(region) == 0;
+}
+
+void ShardedHome::bounce(Shard& sh, std::unique_lock<std::mutex>& lock,
+                         std::uint32_t rank, const msg::Message& m) {
+  ++sh.stats.wrong_shard_redirects;
+  // Advance this shard's dedup horizon past the bounced attempt: a
+  // fault-layer duplicate of it still queued on this session must never
+  // execute here once the region migrates (back) to this shard — its
+  // re-issue will already have executed at the owner (docs/SHARDING.md).
+  sh.core.note_redirected(rank, m.seq);
+  msg::Message redirect;
+  redirect.type = msg::MsgType::WrongShard;
+  redirect.sync_id = m.sync_id;
+  redirect.rank = kMasterRank;
+  // Unsequenced (not reply-cached): echo the bounced request's seq so the
+  // remote can match it to its outstanding attempt.
+  redirect.seq = m.seq;
+  redirect.sender = msg::PlatformSummary::of(space_.platform());
+  {
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    redirect.map_epoch = map_.epoch();
+    redirect.payload = map_.serialize();
+  }
+  auto it = sh.peers.find(rank);
+  if (it == sh.peers.end() || !it->second.endpoint) return;
+  std::shared_ptr<msg::Endpoint> ep = it->second.endpoint;
+  std::shared_ptr<std::mutex> io = it->second.io_mutex;
+  const std::uint64_t gen = it->second.attach_gen;
+  lock.unlock();
+  bool died = false;
+  {
+    std::lock_guard<std::mutex> io_lock(*io);
+    try {
+      ep->send(redirect);
+    } catch (const msg::ChannelClosed&) {
+      died = true;
+    }
+  }
+  lock.lock();
+  if (died) {
+    auto it2 = sh.peers.find(rank);
+    if (it2 != sh.peers.end() && it2->second.attach_gen == gen) {
+      if (it2->second.endpoint) close_endpoint(it2->second);
+      process_event(sh, lock, CoherenceEvent::peer_detached(rank));
+    }
+  }
+}
+
+// ---- pending-shard bitmask -------------------------------------------------
+
+void ShardedHome::refresh_flags(Shard& sh) {
+  if (opts_.num_shards <= 1) return;
+  const std::uint32_t bit = 1u << sh.index;
+  for (const auto& [rank, peer] : sh.peers) {
+    if (rank >= kMaxTrackedRanks) continue;
+    if (sh.core.has_pending(rank)) {
+      pending_flags_[rank].fetch_or(bit);
+    } else {
+      pending_flags_[rank].fetch_and(~bit);
+    }
+  }
+}
+
+std::uint32_t ShardedHome::mask_for(std::uint32_t rank) const {
+  // One shard ⇒ the grant itself carried everything pending; a zero mask
+  // keeps the wire byte-identical to the single-home HomeNode.
+  if (opts_.num_shards <= 1) return 0;
+  if (rank >= kMaxTrackedRanks) {
+    // Untracked rank: conservatively claim every shard may hold pending.
+    return opts_.num_shards >= 32 ? 0xffffffffu
+                                  : ((1u << opts_.num_shards) - 1u);
+  }
+  return pending_flags_[rank].load();
+}
+
+// ---- the action executor ---------------------------------------------------
+
+void ShardedHome::close_endpoint(ShellPeer& peer) {
+  std::lock_guard<std::mutex> io(*peer.io_mutex);
+  peer.endpoint->close();
+}
+
+void ShardedHome::process_event(Shard& sh, std::unique_lock<std::mutex>& lock,
+                                CoherenceEvent e) {
+  std::vector<CoherenceEvent> queue;
+  queue.push_back(std::move(e));
+  drain(sh, lock, std::move(queue), {});
+}
+
+void ShardedHome::drain(Shard& sh, std::unique_lock<std::mutex>& lock,
+                        std::vector<CoherenceEvent> queue,
+                        std::vector<CoherenceAction> actions) {
+  struct PendingSend {
+    std::uint32_t rank;
+    std::uint64_t attach_gen;
+    std::shared_ptr<msg::Endpoint> endpoint;
+    std::shared_ptr<std::mutex> io_mutex;
+    msg::Message message;
+  };
+  std::vector<PendingSend> sends;
+  for (;;) {
+    for (CoherenceAction& a : actions) {
+      switch (a.kind) {
+        case CoherenceAction::Kind::Trace:
+          if (sh.trace != nullptr) {
+            sh.trace->append(a.trace.kind, a.trace.rank, a.trace.sync_id,
+                             a.trace.blocks, a.trace.bytes, a.trace.req);
+          }
+          break;
+        case CoherenceAction::Kind::WakeMaster:
+          sh.cv.notify_all();
+          break;
+        case CoherenceAction::Kind::Detach: {
+          std::fprintf(stderr, "hdsm shard %u: detaching rank %u: %s\n",
+                       sh.index, a.rank, a.reason.c_str());
+          auto it = sh.peers.find(a.rank);
+          if (it != sh.peers.end() && it->second.endpoint) {
+            close_endpoint(it->second);
+          }
+          break;
+        }
+        case CoherenceAction::Kind::Send: {
+          auto it = sh.peers.find(a.rank);
+          if (it == sh.peers.end() || !it->second.endpoint) break;
+          sends.push_back({a.rank, it->second.attach_gen, it->second.endpoint,
+                           it->second.io_mutex, std::move(a.message)});
+          break;
+        }
+      }
+    }
+    actions.clear();
+    if (!queue.empty()) {
+      CoherenceEvent ev = std::move(queue.front());
+      queue.erase(queue.begin());
+      actions = sh.core.step(ev);
+      continue;
+    }
+    // The batch's state transitions are complete: publish this shard's
+    // pending bits, then stamp every outgoing frame — the current map
+    // epoch (remotes revalidate lazily) and, on the acquire replies, the
+    // pending-shards mask the remote must drain (docs/SHARDING.md).
+    refresh_flags(sh);
+    if (sends.empty()) return;
+    const std::uint32_t epoch = epoch_mirror_.load();
+    for (PendingSend& ps : sends) {
+      ps.message.map_epoch = epoch;
+      switch (ps.message.type) {
+        case msg::MsgType::LockGrant:
+        case msg::MsgType::BarrierRelease:
+        case msg::MsgType::PendingReply:
+          ps.message.aux = mask_for(ps.rank);
+          break;
+        default:
+          break;
+      }
+    }
+    // Flush outside the state lock, exactly as HomeNode::process_event:
+    // failed sends come back as PeerDetached events.
+    lock.unlock();
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> dead;
+    for (PendingSend& ps : sends) {
+      std::lock_guard<std::mutex> io(*ps.io_mutex);
+      try {
+        ps.endpoint->send(ps.message);
+      } catch (const msg::ChannelClosed&) {
+        dead.emplace_back(ps.rank, ps.attach_gen);
+      }
+    }
+    sends.clear();
+    lock.lock();
+    for (const auto& [rank, gen] : dead) {
+      auto it = sh.peers.find(rank);
+      if (it == sh.peers.end() || it->second.attach_gen != gen) continue;
+      if (it->second.endpoint) close_endpoint(it->second);
+      queue.push_back(CoherenceEvent::peer_detached(rank));
+    }
+    if (queue.empty()) return;
+  }
+}
+
+// ---- receiver --------------------------------------------------------------
+
+void ShardedHome::receiver_loop(std::uint32_t shard, std::uint32_t rank) {
+  Shard& sh = *shards_[shard];
+  if (telemetry_ != nullptr) {
+    telemetry_->set_thread_label("recv-s" + std::to_string(shard) + "-rank" +
+                                 std::to_string(rank));
+  }
+  std::shared_ptr<msg::Endpoint> ep;
+  {
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    ep = sh.peers.at(rank).endpoint;
+  }
+  try {
+    for (;;) {
+      msg::Message m = ep->recv();
+      const bool routed = m.type == msg::MsgType::LockRequest ||
+                          m.type == msg::MsgType::UnlockRequest ||
+                          m.type == msg::MsgType::BarrierEnter;
+      std::unique_lock<std::mutex> lock(sh.mutex);
+      if (routed && !owns(shard, m.sync_id)) {
+        // Stale map (or a migration handoff in flight): never let the
+        // wrong core execute this — bounce with the authoritative map.
+        bounce(sh, lock, rank, m);
+        continue;
+      }
+      process_event(sh, lock, CoherenceEvent::msg_received(rank, std::move(m)));
+    }
+  } catch (const msg::ChannelClosed&) {
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    process_event(sh, lock, CoherenceEvent::peer_detached(rank));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hdsm shard %u: detaching rank %u: %s\n", shard,
+                 rank, e.what());
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    auto it = sh.peers.find(rank);
+    if (it != sh.peers.end() && it->second.endpoint) {
+      close_endpoint(it->second);
+    }
+    process_event(sh, lock, CoherenceEvent::peer_detached(rank));
+  }
+}
+
+// ---- master-thread API -----------------------------------------------------
+
+// Each call routes to the region's current owner shard and re-checks
+// ownership under that shard's state lock (a migration needs the same lock,
+// so a positive check pins the region for the step).  Waits poll with a
+// short timeout instead of parking indefinitely: the predicate may move to
+// another shard's condition variable mid-wait.
+
+void ShardedHome::lock(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
+  if (index >= opts_.num_locks) {
+    throw std::out_of_range("mutex index out of range: " +
+                            std::to_string(index));
+  }
+  for (;;) {
+    const std::uint32_t s = owner_of(index);
+    Shard& sh = *shards_[s];
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    if (!owns(s, index)) {
+      lk.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    process_event(sh, lk, CoherenceEvent::master_lock(index));
+    break;
+  }
+  // The master image is authoritative (one shared data plane): nothing to
+  // pull on acquire, whatever shards other ranks released through.
+  obs::SpanScope wait(telemetry_.get(), obs::SpanKind::LockWait, index);
+  for (;;) {
+    const std::uint32_t s = owner_of(index);
+    Shard& sh = *shards_[s];
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    if (owns(s, index) && sh.core.master_holds(index)) return;
+    sh.cv.wait_for(lk, std::chrono::milliseconds(1));
+  }
+}
+
+void ShardedHome::unlock(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
+  if (index >= opts_.num_locks) {
+    throw std::out_of_range("mutex index out of range: " +
+                            std::to_string(index));
+  }
+  for (;;) {
+    const std::uint32_t s = owner_of(index);
+    Shard& sh = *shards_[s];
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    if (!owns(s, index)) {
+      lk.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    // Validate before collect_runs(): collecting restarts the tracking
+    // interval, so an exception must fire before that side effect.
+    sh.core.check_master_unlock(index);
+    std::vector<idx::UpdateRun> runs;
+    {
+      std::lock_guard<std::mutex> eng(engine_mutex_);
+      runs = engine_.collect_runs();
+    }
+    process_event(sh, lk, CoherenceEvent::master_unlock(index, std::move(runs)));
+    return;
+  }
+}
+
+void ShardedHome::barrier(std::uint32_t index) {
+  obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
+  if (index >= opts_.num_barriers) {
+    throw std::out_of_range("barrier index out of range: " +
+                            std::to_string(index));
+  }
+  std::uint64_t gen = 0;
+  for (;;) {
+    const std::uint32_t s = owner_of(index);
+    Shard& sh = *shards_[s];
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    if (!owns(s, index)) {
+      lk.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    gen = sh.core.barrier_generation(index);
+    std::vector<idx::UpdateRun> runs;
+    {
+      std::lock_guard<std::mutex> eng(engine_mutex_);
+      runs = engine_.collect_runs();
+    }
+    process_event(sh, lk,
+                  CoherenceEvent::master_barrier(index, std::move(runs)));
+    break;
+  }
+  // The barrier generation transfers continuously across migrations, so
+  // the gen read at entry stays a valid episode marker wherever the region
+  // ends up.
+  obs::SpanScope wait(telemetry_.get(), obs::SpanKind::BarrierWait, index);
+  for (;;) {
+    const std::uint32_t s = owner_of(index);
+    Shard& sh = *shards_[s];
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    if (owns(s, index) && sh.core.barrier_generation(index) != gen) return;
+    sh.cv.wait_for(lk, std::chrono::milliseconds(1));
+  }
+}
+
+void ShardedHome::wait_all_joined() {
+  for (;;) {
+    bool all = true;
+    for (auto& shp : shards_) {
+      Shard& sh = *shp;
+      std::unique_lock<std::mutex> lk(sh.mutex);
+      if (!sh.core.all_inactive()) {
+        sh.cv.wait_for(lk, std::chrono::milliseconds(2));
+        all = false;
+        break;
+      }
+    }
+    if (all) return;
+  }
+}
+
+// ---- migration -------------------------------------------------------------
+
+std::chrono::nanoseconds ShardedHome::migrate_region(std::uint32_t region,
+                                                     std::uint32_t dst_shard) {
+  if (dst_shard >= opts_.num_shards) {
+    throw std::out_of_range("shard " + std::to_string(dst_shard) + " of " +
+                            std::to_string(opts_.num_shards));
+  }
+  if (region >= std::max(opts_.num_locks, opts_.num_barriers)) {
+    throw std::out_of_range("region out of range: " + std::to_string(region));
+  }
+  std::uint32_t src = 0;
+  {
+    std::unique_lock<std::mutex> map_lock(map_mutex_);
+    importing_cv_.wait(map_lock, [this, region] {
+      return importing_.count(region) == 0;
+    });
+    src = map_.shard_of(region);
+    if (src == dst_shard) return std::chrono::nanoseconds{0};
+    // Open the handoff window: from here until the erase below, requests
+    // for this region bounce at every shard (WrongShard), so no core can
+    // execute them between export and import.
+    importing_.insert(region);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  CoherenceCore::RegionState state;
+  {
+    Shard& sh = *shards_[src];
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    std::vector<CoherenceAction> actions;
+    state = sh.core.export_region(region, actions);
+    {
+      // Epoch bump inside the source's critical section: the new map
+      // publishes atomically with the export — no thread can observe the
+      // source stripped of the region while the map still points at it.
+      std::lock_guard<std::mutex> map_lock(map_mutex_);
+      map_.set_override(region, dst_shard);
+      epoch_mirror_.store(map_.epoch());
+    }
+    drain(sh, lk, {}, std::move(actions));
+  }
+  {
+    Shard& sh = *shards_[dst_shard];
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    std::vector<CoherenceAction> actions;
+    sh.core.import_region(std::move(state), actions);
+    drain(sh, lk, {}, std::move(actions));
+  }
+  const auto pause = std::chrono::steady_clock::now() - t0;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    importing_.erase(region);
+    importing_cv_.notify_all();
+  }
+  // Master waits poll owner shards; nudge both so a parked wait re-routes
+  // promptly instead of riding out its poll interval.
+  shards_[src]->cv.notify_all();
+  shards_[dst_shard]->cv.notify_all();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(pause);
+}
+
+// ---- stats / telemetry / config --------------------------------------------
+
+ShareStats ShardedHome::stats() const {
+  ShareStats total;
+  {
+    std::lock_guard<std::mutex> eng(engine_mutex_);
+    total = data_stats_;
+  }
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lk(shp->mutex);
+    total += shp->stats;
+  }
+  return total;
+}
+
+ShareStats ShardedHome::shard_stats(std::uint32_t shard) const {
+  const Shard& sh = *shards_.at(shard);
+  std::lock_guard<std::mutex> lk(sh.mutex);
+  return sh.stats;
+}
+
+std::uint64_t ShardedHome::shard_busy_ns(std::uint32_t shard) const {
+  return shards_.at(shard)->busy_ns.load(std::memory_order_relaxed);
+}
+
+obs::ClusterTelemetry ShardedHome::cluster_telemetry() const {
+  obs::NodeSnapshot home;
+  home.rank = kMasterRank;
+  home.epoch = 0;
+  if (telemetry_) home.metrics = telemetry_->metrics();
+  append_share_stats(home.metrics, stats());
+  for (std::uint32_t s = 0; s < opts_.num_shards; ++s) {
+    const Shard& sh = *shards_[s];
+    const std::string prefix = "shard." + std::to_string(s) + ".";
+    home.metrics.counters[prefix + "busy_ns"] =
+        sh.busy_ns.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(sh.mutex);
+    home.metrics.counters[prefix + "ops"] = sh.stats.locks +
+                                            sh.stats.unlocks +
+                                            sh.stats.barriers +
+                                            sh.stats.pending_pulls;
+    home.metrics.counters[prefix + "migrations"] = sh.stats.region_migrations;
+    home.metrics.counters[prefix + "wrong_shard"] =
+        sh.stats.wrong_shard_redirects;
+  }
+  std::lock_guard<std::mutex> lk0(shards_[0]->mutex);
+  return shards_[0]->core.telemetry_as(std::move(home));
+}
+
+std::vector<std::uint32_t> ShardedHome::active_ranks() const {
+  std::set<std::uint32_t> ranks;
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lk(shp->mutex);
+    for (std::uint32_t r : shp->core.active_ranks()) ranks.insert(r);
+  }
+  return {ranks.begin(), ranks.end()};
+}
+
+bool ShardedHome::quiesced() const {
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lk(shp->mutex);
+    if (!shp->core.quiesced()) return false;
+  }
+  return true;
+}
+
+void ShardedHome::set_barrier_count(std::uint32_t index, std::uint32_t count) {
+  // Configure every shard: the region may migrate anywhere, and the
+  // exported state carries `expected` with it either way — setting all
+  // cores keeps a later hash-home owner consistent too.
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lk(shp->mutex);
+    shp->core.set_barrier_count(index, count);
+  }
+}
+
+void ShardedHome::bind_lock(std::uint32_t index, const std::string& field) {
+  const auto row =
+      static_cast<std::uint32_t>(space_.table().row_of_field(field));
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lk(shp->mutex);
+    shp->core.bind_lock(index, row);
+  }
+}
+
+}  // namespace hdsm::dsm

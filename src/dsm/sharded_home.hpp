@@ -1,0 +1,239 @@
+// The sharded home directory (docs/SHARDING.md): the home node's coherence
+// duties partitioned across N independent shards, each a full sans-I/O
+// `CoherenceCore` behind its own receiver threads and state mutex.  A
+// region (mutex index i + barrier index i) is owned by exactly one shard at
+// a time; the authoritative region→shard map is a `ShardMap` whose epoch
+// travels in every frame header, so remotes revalidate lazily — a request
+// routed by a stale map is bounced with `WrongShard` (carrying the fresh
+// map) instead of executing at the wrong shard.
+//
+// The data plane stays whole: one GlobalSpace image and one SyncEngine,
+// shared by every shard through a mutex-wrapped codec.  Pending update
+// sets, however, live in the core that applied the diffs — so a grant or
+// barrier release from shard S ships S's pending bytes and flags every
+// *other* shard holding pending for that rank in the reply's `aux` bitmask;
+// the remote drains those shards with `PendingPull` before its acquire
+// completes.  With num_shards == 1 the mask is always 0 and the wire
+// behavior is byte-identical to the single-home `HomeNode`.
+//
+// Regions migrate online between shards (migrate_region): the source shard
+// exports the region's coherence state + in-flight reply cache under its
+// state lock, the map epoch bumps, and the destination imports — requests
+// landing in the handoff window bounce and are re-issued at the new owner,
+// which answers redirected re-issues from the migrated reply cache so no
+// grant or ack is ever lost.  `sched::plan_shard_moves` turns per-shard
+// busy telemetry into migration decisions for this API.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dsm/coherence_core.hpp"
+#include "dsm/global_space.hpp"
+#include "dsm/shard_map.hpp"
+#include "dsm/stats.hpp"
+#include "dsm/sync_engine.hpp"
+#include "dsm/trace.hpp"
+#include "msg/endpoint.hpp"
+
+namespace hdsm::dsm {
+
+struct ShardedHomeOptions {
+  std::uint32_t num_locks = 16;
+  std::uint32_t num_barriers = 16;
+  /// Home shards (1..ShardMap::kMaxShards).  1 = a single directory shard,
+  /// wire-compatible with HomeNode.
+  std::uint32_t num_shards = 1;
+  DsdOptions dsd;
+  /// Optional per-shard protocol trace sinks: entry s traces shard s (a
+  /// shorter vector, or a null entry, disables tracing for that shard).
+  /// Keep the logs separate — each shard's log validates on its own, with
+  /// migrations closing episodes via RegionExported and the importer
+  /// re-opening them synthetically.
+  std::vector<TraceLog*> shard_traces;
+  /// Telemetry (docs/OBSERVABILITY.md); the scrape anchor is shard 0.
+  obs::ObsOptions obs;
+};
+
+class ShardedHome {
+ public:
+  static constexpr std::uint32_t kMasterRank = CoherenceCore::kMasterRank;
+  /// Ranks >= this share one conservative all-shards pending mask instead
+  /// of a tracked per-rank bitmask.
+  static constexpr std::uint32_t kMaxTrackedRanks = 64;
+
+  ShardedHome(tags::TypePtr gthv, const plat::PlatformDesc& platform,
+              ShardedHomeOptions opts = {});
+  ~ShardedHome();
+
+  ShardedHome(const ShardedHome&) = delete;
+  ShardedHome& operator=(const ShardedHome&) = delete;
+
+  /// Attach remote `rank` over in-process channels: one endpoint per
+  /// shard, element s connected to shard s.  Shard 0 seeds the rank's
+  /// full-image pending set; the others start empty (the image is shared,
+  /// so one full-image grant suffices).
+  std::vector<msg::EndpointPtr> attach(std::uint32_t rank);
+
+  /// Attach `rank`'s session to shard `shard` over an external endpoint.
+  void attach_endpoint(std::uint32_t rank, std::uint32_t shard,
+                       msg::EndpointPtr ep);
+
+  void start();
+  void stop();
+
+  // -- Master-thread synchronization API (rank 0, same as HomeNode).  The
+  //    waits poll across migrations: each iteration re-routes to the
+  //    region's current owner shard. --
+  void lock(std::uint32_t index);
+  void unlock(std::uint32_t index);
+  void barrier(std::uint32_t index);
+  void wait_all_joined();
+
+  GlobalSpace& space() noexcept { return space_; }
+  const GlobalSpace& space() const noexcept { return space_; }
+  std::uint32_t num_locks() const noexcept { return opts_.num_locks; }
+  std::uint32_t num_shards() const noexcept { return opts_.num_shards; }
+
+  /// Aggregate stats: the shared data plane's Eq.-1 buckets plus every
+  /// shard's protocol counters.
+  ShareStats stats() const;
+  /// One shard's protocol counters (its data-plane buckets are zero — the
+  /// engine accounts those once, in the shared stats).
+  ShareStats shard_stats(std::uint32_t shard) const;
+  /// Wall nanoseconds shard `shard` spent inside the shared data plane
+  /// (pack/apply under the engine mutex) — the per-shard busy signal
+  /// `sched::plan_shard_moves` balances on.
+  std::uint64_t shard_busy_ns(std::uint32_t shard) const;
+
+  obs::Telemetry* telemetry() noexcept { return telemetry_.get(); }
+  /// Cluster view: one rank-0 row folding every shard's counters plus the
+  /// remote snapshots collected by shard 0 (the scrape anchor).
+  obs::ClusterTelemetry cluster_telemetry() const;
+
+  std::vector<std::uint32_t> active_ranks() const;
+  bool quiesced() const;
+  void set_barrier_count(std::uint32_t index, std::uint32_t count);
+  void bind_lock(std::uint32_t index, const std::string& field);
+
+  /// Snapshot of the authoritative region→shard map (epoch included).
+  ShardMap shard_map() const;
+  std::uint32_t shard_of(std::uint32_t region) const;
+
+  /// Migrate ownership of `region` to `dst_shard` while the cluster runs:
+  /// bounce window opens → source exports under its state lock → map epoch
+  /// bumps → destination imports → window closes.  Returns the handoff
+  /// pause (the window during which requests for this region bounce).
+  /// No-op returning 0 when `dst_shard` already owns the region.
+  std::chrono::nanoseconds migrate_region(std::uint32_t region,
+                                          std::uint32_t dst_shard);
+
+ private:
+  /// The shared data plane behind a mutex: every shard's core packs and
+  /// applies through the one SyncEngine, serialized by `engine_mutex`.
+  /// Each shard owns one instance so the wall time it spends in the data
+  /// plane (its busy signal for rebalancing) is attributed per shard.
+  struct LockingCodec final : UpdateCodec {
+    LockingCodec(SyncEngine& e, std::mutex& m,
+                 std::atomic<std::uint64_t>& busy)
+        : engine(e), engine_mutex(m), busy_ns(busy) {}
+    std::vector<std::byte> pack(
+        const std::vector<idx::UpdateRun>& runs) override;
+    std::vector<std::byte> pack_release(
+        const std::vector<idx::UpdateRun>& runs) override;
+    std::vector<idx::UpdateRun> apply(
+        const std::vector<std::byte>& payload,
+        const msg::PlatformSummary& sender) override;
+    SyncEngine& engine;
+    std::mutex& engine_mutex;
+    std::atomic<std::uint64_t>& busy_ns;
+  };
+
+  /// Transport state per (shard, rank) session — same shape as
+  /// HomeNode::ShellPeer.
+  struct ShellPeer {
+    std::shared_ptr<msg::Endpoint> endpoint;
+    std::shared_ptr<std::mutex> io_mutex = std::make_shared<std::mutex>();
+    std::thread receiver;
+    std::uint64_t attach_gen = 0;
+  };
+
+  struct Shard {
+    Shard(std::uint32_t index, ShardedHome& owner);
+
+    const std::uint32_t index;
+    ShareStats stats;  ///< protocol counters only (see shard_stats())
+    std::atomic<std::uint64_t> busy_ns{0};
+    LockingCodec codec;
+    CoherenceCore core;
+    TraceLog* trace = nullptr;
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::uint32_t, ShellPeer> peers;
+  };
+
+  void receiver_loop(std::uint32_t shard, std::uint32_t rank);
+  /// Step `sh.core` with `e` and execute the actions (HomeNode's executor,
+  /// per shard): Trace/WakeMaster/Detach under the held shard lock, then —
+  /// after refreshing this shard's pending-flag bits and stamping
+  /// map_epoch/aux on every outgoing frame — Sends outside it.
+  void process_event(Shard& sh, std::unique_lock<std::mutex>& lock,
+                     CoherenceEvent e);
+  /// Same executor, entered with pre-computed actions (export/import).
+  void drain(Shard& sh, std::unique_lock<std::mutex>& lock,
+             std::vector<CoherenceEvent> queue,
+             std::vector<CoherenceAction> actions);
+  void close_endpoint(ShellPeer& peer);
+
+  /// True when `shard` owns `region` and no migration handoff is open for
+  /// it.  Call with the shard's state lock held (takes map_mutex_ inside;
+  /// lock order is always shard mutex → map mutex).
+  bool owns(std::uint32_t shard, std::uint32_t region) const;
+  std::uint32_t owner_of(std::uint32_t region) const;
+  /// Bounce a request routed by a stale map: shell-level WrongShard reply
+  /// carrying the authoritative map (never touches any core).  Call with
+  /// the shard lock held; the send happens outside it.
+  void bounce(Shard& sh, std::unique_lock<std::mutex>& lock,
+              std::uint32_t rank, const msg::Message& m);
+
+  /// Recompute this shard's bit in every session rank's pending mask.
+  /// Call under the shard lock after a batch of state transitions.
+  void refresh_flags(Shard& sh);
+  /// The pending-shards bitmask shipped in grant/release aux fields.
+  /// Always 0 with one shard (single-home parity).
+  std::uint32_t mask_for(std::uint32_t rank) const;
+
+  ShardedHomeOptions opts_;
+  GlobalSpace space_;
+  /// Data-plane stats (Eq.-1 buckets), owned by the shared engine.
+  ShareStats data_stats_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  mutable std::mutex engine_mutex_;
+  SyncEngine engine_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Region→shard map + migration handoff windows.  Nested inside any one
+  /// shard mutex; never the reverse, and never two shard mutexes at once.
+  mutable std::mutex map_mutex_;
+  ShardMap map_;
+  std::set<std::uint32_t> importing_;  ///< regions mid-handoff (bounce)
+  std::condition_variable importing_cv_;
+  /// Mirror of map_.epoch() readable without map_mutex_ (frame stamping).
+  std::atomic<std::uint32_t> epoch_mirror_{1};
+  /// Bit s set ⇔ shard s holds pending updates for the rank.
+  std::array<std::atomic<std::uint32_t>, kMaxTrackedRanks> pending_flags_{};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace hdsm::dsm

@@ -59,6 +59,12 @@ std::string ShareStats::to_string() const {
        << " page_promotions=" << whole_page_promotions
        << " fastpath_blocks=" << fastpath_blocks;
   }
+  if (wrong_shard_redirects != 0 || pending_pulls != 0 ||
+      region_migrations != 0) {
+    os << " wrong_shard=" << wrong_shard_redirects
+       << " pending_pulls=" << pending_pulls
+       << " migrations=" << region_migrations;
+  }
   return os.str();
 }
 

@@ -53,7 +53,10 @@ namespace hdsm::dsm {
   X(adapt_episodes)                \
   X(adapt_switches)                \
   X(whole_page_promotions)         \
-  X(fastpath_blocks)
+  X(fastpath_blocks)               \
+  X(wrong_shard_redirects)         \
+  X(pending_pulls)                 \
+  X(region_migrations)
 
 struct ShareStats {
   // -- Eq.-1 cost buckets, all in nanoseconds of CPU-side work --
@@ -99,6 +102,14 @@ struct ShareStats {
                                             ///  the barrier-release path
   std::uint64_t fastpath_blocks = 0;  ///< count: blocks applied through the
                                       ///  identity/memcpy fast path
+
+  // -- Home directory / sharding (docs/SHARDING.md) --
+  std::uint64_t wrong_shard_redirects = 0;  ///< count: stale-map requests
+                                            ///  bounced with WrongShard
+  std::uint64_t pending_pulls = 0;  ///< count: cross-shard pending drains
+                                    ///  served (PendingPull requests)
+  std::uint64_t region_migrations = 0;  ///< count: regions imported by this
+                                        ///  shard (ownership handoffs)
 
   std::uint64_t share_ns() const noexcept {
     return index_ns + tag_ns + pack_ns + unpack_ns + conv_ns;

@@ -7,7 +7,9 @@ namespace hdsm::msg {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4844534du;  // "HDSM"
-constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 8;
+// magic, type, endian, ldf, reserved, sync_id, rank, seq, map_epoch, aux,
+// tag_len, payload_len — docs/PROTOCOL.md §1 documents the exact layout.
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 4 + 8;
 
 void put_u32be(std::vector<std::byte>& out, std::uint32_t v) {
   out.push_back(static_cast<std::byte>(v >> 24));
@@ -50,6 +52,9 @@ const char* msg_type_name(MsgType t) noexcept {
     case MsgType::Shutdown: return "Shutdown";
     case MsgType::MetricsPull: return "MetricsPull";
     case MsgType::MetricsReport: return "MetricsReport";
+    case MsgType::WrongShard: return "WrongShard";
+    case MsgType::PendingPull: return "PendingPull";
+    case MsgType::PendingReply: return "PendingReply";
   }
   return "?";
 }
@@ -69,6 +74,8 @@ std::vector<std::byte> encode_frame(const Message& m) {
   put_u32be(out, m.sync_id);
   put_u32be(out, m.rank);
   put_u32be(out, m.seq);
+  put_u32be(out, m.map_epoch);
+  put_u32be(out, m.aux);
   put_u32be(out, static_cast<std::uint32_t>(m.tag.size()));
   put_u64be(out, m.payload.size());
   const std::byte* tag_bytes = reinterpret_cast<const std::byte*>(m.tag.data());
@@ -89,7 +96,7 @@ bool FrameDecoder::next(Message& out) {
   }
   const std::uint8_t type = std::to_integer<std::uint8_t>(p[4]);
   if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
-      type > static_cast<std::uint8_t>(MsgType::MetricsReport)) {
+      type > static_cast<std::uint8_t>(MsgType::PendingReply)) {
     throw std::runtime_error("FrameDecoder: bad message type");
   }
   const std::uint8_t endian = std::to_integer<std::uint8_t>(p[5]);
@@ -100,8 +107,10 @@ bool FrameDecoder::next(Message& out) {
   const std::uint32_t sync_id = get_u32be(p + 8);
   const std::uint32_t rank = get_u32be(p + 12);
   const std::uint32_t seq = get_u32be(p + 16);
-  const std::uint32_t tag_len = get_u32be(p + 20);
-  const std::uint64_t payload_len = get_u64be(p + 24);
+  const std::uint32_t map_epoch = get_u32be(p + 20);
+  const std::uint32_t aux = get_u32be(p + 24);
+  const std::uint32_t tag_len = get_u32be(p + 28);
+  const std::uint64_t payload_len = get_u64be(p + 32);
   const std::size_t total = kHeaderSize + tag_len + payload_len;
   if (buf_.size() < total) return false;
 
@@ -111,6 +120,8 @@ bool FrameDecoder::next(Message& out) {
   out.sync_id = sync_id;
   out.rank = rank;
   out.seq = seq;
+  out.map_epoch = map_epoch;
+  out.aux = aux;
   out.tag.assign(reinterpret_cast<const char*>(p + kHeaderSize), tag_len);
   out.payload.assign(buf_.begin() + kHeaderSize + tag_len,
                      buf_.begin() + total);

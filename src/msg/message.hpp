@@ -39,6 +39,18 @@ enum class MsgType : std::uint8_t {
   /// cluster view.  Sequenced like every other request.
   MetricsPull,
   MetricsReport,
+  /// Home-directory redirects (docs/SHARDING.md, docs/PROTOCOL.md §8): a
+  /// request routed by a stale shard map is bounced with WrongShard, whose
+  /// payload carries the serialized authoritative dsm::ShardMap and whose
+  /// map_epoch field carries its epoch.  Shell-level and unsequenced: it
+  /// never touches the shard's dedup/reply-cache state.
+  WrongShard,
+  /// Cross-shard data-plane pull (docs/SHARDING.md): on an acquire, a
+  /// remote drains the pending update set it has accumulated at a sibling
+  /// shard flagged in the grant's `aux` mask.  Sequenced and reply-cached
+  /// like every other request.
+  PendingPull,
+  PendingReply,
 };
 
 const char* msg_type_name(MsgType t) noexcept;
@@ -63,6 +75,17 @@ struct Message {
   /// remote on requests, echoed on the matching reply.  0 = unsequenced
   /// (legacy application traffic; exempt from duplicate detection).
   std::uint32_t seq = 0;
+  /// Shard-map epoch (docs/SHARDING.md).  On requests: the sender's cached
+  /// map epoch (advisory).  On a WrongShard redirect: the authoritative
+  /// epoch of the map carried in the payload.  0 = single-home traffic.
+  std::uint32_t map_epoch = 0;
+  /// Auxiliary word, meaning fixed per message type (docs/PROTOCOL.md §8):
+  /// on a request re-issued after a WrongShard redirect, the sequence
+  /// number the request carried at the previous shard (lets the new owner
+  /// replay a migrated cached reply); on LockGrant / BarrierRelease /
+  /// PendingReply, the bitmask of shards holding pending updates for the
+  /// receiver.  0 otherwise.
+  std::uint32_t aux = 0;
   PlatformSummary sender;
   std::string tag;                 ///< ASCII (m,n) tag text
   std::vector<std::byte> payload;  ///< raw data, sender's representation

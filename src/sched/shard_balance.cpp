@@ -1,0 +1,76 @@
+#include "sched/shard_balance.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "mig/roles.hpp"
+
+namespace hdsm::sched {
+
+std::vector<RegionMove> plan_shard_moves(
+    std::uint32_t num_shards, const std::vector<HotRegion>& regions,
+    const std::vector<std::uint64_t>& shard_busy_ns, std::uint64_t wall_ns,
+    const PolicyConfig& cfg, std::size_t max_moves) {
+  if (num_shards <= 1 || regions.empty() || wall_ns == 0 ||
+      shard_busy_ns.size() < num_shards) {
+    return {};
+  }
+
+  // Shards as nodes, regions as slots.  Slot 0 is the RoleTracker's master
+  // (immovable by policy), so region i rides in slot i + 1; placing a
+  // region at its current owner is a legal Local→Remote migration from
+  // the tracker's initial all-at-node-0 state.
+  mig::RoleTracker roles(num_shards, regions.size() + 1);
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const std::uint32_t owner = regions[i].owner;
+    if (owner >= num_shards) return {};  // stale input; nothing safe to plan
+    if (owner != 0) roles.migrate(i + 1, 0, owner);
+  }
+
+  // Model: each hot region carries an equal slice of the cluster's total
+  // busy fraction (that slice moves with it); whatever busy time the
+  // hosted regions do not explain stays as the shard's external load.
+  const auto busy_fraction = [&](std::uint32_t s) {
+    return std::min(1.0, static_cast<double>(shard_busy_ns[s]) /
+                             static_cast<double>(wall_ns));
+  };
+  double total_busy = 0.0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) total_busy += busy_fraction(s);
+  const double per_region = total_busy / static_cast<double>(regions.size());
+  if (per_region <= 0.0) return {};
+
+  LoadModel model(std::vector<double>(num_shards, 0.0), per_region);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    std::size_t hosted = 0;
+    for (const HotRegion& r : regions) {
+      if (r.owner == s) ++hosted;
+    }
+    model.set_external(
+        s, std::max(0.0, busy_fraction(s) -
+                             per_region * static_cast<double>(hosted)));
+  }
+
+  AdaptationPolicy policy(cfg);
+  std::vector<RegionMove> moves;
+  for (const MigrationDecision& d :
+       policy.rebalance(roles, model, max_moves)) {
+    if (d.slot == 0) continue;  // the master slot never carries a region
+    moves.push_back(RegionMove{regions[d.slot - 1].region,
+                               static_cast<std::uint32_t>(d.src),
+                               static_cast<std::uint32_t>(d.dst)});
+  }
+  return moves;
+}
+
+std::vector<std::uint64_t> shard_busy_from_metrics(
+    const obs::MetricsSnapshot& metrics, std::uint32_t num_shards) {
+  std::vector<std::uint64_t> busy(num_shards, 0);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const auto it =
+        metrics.counters.find("shard." + std::to_string(s) + ".busy_ns");
+    if (it != metrics.counters.end()) busy[s] = it->second;
+  }
+  return busy;
+}
+
+}  // namespace hdsm::sched

@@ -1,0 +1,60 @@
+// Directory-shard rebalancing: the adaptation scheduler applied to the
+// sharded home directory (docs/SHARDING.md).
+//
+// The paper's scheduler moves computing threads between machines when load
+// tilts; the same threshold/greedy policy moves *regions* (sync objects)
+// between home shards when one shard's data-plane busy time tilts.  The
+// mapping onto the existing machinery is literal: shards are the
+// RoleTracker's nodes, hot regions are its slots (slot 0 — the master —
+// is left alone), and AdaptationPolicy::rebalance proposes the moves.
+// Callers execute them via ShardedHome::migrate_region.
+//
+// The busy signal comes from the hdsm::obs cluster scrape: the sharded
+// home publishes "shard.N.busy_ns" counters (wall time each shard spent
+// in the shared data plane), and shard_busy_from_metrics() lifts them
+// back out of a MetricsSnapshot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sched/policy.hpp"
+
+namespace hdsm::sched {
+
+/// A region worth balancing, with its current owner shard.
+struct HotRegion {
+  std::uint32_t region = 0;  ///< sync-object id (ShardMap region)
+  std::uint32_t owner = 0;   ///< shard currently owning it
+
+  bool operator==(const HotRegion&) const = default;
+};
+
+/// One planned ownership handoff (ShardedHome::migrate_region(region, dst)).
+struct RegionMove {
+  std::uint32_t region = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  bool operator==(const RegionMove&) const = default;
+};
+
+/// Plan region migrations that level per-shard load.  `shard_busy_ns[s]`
+/// is shard s's measured data-plane busy time over a sampling window of
+/// `wall_ns`; each hot region is modeled as carrying an equal slice of the
+/// total busy fraction, and the threshold/greedy policy proposes moves
+/// until balanced (or `max_moves`).  Deterministic: same inputs, same
+/// plan.  Returns an empty vector when the load is level, `wall_ns` is 0,
+/// or there is nothing movable.
+std::vector<RegionMove> plan_shard_moves(
+    std::uint32_t num_shards, const std::vector<HotRegion>& regions,
+    const std::vector<std::uint64_t>& shard_busy_ns, std::uint64_t wall_ns,
+    const PolicyConfig& cfg = {}, std::size_t max_moves = 16);
+
+/// Read the per-shard busy counters ("shard.N.busy_ns") the sharded home
+/// publishes into its rank-0 telemetry row.  Missing counters read as 0.
+std::vector<std::uint64_t> shard_busy_from_metrics(
+    const obs::MetricsSnapshot& metrics, std::uint32_t num_shards);
+
+}  // namespace hdsm::sched

@@ -528,6 +528,153 @@ TEST(CoherenceCoreSchedules, AllBarrierEntryOrdersRelease) {
   EXPECT_EQ(permutations, 6);
 }
 
+// ---- sharded directory: migration at every causally-valid point ------------
+
+namespace {
+
+/// Two home shards, two remotes contending on mutex 0, and a migration
+/// agent that hands the region between the shards (docs/SHARDING.md).  The
+/// sim models exactly what the sharded shells do around the cores: requests
+/// route by the remote's cached map, a request landing at the non-owner is
+/// bounced (shell-level — no core interaction) and re-issued at the owner
+/// with `aux` = the bounced attempt's seq, and a migration is an
+/// export_region at the owner followed by an import_region at the other
+/// shard.  The DFS below drives this through every causally-valid
+/// interleaving, so the handoff fires with the mutex free, held, held with
+/// a queued waiter, and mid-release — and each schedule must converge with
+/// every request executed exactly once and both shard logs valid.
+struct ShardedLockSim {
+  static constexpr int kMigrations = 2;
+
+  std::array<CoreHarness, 2> h;
+  int owner = 0;                  // shard currently owning region 0
+  int migs = 0;                   // migration steps fired so far
+  int bounces = 0;                // stale-map re-issues the sim performed
+  std::array<int, 2> pc{};        // per remote: 0 = lock, 1 = unlock, 2 = done
+  std::array<int, 2> replies{};   // grant/ack sends observed per remote
+  std::array<int, 2> cached{};    // each remote's cached owner shard
+  std::array<std::uint32_t, 2> seq{};
+
+  ShardedLockSim() {
+    for (CoreHarness& shard : h) {
+      shard.attach(1);
+      shard.attach(2);
+    }
+  }
+
+  void observe(CoreHarness& shard, const std::vector<Action>& actions) {
+    for (const Action& a : actions) {
+      if (a.kind == Action::Kind::Trace) {
+        shard.log.append(a.trace.kind, a.trace.rank, a.trace.sync_id,
+                         a.trace.blocks, a.trace.bytes, a.trace.req);
+      }
+      if (a.kind == Action::Kind::Send &&
+          (a.message.type == msg::MsgType::LockGrant ||
+           a.message.type == msg::MsgType::UnlockAck)) {
+        ++replies[a.rank - 1];
+      }
+    }
+  }
+
+  void fire_remote(int i) {
+    const auto rank = static_cast<std::uint32_t>(i + 1);
+    std::uint32_t aux = 0;
+    if (cached[i] != owner) {
+      // The stale-routed attempt reaches the old owner's shell and is
+      // bounced with WrongShard + the fresh map — the core never sees it.
+      // The re-issue below carries the bounced attempt's seq in aux.
+      ++bounces;
+      aux = ++seq[i];
+      cached[i] = owner;
+    }
+    msg::Message m =
+        pc[i] == 0
+            ? make_msg(msg::MsgType::LockRequest, rank, ++seq[i])
+            : make_msg(msg::MsgType::UnlockRequest, rank, ++seq[i], 0,
+                       fake_payload({idx::UpdateRun{}}));
+    m.aux = aux;
+    // The actions of this step are produced (and observed) at the owner:
+    // a waiter's deferred grant rides the unlocking step's action batch.
+    std::vector<Action> actions =
+        h[owner].core.step(Event::msg_received(rank, std::move(m)));
+    observe(h[owner], actions);
+    ++pc[i];
+  }
+
+  void fire_migration() {
+    std::vector<Action> out;
+    dsm::CoherenceCore::RegionState st = h[owner].core.export_region(0, out);
+    observe(h[owner], out);
+    out.clear();
+    h[1 - owner].core.import_region(std::move(st), out);
+    observe(h[1 - owner], out);
+    owner = 1 - owner;
+    ++migs;
+  }
+
+  // Agents 0..1 are the remotes, agent 2 the migration driver.
+  bool enabled(int agent) const {
+    if (agent == 2) return migs < kMigrations;
+    if (pc[agent] >= 2) return false;
+    return pc[agent] == 0 || replies[agent] >= 1;
+  }
+
+  void fire(int agent) { agent == 2 ? fire_migration() : fire_remote(agent); }
+
+  bool done() const {
+    return pc[0] == 2 && pc[1] == 2 && migs == kMigrations;
+  }
+};
+
+void dfs_sharded_schedules(std::vector<int>& path, int& schedules) {
+  ShardedLockSim sim;
+  for (const int agent : path) {
+    ASSERT_TRUE(sim.enabled(agent));
+    sim.fire(agent);
+  }
+  bool any = false;
+  for (int agent = 0; agent < 3; ++agent) {
+    if (!sim.enabled(agent)) continue;
+    any = true;
+    path.push_back(agent);
+    dfs_sharded_schedules(path, schedules);
+    path.pop_back();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  if (any) return;
+  // A maximal schedule: both episodes and both migrations completed, no
+  // interleaving may deadlock the handoff.
+  ASSERT_TRUE(sim.done()) << "schedule deadlocked after " << path.size()
+                          << " steps";
+  EXPECT_EQ(sim.replies[0], 2);
+  EXPECT_EQ(sim.replies[1], 2);
+  EXPECT_EQ(sim.h[0].core.lock_holder(0), -1);
+  EXPECT_EQ(sim.h[1].core.lock_holder(0), -1);
+  // Each unlock's diffs applied exactly once, whichever shard ended up
+  // executing it — never lost to a handoff, never double-applied.
+  EXPECT_EQ(sim.h[0].codec.apply_calls + sim.h[1].codec.apply_calls, 2);
+  // The importer counts each handoff exactly once.
+  EXPECT_EQ(sim.h[0].stats.region_migrations +
+                sim.h[1].stats.region_migrations,
+            static_cast<std::uint64_t>(ShardedLockSim::kMigrations));
+  for (CoreHarness& shard : sim.h) {
+    const auto err = dsm::validate_trace(shard.log.snapshot());
+    ASSERT_FALSE(err.has_value()) << *err;
+  }
+  ++schedules;
+}
+
+}  // namespace
+
+TEST(CoherenceCoreSchedules, AllShardMigrationInterleavingsConverge) {
+  std::vector<int> path;
+  int schedules = 0;
+  dfs_sharded_schedules(path, schedules);
+  // 4 causally-valid remote orders × C(6,2) migration placements: the DFS
+  // must reach every one of them.
+  EXPECT_EQ(schedules, 60);
+}
+
 // ---- recovery-window bound (the granted_gen growth fix) --------------------
 
 TEST(CoherenceCoreStress, RecoveryWindowsNeverOutgrowTheMutexCount) {

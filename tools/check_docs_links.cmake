@@ -1,0 +1,54 @@
+# Docs link checker: every relative markdown link in the repo's docs must
+# resolve to a real file.  Absolute URLs (http/https) and pure #anchors are
+# out of scope — the point is to catch a doc renamed or moved without its
+# cross-references following (README -> docs/SHARDING.md and friends).
+#
+# Invoked as:
+#   cmake -DREPO_DIR=<repo root> -P check_docs_links.cmake
+
+if(NOT DEFINED REPO_DIR)
+  message(FATAL_ERROR "check_docs_links: pass -DREPO_DIR=<repo root>")
+endif()
+
+file(GLOB top_docs "${REPO_DIR}/*.md")
+file(GLOB sub_docs "${REPO_DIR}/docs/*.md")
+set(docs ${top_docs} ${sub_docs})
+# Retrieval-artifact corpus files (paper abstract, related-work dumps,
+# session briefs) are not authored here and may cite assets that were
+# never fetched; only the repo's own docs are held to the link contract.
+list(FILTER docs EXCLUDE REGEX "/(PAPER|PAPERS|SNIPPETS|ISSUE|CHANGES)\\.md$")
+
+set(broken 0)
+set(checked 0)
+foreach(doc IN LISTS docs)
+  get_filename_component(doc_dir "${doc}" DIRECTORY)
+  file(READ "${doc}" text)
+  # Two CMake quirks to route around: the regex flavor cannot exclude ")"
+  # in a character class, and list items holding unbalanced "[" / "]" break
+  # list splitting.  So rewrite "](...)" into a bracket-free marker line
+  # first, then collect the marker lines.
+  string(REPLACE ")" "\n" text "${text}")
+  string(REPLACE "](" "\n@@LINK@@" text "${text}")
+  string(REGEX MATCHALL "@@LINK@@[^\n]*" links "${text}")
+  foreach(link IN LISTS links)
+    string(REPLACE "@@LINK@@" "" target "${link}")
+    if(target MATCHES "^(https?|mailto):" OR target MATCHES "^#")
+      continue()  # external or intra-page
+    endif()
+    string(REGEX REPLACE "#.*$" "" target "${target}")  # strip anchor
+    if(target STREQUAL "")
+      continue()
+    endif()
+    math(EXPR checked "${checked} + 1")
+    if(NOT EXISTS "${doc_dir}/${target}")
+      message(SEND_ERROR
+              "check_docs_links: ${doc} links to missing ${target}")
+      math(EXPR broken "${broken} + 1")
+    endif()
+  endforeach()
+endforeach()
+
+if(broken GREATER 0)
+  message(FATAL_ERROR "check_docs_links: ${broken} broken link(s)")
+endif()
+message(STATUS "check_docs_links: ${checked} relative links ok")
