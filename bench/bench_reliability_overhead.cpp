@@ -14,6 +14,15 @@
 //   drop       - 20% request loss (timeout + retransmit pressure); the
 //                per-op time is dominated by the retry policy's first
 //                timeout, not by CPU work
+//
+// The nodelay series moves the same round trips onto loopback TCP to price
+// one socket knob: TcpOptions::nodelay defaults on because the protocol's
+// control frames are small and latency-bound, and
+//
+//   tcp_nodelay_on  - loopback TCP, Nagle disabled (the default)
+//   tcp_nodelay_off - same sockets riding Nagle; the delta is what every
+//                     sub-MSS request/grant pair would pay waiting for the
+//                     delayed-ACK timer once a stream has unacked data
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -22,6 +31,7 @@
 #include "dsm/home.hpp"
 #include "dsm/remote.hpp"
 #include "msg/faulty.hpp"
+#include "msg/tcp.hpp"
 
 namespace dsm = hdsm::dsm;
 namespace tags = hdsm::tags;
@@ -48,13 +58,24 @@ dsm::RetryPolicy bench_retry() {
 
 struct Cluster {
   dsm::HomeNode home;
+  std::unique_ptr<msg::TcpListener> listener;
   std::unique_ptr<dsm::RemoteThread> remote;
 
-  explicit Cluster(const msg::FaultOptions* fault)
+  /// `tcp_opts` null = in-process channel; otherwise loopback TCP with the
+  /// given socket knobs on both ends.
+  Cluster(const msg::FaultOptions* fault, const msg::TcpOptions* tcp_opts)
       : home(gthv(), plat::linux_ia32()) {
     dsm::RemoteOptions ropts;
     ropts.retry = bench_retry();
-    msg::EndpointPtr ep = home.attach(1);
+    msg::EndpointPtr ep;
+    if (tcp_opts != nullptr) {
+      listener = std::make_unique<msg::TcpListener>(0, *tcp_opts);
+      msg::EndpointPtr client = msg::tcp_connect(listener->port(), *tcp_opts);
+      home.attach_endpoint(1, listener->accept());
+      ep = std::move(client);
+    } else {
+      ep = home.attach(1);
+    }
     if (fault != nullptr) ep = msg::make_faulty(std::move(ep), *fault);
     remote = std::make_unique<dsm::RemoteThread>(gthv(), plat::linux_ia32(),
                                                  1, std::move(ep), ropts);
@@ -62,8 +83,9 @@ struct Cluster {
   }
 };
 
-void lock_unlock_rounds(benchmark::State& state, const msg::FaultOptions* f) {
-  Cluster c(f);
+void lock_unlock_rounds(benchmark::State& state, const msg::FaultOptions* f,
+                        const msg::TcpOptions* tcp = nullptr) {
+  Cluster c(f, tcp);
   // One dirtying round outside timing so the first grant's full-image ship
   // is not measured.
   c.remote->lock(0);
@@ -106,11 +128,24 @@ void BM_FaultyDrop20(benchmark::State& state) {
   lock_unlock_rounds(state, &f);
 }
 
+void BM_TcpNodelayOn(benchmark::State& state) {
+  const msg::TcpOptions t;  // nodelay defaults on
+  lock_unlock_rounds(state, nullptr, &t);
+}
+
+void BM_TcpNodelayOff(benchmark::State& state) {
+  msg::TcpOptions t;
+  t.nodelay = false;
+  lock_unlock_rounds(state, nullptr, &t);
+}
+
 }  // namespace
 
 BENCHMARK(BM_RawChannel)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FaultyZeroFaults)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FaultyDuplicateAll)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FaultyDrop20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TcpNodelayOn)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TcpNodelayOff)->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

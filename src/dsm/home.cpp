@@ -22,6 +22,11 @@ CoherenceConfig core_config(const HomeOptions& opts, const GlobalSpace& space,
   return cfg;
 }
 
+ShellOptions resolve_shell(ShellOptions s) {
+  if (s.lanes == 0) s.lanes = 1;  // one core, one lane: events serialize
+  return s;
+}
+
 }  // namespace
 
 std::vector<std::byte> HomeNode::EngineCodec::pack(
@@ -56,6 +61,19 @@ HomeNode::HomeNode(tags::TypePtr gthv, const plat::PlatformDesc& platform,
       core_(core_config(opts_, space_, telemetry_.get()), codec_, stats_) {
   engine_.set_trace(opts_.trace, kMasterRank);
   engine_.set_obs(telemetry_.get());
+  shell_ = std::make_unique<SessionShell>(
+      resolve_shell(opts_.shell),
+      SessionShell::Callbacks{
+          [this](std::uint32_t, std::uint32_t rank, msg::Message&& m) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            process_event(lock,
+                          CoherenceEvent::msg_received(rank, std::move(m)));
+          },
+          [this](std::uint32_t, std::uint32_t rank) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            process_event(lock, CoherenceEvent::peer_detached(rank));
+          }},
+      telemetry_.get());
 }
 
 HomeNode::~HomeNode() { stop(); }
@@ -71,35 +89,30 @@ void HomeNode::attach_endpoint(std::uint32_t rank, msg::EndpointPtr ep) {
     throw std::invalid_argument("rank 0 is the master thread at home");
   }
   // A migrating thread re-attaches its rank from the destination node
-  // moments after the source detached; wait out that window, close the old
-  // endpoint so its receiver (which may still be parked in recv serving
-  // post-join retransmits) unblocks, then reap the old receiver thread
-  // outside the lock (it may still need the mutex on its way out).
-  std::thread old_receiver;
+  // moments after the source detached; wait out that window first.
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopped_) throw std::logic_error("attach after stop()");
-    ShellPeer& peer = peers_[rank];
     if (!cv_.wait_for(lock, std::chrono::seconds(30),
                       [this, rank] { return !core_.peer_active(rank); })) {
       throw std::invalid_argument("rank already attached: " +
                                   std::to_string(rank));
     }
-    if (peer.endpoint) close_endpoint(peer);
-    old_receiver = std::move(peer.receiver);
   }
-  if (old_receiver.joinable()) old_receiver.join();
+  // Reap the old incarnation outside the state lock: closing its transport
+  // delivers a final peer_detached, which needs the lock on its way out.
+  shell_->retire_session(0, rank);
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    ShellPeer& peer = peers_[rank];
-    peer.endpoint = std::shared_ptr<msg::Endpoint>(std::move(ep));
-    ++peer.attach_gen;
+    if (stopped_) throw std::logic_error("attach after stop()");
+    shell_->install_session(0, rank,
+                            std::shared_ptr<msg::Endpoint>(std::move(ep)));
     // A fresh remote has seen nothing: its first grant ships the full
-    // image.  The event runs before the receiver spawns, so no message can
+    // image.  The event runs before receiving starts, so no message can
     // observe a half-attached peer.
     process_event(lock, CoherenceEvent::peer_attached(
                             rank, SyncEngine::full_image_runs(space_.table())));
-    peer.receiver = std::thread([this, rank] { receiver_loop(rank); });
+    shell_->start_session(0, rank);
   }
 }
 
@@ -112,19 +125,16 @@ void HomeNode::start() {
 }
 
 void HomeNode::stop() {
-  std::vector<std::thread> to_join;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopped_) return;
     stopped_ = true;
-    for (auto& [rank, peer] : peers_) {
-      if (peer.endpoint) close_endpoint(peer);
-      if (peer.receiver.joinable()) to_join.push_back(std::move(peer.receiver));
-    }
     core_.shutdown();
     cv_.notify_all();
   }
-  for (std::thread& t : to_join) t.join();
+  // Close every session and quiesce the shell's threads; their final
+  // peer_detached callbacks re-enter the (now released) state lock.
+  shell_->stop();
   if (space_.region().tracking()) space_.region().end_tracking();
 }
 
@@ -139,6 +149,10 @@ obs::ClusterTelemetry HomeNode::cluster_telemetry() const {
 }
 
 bool HomeNode::quiesced() const {
+  // Settle asynchronous send failures first: a reactor-mode detach still
+  // in flight must count, exactly as the threaded shell's synchronous
+  // ChannelClosed would have.
+  shell_->quiesce();
   std::unique_lock<std::mutex> lock(mutex_);
   return core_.quiesced();
 }
@@ -160,6 +174,7 @@ void HomeNode::bind_lock(std::uint32_t index, const std::string& field) {
 }
 
 std::vector<std::uint32_t> HomeNode::active_ranks() const {
+  shell_->quiesce();  // in-flight transport failures must already count
   std::unique_lock<std::mutex> lock(mutex_);
   return core_.active_ranks();
 }
@@ -211,19 +226,11 @@ void HomeNode::wait_all_joined() {
 
 // ---- the action executor ---------------------------------------------------
 
-void HomeNode::close_endpoint(ShellPeer& peer) {
-  // Waits out any in-flight send on this endpoint; see ShellPeer::io_mutex.
-  std::lock_guard<std::mutex> io(*peer.io_mutex);
-  peer.endpoint->close();
-}
-
 void HomeNode::process_event(std::unique_lock<std::mutex>& lock,
                              CoherenceEvent e) {
   struct PendingSend {
     std::uint32_t rank;
-    std::uint64_t attach_gen;
-    std::shared_ptr<msg::Endpoint> endpoint;
-    std::shared_ptr<std::mutex> io_mutex;
+    SessionShell::SendHandle handle;
     msg::Message message;
   };
   std::vector<CoherenceEvent> queue;
@@ -243,96 +250,48 @@ void HomeNode::process_event(std::unique_lock<std::mutex>& lock,
         case CoherenceAction::Kind::WakeMaster:
           cv_.notify_all();
           break;
-        case CoherenceAction::Kind::Detach: {
+        case CoherenceAction::Kind::Detach:
           // A malformed or protocol-violating peer must not take the home
-          // node down: close its channel (the core already ran the detach
+          // node down: close its transport (the core already ran the detach
           // transition), like a crashed cluster member.
           std::fprintf(stderr, "hdsm home: detaching rank %u: %s\n", a.rank,
                        a.reason.c_str());
-          auto it = peers_.find(a.rank);
-          if (it != peers_.end() && it->second.endpoint) {
-            close_endpoint(it->second);
-          }
+          shell_->close_session(0, a.rank);
           break;
-        }
         case CoherenceAction::Kind::Send: {
-          auto it = peers_.find(a.rank);
-          if (it == peers_.end() || !it->second.endpoint) break;
-          sends.push_back({a.rank, it->second.attach_gen,
-                           it->second.endpoint, it->second.io_mutex,
-                           std::move(a.message)});
+          // The handle pins the current incarnation: a re-attach while the
+          // lock is released below routes this message to (or buries it
+          // with) the old transport, never the new one.
+          SessionShell::SendHandle h = shell_->handle(0, a.rank);
+          if (!h.valid) break;
+          sends.push_back({a.rank, std::move(h), std::move(a.message)});
           break;
         }
       }
     }
     if (!queue.empty() || sends.empty()) continue;
     // All state transitions for this batch are complete: release the state
-    // lock and flush the sends.  Concurrent receivers may interleave their
-    // own events here — safe, because the per-peer request/reply discipline
-    // means any concurrent send to the same peer is an identical cached
-    // reply, and the io mutex serializes the bytes.
+    // lock and flush the sends.  Concurrent events may interleave here —
+    // safe, because the per-peer request/reply discipline means any
+    // concurrent send to the same peer is an identical cached reply.
     lock.unlock();
     std::vector<std::pair<std::uint32_t, std::uint64_t>> dead;
     for (PendingSend& ps : sends) {
-      std::lock_guard<std::mutex> io(*ps.io_mutex);
-      try {
-        ps.endpoint->send(ps.message);
-      } catch (const msg::ChannelClosed&) {
-        // Dead peer: must detach the dead target rank, not unwind into
-        // whichever thread's event shipped to it (a healthy rank's
-        // receiver, or the master's synchronization call).
-        dead.emplace_back(ps.rank, ps.attach_gen);
+      if (!shell_->send(ps.handle, std::move(ps.message))) {
+        // Dead peer (threaded mode): must detach the dead target rank, not
+        // unwind into whichever thread's event shipped to it.  Reactor
+        // sends are asynchronous; their failures arrive as on_closed.
+        dead.emplace_back(ps.rank, ps.handle.gen);
       }
     }
     sends.clear();
     lock.lock();
     for (const auto& [rank, gen] : dead) {
-      auto it = peers_.find(rank);
-      // Skip stale failures: the rank may have re-attached (new attach_gen)
+      // Skip stale failures: the rank may have re-attached (new generation)
       // while the lock was released.
-      if (it == peers_.end() || it->second.attach_gen != gen) continue;
-      if (it->second.endpoint) close_endpoint(it->second);
+      if (!shell_->close_if_current(0, rank, gen)) continue;
       queue.push_back(CoherenceEvent::peer_detached(rank));
     }
-  }
-}
-
-// ---- receiver --------------------------------------------------------------
-
-void HomeNode::receiver_loop(std::uint32_t rank) {
-  if (telemetry_ != nullptr) {
-    telemetry_->set_thread_label("recv-rank" + std::to_string(rank));
-  }
-  std::shared_ptr<msg::Endpoint> ep;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ep = peers_.at(rank).endpoint;
-  }
-  try {
-    // Keep receiving past a JoinRequest: the remote's retry layer may
-    // retransmit it if the JoinAck was lost, and the core's duplicate
-    // handler answers from the reply cache.  The loop ends when the remote
-    // closes its endpoint (or stop()/attach_endpoint close this side).
-    // Protocol violations do not unwind here anymore — the core turns them
-    // into Detach actions and the executor closes the endpoint, which
-    // lands this loop in the ChannelClosed arm.
-    for (;;) {
-      msg::Message m = ep->recv();
-      std::unique_lock<std::mutex> lock(mutex_);
-      process_event(lock, CoherenceEvent::msg_received(rank, std::move(m)));
-    }
-  } catch (const msg::ChannelClosed&) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    process_event(lock, CoherenceEvent::peer_detached(rank));
-  } catch (const std::exception& e) {
-    // A frame-decode error (bad magic, unknown type) from a misbehaving
-    // transport: close and detach, like a crashed cluster member.
-    std::fprintf(stderr, "hdsm home: detaching rank %u: %s\n", rank,
-                 e.what());
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto it = peers_.find(rank);
-    if (it != peers_.end() && it->second.endpoint) close_endpoint(it->second);
-    process_event(lock, CoherenceEvent::peer_detached(rank));
   }
 }
 

@@ -11,14 +11,15 @@
 // — lock/barrier state machines, pending-set batching, dedup/reply-cache,
 // and reset recovery.  The shell's job is mechanical:
 //
-//   * one receiver thread per remote turns each received Message into a
-//     `MsgReceived` event and steps the core under one state mutex;
+//   * the transport (a `SessionShell`, by default reactor-driven — see
+//     docs/TRANSPORT.md) turns each received Message into a `MsgReceived`
+//     event and steps the core under one state mutex;
 //   * master lock/unlock/barrier calls step the core with `Master*` events
 //     and park on a condition variable until a core predicate flips;
 //   * emitted actions execute in order — Trace / WakeMaster / Detach under
-//     the state lock, Send *outside* it (per-peer io mutexes serialize
-//     sends against endpoint close; a failed send is fed back into the
-//     core as a `PeerDetached` event).
+//     the state lock, Send *outside* it (via SessionShell send handles,
+//     which pin the exact session incarnation; a dead transport is fed
+//     back into the core as a `PeerDetached` event).
 //
 // Updates build up per remote in the core's pending run sets and are
 // shipped on the next lock grant or barrier release — which is how the
@@ -35,6 +36,7 @@
 
 #include "dsm/coherence_core.hpp"
 #include "dsm/global_space.hpp"
+#include "dsm/session_shell.hpp"
 #include "dsm/stats.hpp"
 #include "dsm/sync_engine.hpp"
 #include "dsm/trace.hpp"
@@ -53,6 +55,9 @@ struct HomeOptions {
   /// constructed and every instrumentation site is a null check; the
   /// MetricsPull scrape still answers (ShareStats mirror only).
   obs::ObsOptions obs;
+  /// Transport shell (docs/TRANSPORT.md): reactor-driven by default, or
+  /// the legacy thread-per-remote blocking shell.
+  ShellOptions shell;
 };
 
 class HomeNode {
@@ -95,6 +100,9 @@ class HomeNode {
 
   /// This node's telemetry (null when HomeOptions::obs is disabled).
   obs::Telemetry* telemetry() noexcept { return telemetry_.get(); }
+
+  /// Transport counters (all-zero when the shell runs in Threaded mode).
+  msg::ReactorStats transport_stats() const { return shell_->reactor_stats(); }
 
   /// The cluster-wide telemetry view the home has aggregated so far: its
   /// own snapshot as rank 0 plus every snapshot remotes reported via
@@ -148,29 +156,11 @@ class HomeNode {
     SyncEngine& engine;
   };
 
-  /// Transport state per remote — everything the core must not know about.
-  struct ShellPeer {
-    /// Shared so an in-flight send (outside the state lock) keeps the
-    /// endpoint alive across a concurrent detach/re-attach.
-    std::shared_ptr<msg::Endpoint> endpoint;
-    /// Serializes send() against close() on `endpoint` — sends no longer
-    /// happen under the state lock, and TcpEndpoint::close() must not race
-    /// a concurrent send() on the same fd.
-    std::shared_ptr<std::mutex> io_mutex = std::make_shared<std::mutex>();
-    std::thread receiver;
-    /// Bumped per attach_endpoint(); a failed send from an older
-    /// incarnation must not detach the re-attached one.
-    std::uint64_t attach_gen = 0;
-  };
-
-  void receiver_loop(std::uint32_t rank);
   /// Step the core with `e` and execute the emitted actions: Trace /
   /// WakeMaster / Detach under the (held) state lock, then Sends with the
-  /// lock released; send failures are fed back as PeerDetached events.
+  /// lock released; dead transports are fed back as PeerDetached events.
   /// Returns with the lock re-held.
   void process_event(std::unique_lock<std::mutex>& lock, CoherenceEvent e);
-  /// Close `peer`'s endpoint under its io mutex (state lock held).
-  void close_endpoint(ShellPeer& peer);
 
   HomeOptions opts_;
   GlobalSpace space_;
@@ -184,9 +174,11 @@ class HomeNode {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::map<std::uint32_t, ShellPeer> peers_;
   bool started_ = false;
   bool stopped_ = false;
+  /// Declared last: its threads call back into the members above, and
+  /// stop() must quiesce it before anything else unwinds.
+  std::unique_ptr<SessionShell> shell_;
 };
 
 }  // namespace hdsm::dsm

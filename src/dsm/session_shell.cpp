@@ -1,0 +1,314 @@
+#include "dsm/session_shell.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace hdsm::dsm {
+
+namespace {
+
+std::uint64_t key_of(std::uint32_t group, std::uint32_t rank) {
+  return (static_cast<std::uint64_t>(group) << 32) | rank;
+}
+
+// PeerId layout: gen(16) | group(16) | rank(32).  The generation bits make
+// a re-attached rank a brand-new reactor peer, so sends and closes aimed at
+// the old incarnation can never touch the new one.  (16 bits of generation
+// wrap after 65536 re-attaches of one rank — far past any real session.)
+msg::PeerId peer_of(std::uint64_t gen, std::uint32_t group,
+                    std::uint32_t rank) {
+  return ((gen & 0xffffu) << 48) |
+         ((static_cast<std::uint64_t>(group) & 0xffffu) << 32) | rank;
+}
+
+std::uint32_t rank_of(msg::PeerId id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+
+std::uint32_t group_of(msg::PeerId id) {
+  return static_cast<std::uint32_t>((id >> 32) & 0xffffu);
+}
+
+std::uint64_t gen16_of(msg::PeerId id) { return id >> 48; }
+
+}  // namespace
+
+void SessionShell::ReactorBridge::on_message(msg::PeerId peer,
+                                             msg::Message&& m) {
+  shell->cbs_.on_message(group_of(peer), rank_of(peer), std::move(m));
+}
+
+void SessionShell::ReactorBridge::on_peer_closed(msg::PeerId peer) {
+  shell->reactor_closed(gen16_of(peer), group_of(peer), rank_of(peer));
+}
+
+SessionShell::SessionShell(const ShellOptions& opts, Callbacks cbs,
+                           obs::Telemetry* telemetry)
+    : opts_(opts), cbs_(std::move(cbs)), telemetry_(telemetry) {
+  if (opts_.lanes == 0) opts_.lanes = 1;
+  if (opts_.mode == ShellOptions::Mode::Reactor) {
+    bridge_.shell = this;
+    msg::ReactorOptions ro;
+    ro.io_threads = opts_.io_threads;
+    ro.lanes = opts_.lanes;
+    ro.ring_capacity = opts_.ring_capacity;
+    ro.max_write_queue_bytes = opts_.max_write_queue_bytes;
+    ro.flush_delay = opts_.flush_delay;
+    ro.telemetry = telemetry_;
+    reactor_ = std::make_unique<msg::Reactor>(ro, bridge_);
+  }
+}
+
+SessionShell::~SessionShell() { stop(); }
+
+// ---- attach phases ----------------------------------------------------------
+
+void SessionShell::retire_session(std::uint32_t group, std::uint32_t rank) {
+  std::thread reap;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = sessions_.find(key_of(group, rank));
+    if (it == sessions_.end() || !it->second->endpoint) return;
+    std::shared_ptr<Session> s = it->second;
+    const std::uint64_t gen = s->gen;
+    close_locked(*s);
+    if (opts_.mode == ShellOptions::Mode::Threaded) {
+      reap = std::move(s->receiver);
+    } else if (s->started) {
+      // The reactor delivers the closed event (after any messages the old
+      // transport already queued) on a lane; wait until that incarnation's
+      // on_closed has fully run — the reactor-mode equivalent of joining
+      // the old receiver thread.
+      cv_.wait(lk, [&s, gen, this] {
+        return s->closed_gen >= gen || stopped_;
+      });
+    }
+    s->started = false;
+  }
+  if (reap.joinable()) reap.join();
+}
+
+void SessionShell::install_session(std::uint32_t group, std::uint32_t rank,
+                                   std::shared_ptr<msg::Endpoint> ep) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopped_) throw std::logic_error("install_session after stop()");
+  std::shared_ptr<Session>& sp = sessions_[key_of(group, rank)];
+  if (!sp) {
+    sp = std::make_shared<Session>();
+    sp->group = group;
+    sp->rank = rank;
+  }
+  sp->endpoint = std::move(ep);
+  ++sp->gen;
+  sp->started = false;
+}
+
+void SessionShell::start_session(std::uint32_t group, std::uint32_t rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(key_of(group, rank));
+  if (it == sessions_.end() || !it->second->endpoint) {
+    throw std::logic_error("start_session without install_session");
+  }
+  std::shared_ptr<Session> s = it->second;
+  s->started = true;
+  if (opts_.mode == ShellOptions::Mode::Threaded) {
+    const std::uint64_t gen = s->gen;
+    s->receiver = std::thread([this, s, gen] { receiver_loop(s, gen); });
+  } else {
+    reactor_->add_peer(peer_of(s->gen, group, rank), s->endpoint,
+                       /*lane=*/group);
+  }
+}
+
+// ---- sending ----------------------------------------------------------------
+
+SessionShell::SendHandle SessionShell::handle(std::uint32_t group,
+                                              std::uint32_t rank) const {
+  SendHandle h;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(key_of(group, rank));
+  if (it == sessions_.end() || !it->second->endpoint) return h;
+  const Session& s = *it->second;
+  h.valid = true;
+  h.gen = s.gen;
+  if (opts_.mode == ShellOptions::Mode::Reactor) {
+    h.via_reactor = true;
+    h.peer = peer_of(s.gen, group, rank);
+  } else {
+    h.endpoint = s.endpoint;
+    h.io_mutex = s.io_mutex;
+  }
+  return h;
+}
+
+bool SessionShell::send(const SendHandle& h, msg::Message m) {
+  if (!h.valid) return true;  // unknown session: drop, like the legacy skip
+  if (h.via_reactor) {
+    reactor_->send(h.peer, std::move(m));
+    return true;  // asynchronous; failure arrives as on_closed
+  }
+  std::lock_guard<std::mutex> io(*h.io_mutex);
+  try {
+    h.endpoint->send(m);
+    return true;
+  } catch (const msg::ChannelClosed&) {
+    return false;
+  }
+}
+
+// ---- closing ----------------------------------------------------------------
+
+void SessionShell::close_locked(Session& s) {
+  if (!s.endpoint) return;
+  if (opts_.mode == ShellOptions::Mode::Reactor && s.started) {
+    // remove_peer closes the endpoint from the io thread and funnels the
+    // closed event through the ordinary delivery path.
+    reactor_->remove_peer(peer_of(s.gen, s.group, s.rank));
+    return;
+  }
+  std::lock_guard<std::mutex> io(*s.io_mutex);
+  try {
+    s.endpoint->close();
+  } catch (...) {
+  }
+}
+
+void SessionShell::close_session(std::uint32_t group, std::uint32_t rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(key_of(group, rank));
+  if (it == sessions_.end()) return;
+  close_locked(*it->second);
+}
+
+bool SessionShell::close_if_current(std::uint32_t group, std::uint32_t rank,
+                                    std::uint64_t gen) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(key_of(group, rank));
+  if (it == sessions_.end() || it->second->gen != gen) return false;
+  close_locked(*it->second);
+  return true;
+}
+
+// ---- lifecycle --------------------------------------------------------------
+
+void SessionShell::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Sessions installed but never started have no receiver and no reactor
+    // peer; nothing else would ever close their endpoints.
+    for (auto& [key, sp] : sessions_) {
+      if (sp->endpoint && !sp->started) {
+        std::lock_guard<std::mutex> io(*sp->io_mutex);
+        try {
+          sp->endpoint->close();
+        } catch (...) {
+        }
+      }
+    }
+  }
+  if (reactor_) {
+    // Retires every peer; queued messages and closed events still deliver
+    // to the callbacks before the lanes exit.
+    reactor_->stop();
+  } else {
+    std::vector<std::thread> reap;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (auto& [key, sp] : sessions_) {
+        if (sp->endpoint && sp->started) {
+          std::lock_guard<std::mutex> io(*sp->io_mutex);
+          try {
+            sp->endpoint->close();
+          } catch (...) {
+          }
+        }
+        if (sp->receiver.joinable()) reap.push_back(std::move(sp->receiver));
+      }
+    }
+    for (std::thread& t : reap) t.join();
+  }
+  cv_.notify_all();
+}
+
+void SessionShell::quiesce() {
+  if (reactor_) reactor_->flush();
+}
+
+msg::ReactorStats SessionShell::reactor_stats() const {
+  return reactor_ ? reactor_->stats() : msg::ReactorStats{};
+}
+
+// ---- reactor closed-event bookkeeping ---------------------------------------
+
+void SessionShell::reactor_closed(std::uint64_t gen16, std::uint32_t group,
+                                  std::uint32_t rank) {
+  const std::uint64_t key = key_of(group, rank);
+  std::shared_ptr<Session> s;
+  std::uint64_t full_gen = gen16;
+  bool deliver = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sessions_.find(key);
+    if (it != sessions_.end()) {
+      s = it->second;
+      // Widen the PeerId's 16 generation bits against the session's full
+      // counter (closes never come from a future generation).
+      full_gen = (s->gen & ~0xffffull) | gen16;
+      if (full_gen > s->gen) full_gen -= 0x10000;
+      deliver = full_gen == s->gen;
+    }
+  }
+  if (deliver && cbs_.on_closed) cbs_.on_closed(group, rank);
+  if (s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    s->closed_gen = std::max(s->closed_gen, full_gen);
+  }
+  cv_.notify_all();
+}
+
+// ---- threaded receiver ------------------------------------------------------
+
+void SessionShell::receiver_loop(std::shared_ptr<Session> s,
+                                 std::uint64_t gen) {
+  if (telemetry_ != nullptr) {
+    telemetry_->set_thread_label("recv-g" + std::to_string(s->group) +
+                                 "-rank" + std::to_string(s->rank));
+  }
+  std::shared_ptr<msg::Endpoint> ep = s->endpoint;
+  try {
+    // Keep receiving past a JoinRequest: the remote's retry layer may
+    // retransmit it, and the core answers duplicates from the reply cache.
+    // The loop ends when either side closes the endpoint.
+    for (;;) {
+      msg::Message m = ep->recv();
+      cbs_.on_message(s->group, s->rank, std::move(m));
+    }
+  } catch (const msg::ChannelClosed&) {
+  } catch (const std::exception& e) {
+    // Frame-decode error from a misbehaving transport: close and let the
+    // owner detach the peer like a crashed cluster member.
+    std::fprintf(stderr, "hdsm shell: closing session g%u rank %u: %s\n",
+                 s->group, s->rank, e.what());
+    std::lock_guard<std::mutex> io(*s->io_mutex);
+    try {
+      ep->close();
+    } catch (...) {
+    }
+  }
+  if (cbs_.on_closed) cbs_.on_closed(s->group, s->rank);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s->closed_gen = std::max(s->closed_gen, gen);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace hdsm::dsm

@@ -73,6 +73,14 @@ CoherenceConfig shard_core_config(const ShardedHomeOptions& opts,
   return cfg;
 }
 
+ShellOptions resolve_shell(ShellOptions s, std::uint32_t num_shards) {
+  // One lane per shard keeps per-shard event delivery serialized (a lane
+  // never runs two callbacks at once); past 8 shards lanes are shared —
+  // correct either way, since every callback takes its shard's state lock.
+  if (s.lanes == 0) s.lanes = std::min(num_shards, 8u);
+  return s;
+}
+
 }  // namespace
 
 ShardedHome::Shard::Shard(std::uint32_t idx, ShardedHome& owner)
@@ -105,6 +113,30 @@ ShardedHome::ShardedHome(tags::TypePtr gthv,
   // shared, so they have no natural shard and the scrape anchor hosts them.
   engine_.set_trace(shards_[0]->trace, kMasterRank);
   engine_.set_obs(telemetry_.get());
+  shell_ = std::make_unique<SessionShell>(
+      resolve_shell(opts_.shell, opts_.num_shards),
+      SessionShell::Callbacks{
+          [this](std::uint32_t group, std::uint32_t rank, msg::Message&& m) {
+            Shard& sh = *shards_[group];
+            const bool routed = m.type == msg::MsgType::LockRequest ||
+                                m.type == msg::MsgType::UnlockRequest ||
+                                m.type == msg::MsgType::BarrierEnter;
+            std::unique_lock<std::mutex> lock(sh.mutex);
+            if (routed && !owns(group, m.sync_id)) {
+              // Stale map (or a migration handoff in flight): never let the
+              // wrong core execute this — bounce with the authoritative map.
+              bounce(sh, lock, rank, m);
+              return;
+            }
+            process_event(sh, lock,
+                          CoherenceEvent::msg_received(rank, std::move(m)));
+          },
+          [this](std::uint32_t group, std::uint32_t rank) {
+            Shard& sh = *shards_[group];
+            std::unique_lock<std::mutex> lock(sh.mutex);
+            process_event(sh, lock, CoherenceEvent::peer_detached(rank));
+          }},
+      telemetry_.get());
 }
 
 ShardedHome::~ShardedHome() { stop(); }
@@ -133,37 +165,36 @@ void ShardedHome::attach_endpoint(std::uint32_t rank, std::uint32_t shard,
   }
   Shard& sh = *shards_[shard];
   // Same re-attach discipline as HomeNode::attach_endpoint: wait out a
-  // migrating rank's detach window, reap the old receiver outside the lock.
-  std::thread old_receiver;
+  // migrating rank's detach window, reap the old incarnation outside the
+  // state lock (its final closed callback needs the lock on its way out).
   {
     std::unique_lock<std::mutex> lock(sh.mutex);
     if (stopped_.load()) throw std::logic_error("attach after stop()");
-    ShellPeer& peer = sh.peers[rank];
     if (!sh.cv.wait_for(lock, std::chrono::seconds(30), [&sh, rank] {
           return !sh.core.peer_active(rank);
         })) {
       throw std::invalid_argument("rank already attached: " +
                                   std::to_string(rank));
     }
-    if (peer.endpoint) close_endpoint(peer);
-    old_receiver = std::move(peer.receiver);
   }
-  if (old_receiver.joinable()) old_receiver.join();
+  shell_->retire_session(shard, rank);
   {
     std::unique_lock<std::mutex> lock(sh.mutex);
-    ShellPeer& peer = sh.peers[rank];
-    peer.endpoint = std::shared_ptr<msg::Endpoint>(std::move(ep));
-    ++peer.attach_gen;
+    if (stopped_.load()) throw std::logic_error("attach after stop()");
+    shell_->install_session(shard, rank,
+                            std::shared_ptr<msg::Endpoint>(std::move(ep)));
+    sh.ranks.insert(rank);
     // Only the shard-0 session seeds the full image: the GThV image is
     // shared across shards, so one full-image grant (from whichever shard
     // answers the remote's first acquire — shard 0 by convention) is
     // enough.  Other shards start the rank with an empty pending set.
+    // The event runs between install and start, so no message can observe
+    // a half-attached peer.
     std::vector<idx::UpdateRun> seed;
     if (shard == 0) seed = SyncEngine::full_image_runs(space_.table());
     process_event(sh, lock,
                   CoherenceEvent::peer_attached(rank, std::move(seed)));
-    peer.receiver =
-        std::thread([this, shard, rank] { receiver_loop(shard, rank); });
+    shell_->start_session(shard, rank);
   }
 }
 
@@ -175,20 +206,15 @@ void ShardedHome::start() {
 
 void ShardedHome::stop() {
   if (stopped_.exchange(true)) return;
-  std::vector<std::thread> to_join;
   for (auto& shp : shards_) {
     Shard& sh = *shp;
     std::unique_lock<std::mutex> lock(sh.mutex);
-    for (auto& [rank, peer] : sh.peers) {
-      if (peer.endpoint) close_endpoint(peer);
-      if (peer.receiver.joinable()) {
-        to_join.push_back(std::move(peer.receiver));
-      }
-    }
     sh.core.shutdown();
     sh.cv.notify_all();
   }
-  for (std::thread& t : to_join) t.join();
+  // Close every session and quiesce the shell's threads; their final
+  // closed callbacks re-enter the (now released) shard locks.
+  shell_->stop();
   if (space_.region().tracking()) space_.region().end_tracking();
 }
 
@@ -235,28 +261,13 @@ void ShardedHome::bounce(Shard& sh, std::unique_lock<std::mutex>& lock,
     redirect.map_epoch = map_.epoch();
     redirect.payload = map_.serialize();
   }
-  auto it = sh.peers.find(rank);
-  if (it == sh.peers.end() || !it->second.endpoint) return;
-  std::shared_ptr<msg::Endpoint> ep = it->second.endpoint;
-  std::shared_ptr<std::mutex> io = it->second.io_mutex;
-  const std::uint64_t gen = it->second.attach_gen;
+  SessionShell::SendHandle h = shell_->handle(sh.index, rank);
+  if (!h.valid) return;
   lock.unlock();
-  bool died = false;
-  {
-    std::lock_guard<std::mutex> io_lock(*io);
-    try {
-      ep->send(redirect);
-    } catch (const msg::ChannelClosed&) {
-      died = true;
-    }
-  }
+  const bool ok = shell_->send(h, std::move(redirect));
   lock.lock();
-  if (died) {
-    auto it2 = sh.peers.find(rank);
-    if (it2 != sh.peers.end() && it2->second.attach_gen == gen) {
-      if (it2->second.endpoint) close_endpoint(it2->second);
-      process_event(sh, lock, CoherenceEvent::peer_detached(rank));
-    }
+  if (!ok && shell_->close_if_current(sh.index, rank, h.gen)) {
+    process_event(sh, lock, CoherenceEvent::peer_detached(rank));
   }
 }
 
@@ -265,7 +276,7 @@ void ShardedHome::bounce(Shard& sh, std::unique_lock<std::mutex>& lock,
 void ShardedHome::refresh_flags(Shard& sh) {
   if (opts_.num_shards <= 1) return;
   const std::uint32_t bit = 1u << sh.index;
-  for (const auto& [rank, peer] : sh.peers) {
+  for (std::uint32_t rank : sh.ranks) {
     if (rank >= kMaxTrackedRanks) continue;
     if (sh.core.has_pending(rank)) {
       pending_flags_[rank].fetch_or(bit);
@@ -289,11 +300,6 @@ std::uint32_t ShardedHome::mask_for(std::uint32_t rank) const {
 
 // ---- the action executor ---------------------------------------------------
 
-void ShardedHome::close_endpoint(ShellPeer& peer) {
-  std::lock_guard<std::mutex> io(*peer.io_mutex);
-  peer.endpoint->close();
-}
-
 void ShardedHome::process_event(Shard& sh, std::unique_lock<std::mutex>& lock,
                                 CoherenceEvent e) {
   std::vector<CoherenceEvent> queue;
@@ -306,9 +312,7 @@ void ShardedHome::drain(Shard& sh, std::unique_lock<std::mutex>& lock,
                         std::vector<CoherenceAction> actions) {
   struct PendingSend {
     std::uint32_t rank;
-    std::uint64_t attach_gen;
-    std::shared_ptr<msg::Endpoint> endpoint;
-    std::shared_ptr<std::mutex> io_mutex;
+    SessionShell::SendHandle handle;
     msg::Message message;
   };
   std::vector<PendingSend> sends;
@@ -324,20 +328,18 @@ void ShardedHome::drain(Shard& sh, std::unique_lock<std::mutex>& lock,
         case CoherenceAction::Kind::WakeMaster:
           sh.cv.notify_all();
           break;
-        case CoherenceAction::Kind::Detach: {
+        case CoherenceAction::Kind::Detach:
           std::fprintf(stderr, "hdsm shard %u: detaching rank %u: %s\n",
                        sh.index, a.rank, a.reason.c_str());
-          auto it = sh.peers.find(a.rank);
-          if (it != sh.peers.end() && it->second.endpoint) {
-            close_endpoint(it->second);
-          }
+          shell_->close_session(sh.index, a.rank);
           break;
-        }
         case CoherenceAction::Kind::Send: {
-          auto it = sh.peers.find(a.rank);
-          if (it == sh.peers.end() || !it->second.endpoint) break;
-          sends.push_back({a.rank, it->second.attach_gen, it->second.endpoint,
-                           it->second.io_mutex, std::move(a.message)});
+          // The handle pins the current incarnation: a re-attach while the
+          // lock is released below routes this message to (or buries it
+          // with) the old transport, never the new one.
+          SessionShell::SendHandle h = shell_->handle(sh.index, a.rank);
+          if (!h.valid) break;
+          sends.push_back({a.rank, std::move(h), std::move(a.message)});
           break;
         }
       }
@@ -373,65 +375,20 @@ void ShardedHome::drain(Shard& sh, std::unique_lock<std::mutex>& lock,
     lock.unlock();
     std::vector<std::pair<std::uint32_t, std::uint64_t>> dead;
     for (PendingSend& ps : sends) {
-      std::lock_guard<std::mutex> io(*ps.io_mutex);
-      try {
-        ps.endpoint->send(ps.message);
-      } catch (const msg::ChannelClosed&) {
-        dead.emplace_back(ps.rank, ps.attach_gen);
+      if (!shell_->send(ps.handle, std::move(ps.message))) {
+        // Dead peer (threaded mode); reactor failures arrive as on_closed.
+        dead.emplace_back(ps.rank, ps.handle.gen);
       }
     }
     sends.clear();
     lock.lock();
     for (const auto& [rank, gen] : dead) {
-      auto it = sh.peers.find(rank);
-      if (it == sh.peers.end() || it->second.attach_gen != gen) continue;
-      if (it->second.endpoint) close_endpoint(it->second);
+      // Skip stale failures: the rank may have re-attached (new generation)
+      // while the lock was released.
+      if (!shell_->close_if_current(sh.index, rank, gen)) continue;
       queue.push_back(CoherenceEvent::peer_detached(rank));
     }
     if (queue.empty()) return;
-  }
-}
-
-// ---- receiver --------------------------------------------------------------
-
-void ShardedHome::receiver_loop(std::uint32_t shard, std::uint32_t rank) {
-  Shard& sh = *shards_[shard];
-  if (telemetry_ != nullptr) {
-    telemetry_->set_thread_label("recv-s" + std::to_string(shard) + "-rank" +
-                                 std::to_string(rank));
-  }
-  std::shared_ptr<msg::Endpoint> ep;
-  {
-    std::unique_lock<std::mutex> lock(sh.mutex);
-    ep = sh.peers.at(rank).endpoint;
-  }
-  try {
-    for (;;) {
-      msg::Message m = ep->recv();
-      const bool routed = m.type == msg::MsgType::LockRequest ||
-                          m.type == msg::MsgType::UnlockRequest ||
-                          m.type == msg::MsgType::BarrierEnter;
-      std::unique_lock<std::mutex> lock(sh.mutex);
-      if (routed && !owns(shard, m.sync_id)) {
-        // Stale map (or a migration handoff in flight): never let the
-        // wrong core execute this — bounce with the authoritative map.
-        bounce(sh, lock, rank, m);
-        continue;
-      }
-      process_event(sh, lock, CoherenceEvent::msg_received(rank, std::move(m)));
-    }
-  } catch (const msg::ChannelClosed&) {
-    std::unique_lock<std::mutex> lock(sh.mutex);
-    process_event(sh, lock, CoherenceEvent::peer_detached(rank));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "hdsm shard %u: detaching rank %u: %s\n", shard,
-                 rank, e.what());
-    std::unique_lock<std::mutex> lock(sh.mutex);
-    auto it = sh.peers.find(rank);
-    if (it != sh.peers.end() && it->second.endpoint) {
-      close_endpoint(it->second);
-    }
-    process_event(sh, lock, CoherenceEvent::peer_detached(rank));
   }
 }
 
@@ -667,6 +624,7 @@ obs::ClusterTelemetry ShardedHome::cluster_telemetry() const {
 }
 
 std::vector<std::uint32_t> ShardedHome::active_ranks() const {
+  shell_->quiesce();  // in-flight transport failures must already count
   std::set<std::uint32_t> ranks;
   for (const auto& shp : shards_) {
     std::lock_guard<std::mutex> lk(shp->mutex);
@@ -676,6 +634,7 @@ std::vector<std::uint32_t> ShardedHome::active_ranks() const {
 }
 
 bool ShardedHome::quiesced() const {
+  shell_->quiesce();
   for (const auto& shp : shards_) {
     std::lock_guard<std::mutex> lk(shp->mutex);
     if (!shp->core.quiesced()) return false;

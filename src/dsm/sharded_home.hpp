@@ -1,6 +1,9 @@
 // The sharded home directory (docs/SHARDING.md): the home node's coherence
 // duties partitioned across N independent shards, each a full sans-I/O
-// `CoherenceCore` behind its own receiver threads and state mutex.  A
+// `CoherenceCore` behind its own state mutex, served by the shared
+// transport shell (`SessionShell`, docs/TRANSPORT.md — reactor-driven by
+// default, with each shard's sessions pinned to one worker lane so
+// per-shard event delivery stays serialized).  A
 // region (mutex index i + barrier index i) is owned by exactly one shard at
 // a time; the authoritative region→shard map is a `ShardMap` whose epoch
 // travels in every frame header, so remotes revalidate lazily — a request
@@ -39,6 +42,7 @@
 
 #include "dsm/coherence_core.hpp"
 #include "dsm/global_space.hpp"
+#include "dsm/session_shell.hpp"
 #include "dsm/shard_map.hpp"
 #include "dsm/stats.hpp"
 #include "dsm/sync_engine.hpp"
@@ -62,6 +66,9 @@ struct ShardedHomeOptions {
   std::vector<TraceLog*> shard_traces;
   /// Telemetry (docs/OBSERVABILITY.md); the scrape anchor is shard 0.
   obs::ObsOptions obs;
+  /// Transport shell (docs/TRANSPORT.md).  lanes == 0 resolves to one
+  /// reactor lane per shard (capped), preserving per-shard serialization.
+  ShellOptions shell;
 };
 
 class ShardedHome {
@@ -116,6 +123,8 @@ class ShardedHome {
   std::uint64_t shard_busy_ns(std::uint32_t shard) const;
 
   obs::Telemetry* telemetry() noexcept { return telemetry_.get(); }
+  /// Transport counters (all-zero when the shell runs in Threaded mode).
+  msg::ReactorStats transport_stats() const { return shell_->reactor_stats(); }
   /// Cluster view: one rank-0 row folding every shard's counters plus the
   /// remote snapshots collected by shard 0 (the scrape anchor).
   obs::ClusterTelemetry cluster_telemetry() const;
@@ -158,15 +167,6 @@ class ShardedHome {
     std::atomic<std::uint64_t>& busy_ns;
   };
 
-  /// Transport state per (shard, rank) session — same shape as
-  /// HomeNode::ShellPeer.
-  struct ShellPeer {
-    std::shared_ptr<msg::Endpoint> endpoint;
-    std::shared_ptr<std::mutex> io_mutex = std::make_shared<std::mutex>();
-    std::thread receiver;
-    std::uint64_t attach_gen = 0;
-  };
-
   struct Shard {
     Shard(std::uint32_t index, ShardedHome& owner);
 
@@ -178,10 +178,11 @@ class ShardedHome {
     TraceLog* trace = nullptr;
     mutable std::mutex mutex;
     std::condition_variable cv;
-    std::map<std::uint32_t, ShellPeer> peers;
+    /// Ranks that ever attached a session to this shard (transport state
+    /// itself lives in the SessionShell, keyed by (shard, rank)).
+    std::set<std::uint32_t> ranks;
   };
 
-  void receiver_loop(std::uint32_t shard, std::uint32_t rank);
   /// Step `sh.core` with `e` and execute the actions (HomeNode's executor,
   /// per shard): Trace/WakeMaster/Detach under the held shard lock, then —
   /// after refreshing this shard's pending-flag bits and stamping
@@ -192,7 +193,6 @@ class ShardedHome {
   void drain(Shard& sh, std::unique_lock<std::mutex>& lock,
              std::vector<CoherenceEvent> queue,
              std::vector<CoherenceAction> actions);
-  void close_endpoint(ShellPeer& peer);
 
   /// True when `shard` owns `region` and no migration handoff is open for
   /// it.  Call with the shard's state lock held (takes map_mutex_ inside;
@@ -234,6 +234,10 @@ class ShardedHome {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+
+  /// Declared last: its threads call back into the shards above, and
+  /// stop() must quiesce it before anything else unwinds.
+  std::unique_ptr<SessionShell> shell_;
 };
 
 }  // namespace hdsm::dsm

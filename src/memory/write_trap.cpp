@@ -7,12 +7,17 @@
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace hdsm::mem {
 
 namespace {
 
-constexpr std::size_t kMaxRegions = 256;
+// Sized for a whole simulated cluster in one process: a thousand-remote
+// transport bench owns a region per remote plus the home's.  Slots are one
+// pointer each and the handler's scan is a relaxed walk of null checks, so
+// headroom here is nearly free.
+constexpr std::size_t kMaxRegions = 4096;
 
 // Fixed-slot registry read lock-free from the signal handler.
 std::atomic<TrackedRegion*> g_slots[kMaxRegions];
@@ -183,15 +188,24 @@ void TrackedRegion::apply_update(std::size_t offset, const void* src,
   // Mirror into the twins of already-dirty pages so the update is
   // invisible to the next diff.  Clean pages have no live twin: their
   // snapshot is taken on the first tracked application write, which will
-  // already see the updated bytes.  (State 1 = a twin copy is racing with
-  // us; mirroring the same bytes it reads keeps the twin consistent.)
+  // already see the updated bytes.  State 1 means a fault handler on some
+  // other thread is mid-way through that snapshot memcpy — wait for its
+  // release-store to 2 before mirroring, so the two twin writes are
+  // ordered and the twin deterministically ends with the updated bytes.
+  // The owner only runs a page copy, an mprotect, and a store, so the
+  // wait is short and bounded; it takes no locks, so there is no cycle.
   const std::size_t ps = Region::host_page_size();
   std::size_t pos = offset;
   const std::size_t end = offset + n;
   while (pos < end) {
     const std::size_t page = pos / ps;
     const std::size_t page_end = std::min(end, (page + 1) * ps);
-    if (page_state_[page].load(std::memory_order_acquire) != 0) {
+    std::uint8_t st = page_state_[page].load(std::memory_order_acquire);
+    while (st == 1) {
+      std::this_thread::yield();
+      st = page_state_[page].load(std::memory_order_acquire);
+    }
+    if (st != 0) {
       std::memcpy(twins_.get() + pos,
                   static_cast<const std::byte*>(src) + (pos - offset),
                   page_end - pos);

@@ -1,5 +1,6 @@
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 
 #include "msg/endpoint.hpp"
@@ -12,12 +13,17 @@ namespace {
 class Queue {
  public:
   void push(Message m) {
+    std::shared_ptr<const std::function<void()>> cb;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) throw ChannelClosed();
       items_.push_back(std::move(m));
+      cb = ready_cb_;
     }
     cv_.notify_one();
+    // Invoke outside the queue mutex: the callback wakes a reactor io
+    // thread, which may immediately call pop_for() on this queue.
+    if (cb) (*cb)();
   }
 
   Message pop() {
@@ -27,6 +33,22 @@ class Queue {
     Message m = std::move(items_.front());
     items_.pop_front();
     return m;
+  }
+
+  /// Nonblocking pop with the drain-then-throw close semantics.  NOT
+  /// pop_for(0ms): a zero-timeout condvar wait is still a real futex sleep
+  /// whose timer is subject to kernel timer slack (~50us for normal
+  /// tasks) — paid by the reactor io thread on every drain's final
+  /// are-we-empty probe, which would dominate channel round-trip latency.
+  bool try_pop(Message& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      if (closed_) throw ChannelClosed();
+      return false;
+    }
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
   }
 
   bool pop_for(Message& out, std::chrono::milliseconds timeout) {
@@ -42,11 +64,25 @@ class Queue {
   }
 
   void close() {
+    std::shared_ptr<const std::function<void()>> cb;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
+      cb = ready_cb_;
     }
     cv_.notify_all();
+    // Close is a readiness event too: the reactor must run the drain-then-
+    // ChannelClosed sequence for this peer.
+    if (cb) (*cb)();
+  }
+
+  /// Install the reactor's readiness callback; fires on every push and on
+  /// close.  The shared_ptr lets push()/close() invoke a stable copy after
+  /// releasing the queue mutex.
+  void set_ready_callback(std::function<void()> cb) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready_cb_ =
+        std::make_shared<const std::function<void()>>(std::move(cb));
   }
 
  private:
@@ -54,6 +90,7 @@ class Queue {
   std::condition_variable cv_;
   std::deque<Message> items_;
   bool closed_ = false;
+  std::shared_ptr<const std::function<void()>> ready_cb_;
 };
 
 struct SharedChannel {
@@ -94,6 +131,23 @@ class ChannelEndpoint final : public Endpoint {
 
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
   std::uint64_t bytes_received() const override { return bytes_received_; }
+
+  /// Queue-backed: no fd to poll — readiness is the inbound queue invoking
+  /// the callback on push/close.  No eventfd per channel either, so a
+  /// thousand simulated remotes cost zero descriptors (the reactor funnels
+  /// all callbacks into one wake fd; see reactor.cpp).
+  ReactorHook reactor_hook(std::function<void()> on_ready) override {
+    (is_a_ ? ch_->b_to_a : ch_->a_to_b).set_ready_callback(
+        std::move(on_ready));
+    ReactorHook hook;
+    hook.uses_callback = true;
+    return hook;
+  }
+  bool try_recv(Message& out) override {
+    if (!(is_a_ ? ch_->b_to_a : ch_->a_to_b).try_pop(out)) return false;
+    bytes_received_ += out.wire_size();
+    return true;
+  }
 
  private:
   std::shared_ptr<SharedChannel> ch_;

@@ -10,12 +10,31 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <utility>
 
 #include "msg/message.hpp"
 
 namespace hdsm::msg {
+
+/// How an endpoint signals readiness once it has joined a `msg::Reactor`
+/// (reactor.hpp, docs/TRANSPORT.md).  Exactly one of the two mechanisms is
+/// active: fd-backed transports report a pollable descriptor, queue-backed
+/// transports invoke the registered callback.
+struct ReactorHook {
+  /// Descriptor for epoll (the endpoint has switched to nonblocking mode);
+  /// -1 for transports with no kernel object behind them.
+  int fd = -1;
+  /// True when arrival/close is signaled by invoking the `on_ready`
+  /// callback passed to reactor_hook() instead of via the fd.
+  bool uses_callback = false;
+  /// True when the reactor must call service() periodically (fault
+  /// decorators flush time-bounded holdbacks there).
+  bool needs_service = false;
+
+  bool reactor_capable() const noexcept { return fd >= 0 || uses_callback; }
+};
 
 class Endpoint {
  public:
@@ -33,6 +52,45 @@ class Endpoint {
   /// Total bytes pushed through send() (frame-encoded size).
   virtual std::uint64_t bytes_sent() const = 0;
   virtual std::uint64_t bytes_received() const = 0;
+
+  // -- Reactor integration (reactor.hpp).  An endpoint joins a reactor at
+  //    most once; from then on the reactor's io thread is the only caller
+  //    of try_recv/send_some/flush_writes/service on it.  close() may still
+  //    race in from any thread, exactly as with the blocking API. --
+
+  /// Prepare for reactor service and describe how readiness is signaled.
+  /// `on_ready` must be cheap, non-blocking, and safe to invoke from any
+  /// thread; it may fire spuriously.  The default marks the endpoint not
+  /// reactor-capable (fd -1, no callback).
+  virtual ReactorHook reactor_hook(std::function<void()> on_ready) {
+    (void)on_ready;
+    return {};
+  }
+  /// Nonblocking receive: true = one message produced, false = nothing
+  /// decodable right now; throws ChannelClosed once closed *and* drained
+  /// (queued messages are still delivered after close, matching recv()).
+  virtual bool try_recv(Message& out) {
+    return recv_for(out, std::chrono::milliseconds(0));
+  }
+  /// Transmit up to `n` messages without blocking on a full transport;
+  /// returns how many were consumed.  A consumed message is on the wire or
+  /// buffered inside the endpoint (see wants_write()) and must not be
+  /// resubmitted.  Stream transports gather consecutive frames into one
+  /// writev, which is where the reactor's write coalescing lands on the
+  /// wire.  The default loops over blocking send().
+  virtual std::size_t send_some(const Message* msgs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) send(msgs[i]);
+    return n;
+  }
+  /// True while a partially-written frame sits in the endpoint's internal
+  /// buffer; the reactor polls writability and calls flush_writes() until
+  /// it drains before submitting more messages.
+  virtual bool wants_write() const { return false; }
+  /// Push buffered write bytes; true = fully drained.
+  virtual bool flush_writes() { return true; }
+  /// Periodic maintenance when the hook sets needs_service (e.g. flushing
+  /// expired reorder holdbacks).  Must not block.
+  virtual void service() {}
 };
 
 using EndpointPtr = std::unique_ptr<Endpoint>;

@@ -109,6 +109,64 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
     inner_->close();
   }
 
+  // -- reactor mode ----------------------------------------------------------
+
+  /// Delegate readiness to the wrapped transport, but ask for periodic
+  /// service(): with no blocking recv to piggyback on, expired reorder
+  /// holdbacks need the reactor's timer tick to flush.
+  ReactorHook reactor_hook(std::function<void()> on_ready) override {
+    ReactorHook hook = inner_->reactor_hook(std::move(on_ready));
+    hook.needs_service = true;
+    return hook;
+  }
+
+  /// Nonblocking recv_step: same fault schedule and draw order as the
+  /// blocking path, pulling from the inner endpoint's try_recv.
+  bool try_recv(Message& out) override {
+    std::unique_lock<std::mutex> lock(recv_mutex_);
+    for (;;) {
+      if (!pending_.empty()) {
+        out = std::move(pending_.front());
+        pending_.pop_front();
+        return true;
+      }
+      maybe_reset(opts_.recv, recv_ops_);
+      flush_expired();
+      Message m;
+      if (!inner_->try_recv(m)) return false;
+      ++recv_ops_;
+      const Draws d = draw(recv_rng_, opts_.recv);
+      if (!kind_eligible(opts_.recv, m.type)) {
+        out = std::move(m);
+        return true;
+      }
+      if (d.drop) {
+        bump([](FaultCounters& c) { ++c.dropped; });
+        continue;  // the bytes vanished; see if another frame is decodable
+      }
+      if (d.delay) {
+        bump([](FaultCounters& c) { ++c.delayed; });
+        std::this_thread::sleep_for(opts_.recv.delay_ms);
+      }
+      if (d.duplicate) {
+        bump([](FaultCounters& c) { ++c.duplicated; });
+        pending_.push_back(m);
+      }
+      out = std::move(m);
+      return true;
+    }
+  }
+
+  std::size_t send_some(const Message* msgs, std::size_t n) override {
+    // Per-message send() keeps the fault schedule identical to the
+    // blocking shell: every frame gets its own drop/dup/delay/reorder
+    // draws and its own reset check.
+    for (std::size_t i = 0; i < n; ++i) send(msgs[i]);
+    return n;
+  }
+
+  void service() override { flush_expired(); }
+
   std::uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
   std::uint64_t bytes_received() const override {
     return inner_->bytes_received();

@@ -1,19 +1,23 @@
 #include "msg/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
 #include <system_error>
 #include <thread>
+#include <vector>
 
 namespace hdsm::msg {
 
@@ -23,11 +27,18 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+/// Frames gathered per sendmsg in send_some() — comfortably under IOV_MAX,
+/// large enough that a burst of small lock/unlock replies costs one
+/// syscall.
+constexpr std::size_t kMaxGather = 64;
+
 class TcpEndpoint final : public Endpoint {
  public:
-  explicit TcpEndpoint(int fd) : fd_(fd) {
-    int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  TcpEndpoint(int fd, const TcpOptions& opts) : fd_(fd) {
+    if (opts.nodelay) {
+      int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
   }
 
   ~TcpEndpoint() override {
@@ -42,16 +53,7 @@ class TcpEndpoint final : public Endpoint {
     const std::vector<std::byte> frame = encode_frame(m);
     std::lock_guard<std::mutex> lock(send_mutex_);
     if (closed_.load(std::memory_order_acquire)) throw ChannelClosed();
-    std::size_t off = 0;
-    while (off < frame.size()) {
-      const ssize_t n =
-          ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw ChannelClosed();
-      }
-      off += static_cast<std::size_t>(n);
-    }
+    send_all_locked(frame.data(), frame.size());
     bytes_sent_ += frame.size();
   }
 
@@ -99,7 +101,171 @@ class TcpEndpoint final : public Endpoint {
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
   std::uint64_t bytes_received() const override { return bytes_received_; }
 
+  // -- reactor mode ----------------------------------------------------------
+
+  ReactorHook reactor_hook(std::function<void()> on_ready) override {
+    (void)on_ready;  // fd-backed: readiness comes from epoll, not callbacks
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    ReactorHook hook;
+    hook.fd = fd_;
+    return hook;
+  }
+
+  bool try_recv(Message& out) override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    if (decoder_.next(out)) {
+      bytes_received_ += out.wire_size();
+      return true;
+    }
+    for (;;) {
+      std::byte buf[16384];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        decoder_.feed(buf, static_cast<std::size_t>(n));
+        if (decoder_.next(out)) {
+          bytes_received_ += out.wire_size();
+          return true;
+        }
+        continue;  // partial frame: keep draining the kernel buffer
+      }
+      if (n == 0) throw ChannelClosed();  // EOF
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (closed_.load(std::memory_order_acquire)) throw ChannelClosed();
+        return false;
+      }
+      throw ChannelClosed();
+    }
+  }
+
+  std::size_t send_some(const Message* msgs, std::size_t n) override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (closed_.load(std::memory_order_acquire)) throw ChannelClosed();
+    // A partially-written frame must hit the wire before any new one —
+    // frames may not interleave on a byte stream.
+    if (!wbuf_.empty() && !flush_tail_locked()) return 0;
+    std::size_t consumed = 0;
+    while (consumed < n) {
+      const std::size_t batch = std::min(n - consumed, kMaxGather);
+      std::vector<std::vector<std::byte>> frames;
+      frames.reserve(batch);
+      std::array<iovec, kMaxGather> iov;
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < batch; ++i) {
+        frames.push_back(encode_frame(msgs[consumed + i]));
+        iov[i].iov_base = frames.back().data();
+        iov[i].iov_len = frames.back().size();
+        total += frames.back().size();
+      }
+      // Write the gathered batch until done or EAGAIN, advancing the iov
+      // past whatever each sendmsg managed.
+      std::size_t done = 0;
+      std::size_t first = 0;
+      while (first < batch) {
+        msghdr mh{};
+        mh.msg_iov = iov.data() + first;
+        mh.msg_iovlen = batch - first;
+        const ssize_t w = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          throw ChannelClosed();
+        }
+        done += static_cast<std::size_t>(w);
+        std::size_t left = static_cast<std::size_t>(w);
+        while (left > 0 && first < batch) {
+          if (left >= iov[first].iov_len) {
+            left -= iov[first].iov_len;
+            ++first;
+          } else {
+            iov[first].iov_base =
+                static_cast<char*>(iov[first].iov_base) + left;
+            iov[first].iov_len -= left;
+            left = 0;
+          }
+        }
+      }
+      // Account the batch: fully-written frames are consumed; a frame cut
+      // by EAGAIN is consumed too, with its unwritten tail buffered (the
+      // reactor polls EPOLLOUT and flush_writes() drains it); frames after
+      // the cut stay with the caller.
+      std::size_t cum = 0;
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t sz = frames[i].size();
+        if (cum + sz <= done) {
+          ++consumed;
+          bytes_sent_ += sz;
+          cum += sz;
+          continue;
+        }
+        if (done > cum) {
+          wbuf_.assign(frames[i].begin() +
+                           static_cast<std::ptrdiff_t>(done - cum),
+                       frames[i].end());
+          wbuf_off_ = 0;
+          has_tail_.store(true, std::memory_order_relaxed);
+          ++consumed;
+          bytes_sent_ += sz;
+        }
+        return consumed;
+      }
+      if (done < total) return consumed;  // EAGAIN on a frame boundary
+    }
+    return consumed;
+  }
+
+  bool wants_write() const override {
+    return has_tail_.load(std::memory_order_relaxed);
+  }
+
+  bool flush_writes() override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (wbuf_.empty()) return true;
+    if (closed_.load(std::memory_order_acquire)) throw ChannelClosed();
+    return flush_tail_locked();
+  }
+
  private:
+  /// Blocking write of `size` bytes; waits out EAGAIN with poll(POLLOUT) so
+  /// the legacy blocking send() keeps working on a hooked (nonblocking) fd.
+  void send_all_locked(const std::byte* data, std::size_t size) {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          struct pollfd pfd;
+          pfd.fd = fd_;
+          pfd.events = POLLOUT;
+          ::poll(&pfd, 1, -1);
+          continue;
+        }
+        throw ChannelClosed();
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Drain the buffered partial-frame tail; false on EAGAIN.
+  bool flush_tail_locked() {
+    while (wbuf_off_ < wbuf_.size()) {
+      const ssize_t n = ::send(fd_, wbuf_.data() + wbuf_off_,
+                               wbuf_.size() - wbuf_off_, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+        throw ChannelClosed();
+      }
+      wbuf_off_ += static_cast<std::size_t>(n);
+    }
+    wbuf_.clear();
+    wbuf_off_ = 0;
+    has_tail_.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
   /// Read at least one chunk into the decoder; `timeout_ms < 0` blocks.
   /// Returns false on poll timeout; throws ChannelClosed on EOF.
   bool read_more(int timeout_ms) {
@@ -118,6 +284,7 @@ class TcpEndpoint final : public Endpoint {
     if (n == 0) throw ChannelClosed();
     if (n < 0) {
       if (errno == EINTR) return true;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // hooked fd
       throw ChannelClosed();
     }
     std::lock_guard<std::mutex> lock(recv_mutex_);
@@ -130,13 +297,18 @@ class TcpEndpoint final : public Endpoint {
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
   FrameDecoder decoder_;
+  /// Unwritten tail of a frame cut mid-write by EAGAIN (send_mutex_).
+  std::vector<std::byte> wbuf_;
+  std::size_t wbuf_off_ = 0;
+  std::atomic<bool> has_tail_{false};
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
 };
 
 }  // namespace
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, const TcpOptions& opts)
+    : opts_(opts) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
   int one = 1;
@@ -152,7 +324,7 @@ TcpListener::TcpListener(std::uint16_t port) {
     errno = saved;
     throw_errno("bind");
   }
-  if (::listen(fd_, 16) != 0) {
+  if (::listen(fd_, 128) != 0) {
     const int saved = errno;
     ::close(fd_);
     errno = saved;
@@ -175,12 +347,12 @@ TcpListener::~TcpListener() {
 EndpointPtr TcpListener::accept() {
   for (;;) {
     const int cfd = ::accept(fd_, nullptr, nullptr);
-    if (cfd >= 0) return std::make_unique<TcpEndpoint>(cfd);
+    if (cfd >= 0) return std::make_unique<TcpEndpoint>(cfd, opts_);
     if (errno != EINTR) throw_errno("accept");
   }
 }
 
-EndpointPtr tcp_connect(std::uint16_t port) {
+EndpointPtr tcp_connect(std::uint16_t port, const TcpOptions& opts) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   sockaddr_in addr;
@@ -194,15 +366,16 @@ EndpointPtr tcp_connect(std::uint16_t port) {
     errno = saved;
     throw_errno("connect");
   }
-  return std::make_unique<TcpEndpoint>(fd);
+  return std::make_unique<TcpEndpoint>(fd, opts);
 }
 
 EndpointPtr tcp_connect_retry(std::uint16_t port,
-                              const TcpConnectOptions& opts) {
+                              const TcpConnectOptions& opts,
+                              const TcpOptions& sock_opts) {
   std::chrono::milliseconds backoff = opts.initial_backoff;
   for (std::uint32_t attempt = 1;; ++attempt) {
     try {
-      return tcp_connect(port);
+      return tcp_connect(port, sock_opts);
     } catch (const std::system_error&) {
       if (attempt >= opts.attempts) throw;
     }

@@ -2,7 +2,11 @@
 //
 // The simulated cluster normally uses in-process channels; this transport
 // shows the protocol is genuinely wire-ready and lets integration tests run
-// home and remote over a real socket.
+// home and remote over a real socket.  Endpoints are reactor-capable: once
+// hooked (Endpoint::reactor_hook) the socket flips to nonblocking mode,
+// try_recv() drains with MSG_DONTWAIT, and send_some() gathers consecutive
+// frames into one sendmsg — the syscall-level half of the reactor's frame
+// batching and write coalescing (docs/TRANSPORT.md).
 #pragma once
 
 #include <cstdint>
@@ -11,11 +15,21 @@
 
 namespace hdsm::msg {
 
+/// Socket-level knobs applied to every endpoint this module creates.
+struct TcpOptions {
+  /// Disable Nagle's algorithm (TCP_NODELAY).  The protocol's control
+  /// frames are small and latency-bound, so this defaults on; turn it off
+  /// to measure what riding Nagle costs (bench_reliability_overhead's
+  /// nodelay_off series quantifies it).
+  bool nodelay = true;
+};
+
 /// Listening socket bound to 127.0.0.1.
 class TcpListener {
  public:
   /// Bind to `port` (0 = ephemeral).  Throws std::system_error on failure.
-  explicit TcpListener(std::uint16_t port);
+  /// `opts` applies to every accepted endpoint.
+  explicit TcpListener(std::uint16_t port, const TcpOptions& opts = {});
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
@@ -29,10 +43,11 @@ class TcpListener {
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  TcpOptions opts_;
 };
 
 /// Connect to a listener on 127.0.0.1.
-EndpointPtr tcp_connect(std::uint16_t port);
+EndpointPtr tcp_connect(std::uint16_t port, const TcpOptions& opts = {});
 
 /// Bounded-retry dialing for racing startups and post-reset reconnects.
 struct TcpConnectOptions {
@@ -45,6 +60,7 @@ struct TcpConnectOptions {
 /// connections with exponential backoff.  Throws std::system_error with the
 /// last errno after `opts.attempts` failures.
 EndpointPtr tcp_connect_retry(std::uint16_t port,
-                              const TcpConnectOptions& opts = {});
+                              const TcpConnectOptions& opts = {},
+                              const TcpOptions& sock_opts = {});
 
 }  // namespace hdsm::msg

@@ -17,6 +17,8 @@ const char* span_kind_name(SpanKind k) noexcept {
     case SpanKind::Retry: return "retry";
     case SpanKind::Reconnect: return "reconnect";
     case SpanKind::Scrape: return "scrape";
+    case SpanKind::ReactorWake: return "reactor_wake";
+    case SpanKind::ReactorFlush: return "reactor_flush";
     case SpanKind::kCount: break;
   }
   return "unknown";

@@ -43,6 +43,8 @@ enum class SpanKind : std::uint8_t {
   Retry,         ///< instant: a request was retransmitted (id = attempt)
   Reconnect,     ///< instant: transport re-established (id = count)
   Scrape,        ///< MetricsPull round trip / aggregation
+  ReactorWake,   ///< one reactor io-thread wakeup's event processing
+  ReactorFlush,  ///< one coalesced outbound flush sweep (id = io index)
   kCount
 };
 
