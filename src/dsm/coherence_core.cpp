@@ -166,6 +166,30 @@ void CoherenceCore::shutdown() {
   }
 }
 
+void CoherenceCore::reset_master(Actions& out) {
+  for (std::uint32_t i = 0; i < locks_.size(); ++i) {
+    LockState& ls = locks_[i];
+    ls.waiters.erase(
+        std::remove(ls.waiters.begin(), ls.waiters.end(), kMasterRank),
+        ls.waiters.end());
+    if (ls.holder == static_cast<std::int64_t>(kMasterRank)) {
+      trace(out, TraceEvent::Kind::LockReleased, kMasterRank, i);
+      release(i, out);
+    }
+  }
+  for (std::uint32_t i = 0; i < barriers_.size(); ++i) {
+    BarrierState& b = barriers_[i];
+    const auto it =
+        std::find(b.entered.begin(), b.entered.end(), kMasterRank);
+    if (it == b.entered.end()) continue;
+    // Withdraw, don't complete: the new master re-enters when the
+    // application retries its interrupted barrier() call, and an episode
+    // can only close after the master is in (barrier_complete).
+    b.entered.erase(it);
+    b.enter_seq.erase(kMasterRank);
+  }
+}
+
 std::vector<std::uint32_t> CoherenceCore::active_ranks() const {
   std::vector<std::uint32_t> out;
   for (const auto& [rank, peer] : peers_) {

@@ -178,6 +178,15 @@ class CoherenceCore {
   /// barrier re-evaluation, traces): shutdown semantics, shell stop() only.
   void shutdown();
 
+  /// Failover promotion (docs/REPLICATION.md): the master thread of the
+  /// crashed primary does not survive into this replica, so release every
+  /// master-held mutex and withdraw the master from any open barrier
+  /// episode (its merged updates stay — they were really written before
+  /// the crash).  Peer state is untouched: the remotes are alive and will
+  /// resume their sessions here.  Call under the same exclusion as step();
+  /// execute the actions like step() results.
+  void reset_master(std::vector<CoherenceAction>& out);
+
   // -- Introspection (tests, stats surfaces) --
   std::vector<std::uint32_t> active_ranks() const;
   std::int64_t lock_holder(std::uint32_t index) const;

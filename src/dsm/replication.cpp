@@ -1,0 +1,277 @@
+#include "dsm/replication.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace hdsm::dsm {
+
+// ---- record wire form (docs/PROTOCOL.md §9) --------------------------------
+
+namespace {
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>(v >> 16));
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Bounds-checked big-endian reader over the record payload.
+struct Reader {
+  const std::byte* p;
+  std::size_t len;
+  std::size_t off = 0;
+
+  void need(std::size_t n) const {
+    if (off + n > len) {
+      throw std::runtime_error("LogRecord: truncated record");
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return std::to_integer<std::uint8_t>(p[off++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | std::to_integer<std::uint32_t>(p[off++]);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  std::vector<std::byte> bytes(std::uint64_t n) {
+    if (n > len - off) {
+      throw std::runtime_error("LogRecord: truncated byte field");
+    }
+    std::vector<std::byte> out(p + off, p + off + n);
+    off += static_cast<std::size_t>(n);
+    return out;
+  }
+};
+
+void encode_event(std::vector<std::byte>& out, const CoherenceEvent& e) {
+  put_u8(out, static_cast<std::uint8_t>(e.kind));
+  put_u32(out, e.rank);
+  put_u32(out, e.index);
+  const bool has_message = e.kind == CoherenceEvent::Kind::MsgReceived;
+  put_u8(out, has_message ? 1 : 0);
+  if (has_message) {
+    // The embedded message reuses the self-delimiting protocol framing —
+    // one wire form, one decoder.
+    const std::vector<std::byte> frame = msg::encode_frame(e.message);
+    put_u64(out, frame.size());
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  put_u32(out, static_cast<std::uint32_t>(e.runs.size()));
+  for (const idx::UpdateRun& run : e.runs) {
+    put_u32(out, run.row);
+    put_u64(out, run.first_elem);
+    put_u64(out, run.count);
+  }
+}
+
+CoherenceEvent decode_event(Reader& r) {
+  CoherenceEvent e;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(CoherenceEvent::Kind::Timeout)) {
+    throw std::runtime_error("LogRecord: bad event kind");
+  }
+  e.kind = static_cast<CoherenceEvent::Kind>(kind);
+  e.rank = r.u32();
+  e.index = r.u32();
+  if (r.u8() != 0) {
+    const std::uint64_t frame_len = r.u64();
+    const std::vector<std::byte> frame = r.bytes(frame_len);
+    msg::FrameDecoder dec;
+    dec.feed(frame.data(), frame.size());
+    if (!dec.next(e.message)) {
+      throw std::runtime_error("LogRecord: truncated embedded message");
+    }
+  }
+  const std::uint32_t nruns = r.u32();
+  // Each run costs 20 payload bytes; reject counts the payload can't hold.
+  if (nruns > (r.len - r.off) / 20) {
+    throw std::runtime_error("LogRecord: bad run count");
+  }
+  e.runs.reserve(nruns);
+  for (std::uint32_t i = 0; i < nruns; ++i) {
+    idx::UpdateRun run;
+    run.row = r.u32();
+    run.first_elem = r.u64();
+    run.count = r.u64();
+    e.runs.push_back(run);
+  }
+  return e;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_record(const LogRecord& r) {
+  std::vector<std::byte> out;
+  put_u8(out, static_cast<std::uint8_t>(r.kind));
+  put_u32(out, r.shard);
+  switch (r.kind) {
+    case LogRecord::Kind::Event:
+      encode_event(out, r.event);
+      put_u64(out, r.master_payload.size());
+      out.insert(out.end(), r.master_payload.begin(), r.master_payload.end());
+      put_u8(out, static_cast<std::uint8_t>(r.master_sender.endian));
+      put_u8(out, static_cast<std::uint8_t>(r.master_sender.long_double_format));
+      break;
+    case LogRecord::Kind::SetBarrierCount:
+    case LogRecord::Kind::BindLock:
+    case LogRecord::Kind::NoteRedirected:
+      put_u32(out, r.index);
+      put_u32(out, r.value);
+      break;
+  }
+  return out;
+}
+
+LogRecord decode_record(const std::vector<std::byte>& payload) {
+  Reader rd{payload.data(), payload.size()};
+  LogRecord r;
+  const std::uint8_t kind = rd.u8();
+  if (kind < static_cast<std::uint8_t>(LogRecord::Kind::Event) ||
+      kind > static_cast<std::uint8_t>(LogRecord::Kind::NoteRedirected)) {
+    throw std::runtime_error("LogRecord: bad record kind");
+  }
+  r.kind = static_cast<LogRecord::Kind>(kind);
+  r.shard = rd.u32();
+  switch (r.kind) {
+    case LogRecord::Kind::Event: {
+      r.event = decode_event(rd);
+      r.master_payload = rd.bytes(rd.u64());
+      const std::uint8_t endian = rd.u8();
+      const std::uint8_t ldf = rd.u8();
+      if (endian > 1 || ldf > 2) {
+        throw std::runtime_error("LogRecord: bad master sender summary");
+      }
+      r.master_sender.endian = static_cast<plat::Endian>(endian);
+      r.master_sender.long_double_format =
+          static_cast<plat::LongDoubleFormat>(ldf);
+      break;
+    }
+    case LogRecord::Kind::SetBarrierCount:
+    case LogRecord::Kind::BindLock:
+    case LogRecord::Kind::NoteRedirected:
+      r.index = rd.u32();
+      r.value = rd.u32();
+      break;
+  }
+  if (rd.off != rd.len) {
+    throw std::runtime_error("LogRecord: trailing bytes");
+  }
+  return r;
+}
+
+// ---- the synchronous append client -----------------------------------------
+
+ReplicationSender::ReplicationSender(msg::EndpointPtr link,
+                                     ReplicationOptions opts,
+                                     obs::Telemetry* telemetry)
+    : link_(std::move(link)), opts_(opts), telemetry_(telemetry) {}
+
+ReplicationSender::~ReplicationSender() { close(); }
+
+void ReplicationSender::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (link_ != nullptr) link_->close();
+  link_.reset();
+}
+
+bool ReplicationSender::degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
+}
+
+bool ReplicationSender::deposed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deposed_;
+}
+
+std::uint64_t ReplicationSender::appends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appends_;
+}
+
+ReplicationClient::Result ReplicationSender::append(const LogRecord& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (deposed_) return Result::Deposed;
+  if (degraded_ || link_ == nullptr) return Result::Degraded;
+  obs::SpanScope span(telemetry_, obs::SpanKind::ReplAppend, r.shard);
+
+  msg::Message m;
+  m.type = msg::MsgType::ReplAppend;
+  m.sync_id = r.shard;
+  m.seq = next_index_;
+  m.aux = opts_.epoch;
+  m.payload = encode_record(r);
+
+  const auto dead = [this](const char* why) {
+    if (opts_.allow_degraded) {
+      std::fprintf(stderr,
+                   "hdsm repl: standby link dead (%s); continuing "
+                   "unreplicated\n",
+                   why);
+      degraded_ = true;
+      return Result::Degraded;
+    }
+    std::fprintf(stderr, "hdsm repl: standby link dead (%s); fencing\n", why);
+    deposed_ = true;
+    return Result::Deposed;
+  };
+
+  for (std::uint32_t attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+    try {
+      link_->send(m);
+    } catch (const msg::ChannelClosed&) {
+      return dead("send failed");
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + opts_.ack_timeout;
+    for (;;) {
+      msg::Message ack;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      bool got = false;
+      try {
+        got = link_->recv_for(
+            ack, left.count() > 0 ? left : std::chrono::milliseconds(0));
+      } catch (const msg::ChannelClosed&) {
+        return dead("recv failed");
+      }
+      if (!got) break;  // timed out: retransmit
+      if (ack.type != msg::MsgType::ReplAck || ack.seq < m.seq) {
+        continue;  // stale ack from an earlier retransmit
+      }
+      if (ack.aux != 0) {
+        std::fprintf(stderr,
+                     "hdsm repl: deposed by epoch %u (ours %u); fencing\n",
+                     ack.aux, opts_.epoch);
+        deposed_ = true;
+        return Result::Deposed;
+      }
+      ++next_index_;
+      ++appends_;
+      return Result::Ok;
+    }
+  }
+  return dead("ack timeout");
+}
+
+}  // namespace hdsm::dsm

@@ -117,6 +117,14 @@ ShardedHome::ShardedHome(tags::TypePtr gthv,
       resolve_shell(opts_.shell, opts_.num_shards),
       SessionShell::Callbacks{
           [this](std::uint32_t group, std::uint32_t rank, msg::Message&& m) {
+            if (rank == kReplSessionRank) {
+              // The primary→standby log link (docs/REPLICATION.md): replay
+              // and ack, never feed the cores a peer event.
+              if (m.type == msg::MsgType::ReplAppend) {
+                handle_repl_append(std::move(m));
+              }
+              return;
+            }
             Shard& sh = *shards_[group];
             const bool routed = m.type == msg::MsgType::LockRequest ||
                                 m.type == msg::MsgType::UnlockRequest ||
@@ -132,6 +140,7 @@ ShardedHome::ShardedHome(tags::TypePtr gthv,
                           CoherenceEvent::msg_received(rank, std::move(m)));
           },
           [this](std::uint32_t group, std::uint32_t rank) {
+            if (rank == kReplSessionRank) return;  // log link died: no peer
             Shard& sh = *shards_[group];
             std::unique_lock<std::mutex> lock(sh.mutex);
             process_event(sh, lock, CoherenceEvent::peer_detached(rank));
@@ -248,6 +257,18 @@ void ShardedHome::bounce(Shard& sh, std::unique_lock<std::mutex>& lock,
   // execute here once the region migrates (back) to this shard — its
   // re-issue will already have executed at the owner (docs/SHARDING.md).
   sh.core.note_redirected(rank, m.seq);
+  // The horizon advance above bypassed step(): replicate it explicitly, or
+  // the standby's dedup horizon lags and a fault-layer duplicate of the
+  // bounced attempt could execute twice after a failover.
+  {
+    LogRecord r;
+    r.kind = LogRecord::Kind::NoteRedirected;
+    r.shard = sh.index;
+    r.index = rank;
+    r.value = m.seq;
+    replicate_record(r);
+  }
+  if (fenced_.load()) return;
   msg::Message redirect;
   redirect.type = msg::MsgType::WrongShard;
   redirect.sync_id = m.sync_id;
@@ -269,6 +290,194 @@ void ShardedHome::bounce(Shard& sh, std::unique_lock<std::mutex>& lock,
   if (!ok && shell_->close_if_current(sh.index, rank, h.gen)) {
     process_event(sh, lock, CoherenceEvent::peer_detached(rank));
   }
+}
+
+// ---- replication: primary side (docs/REPLICATION.md) -----------------------
+
+void ShardedHome::replicate(Shard& sh, const CoherenceEvent& e) {
+  LogRecord r;
+  r.kind = LogRecord::Kind::Event;
+  r.shard = sh.index;
+  r.event = e;
+  // Master events name update runs whose bytes live only in this image:
+  // pack them now (under the shard lock, image unchanged since the step)
+  // so the standby can apply the same bytes before replaying the event.
+  const bool master_event = e.kind == CoherenceEvent::Kind::MasterUnlock ||
+                            e.kind == CoherenceEvent::Kind::MasterBarrier;
+  if (master_event && !e.runs.empty()) {
+    r.master_payload = sh.codec.pack(e.runs);
+    r.master_sender = msg::PlatformSummary::of(space_.platform());
+  }
+  dispatch_append(r);
+}
+
+void ShardedHome::replicate_record(const LogRecord& r) {
+  if (opts_.replication == nullptr) return;
+  dispatch_append(r);
+}
+
+void ShardedHome::dispatch_append(const LogRecord& r) {
+  switch (opts_.replication->append(r)) {
+    case ReplicationClient::Result::Ok:
+    case ReplicationClient::Result::Degraded:
+      break;
+    case ReplicationClient::Result::Deposed:
+      if (!fenced_.exchange(true)) {
+        std::fprintf(stderr,
+                     "hdsm repl: this primary is deposed; suppressing all "
+                     "outgoing sends\n");
+      }
+      break;
+  }
+}
+
+// ---- replication: standby side ---------------------------------------------
+
+void ShardedHome::attach_replication(msg::EndpointPtr ep) {
+  shell_->retire_session(0, kReplSessionRank);
+  shell_->install_session(0, kReplSessionRank,
+                          std::shared_ptr<msg::Endpoint>(std::move(ep)));
+  shell_->start_session(0, kReplSessionRank);
+}
+
+void ShardedHome::handle_repl_append(msg::Message m) {
+  msg::Message ack;
+  ack.type = msg::MsgType::ReplAck;
+  ack.sync_id = m.sync_id;
+  ack.rank = kMasterRank;
+  ack.seq = m.seq;
+  ack.sender = msg::PlatformSummary::of(space_.platform());
+  const std::uint32_t fence = repl_fence_epoch_.load();
+  if (fence != 0 && m.aux < fence) {
+    // A deposed primary is still appending: reject with the fence epoch so
+    // it fences itself (split-brain safety).
+    ack.aux = fence;
+  } else {
+    const std::uint32_t last = repl_last_index_.load();
+    if (m.seq == last + 1) {
+      try {
+        replay_record(decode_record(m.payload));
+      } catch (const std::exception& ex) {
+        // Never ack a record we could not replay: the primary retries, then
+        // degrades (availability) or fences (durability) per its options.
+        std::fprintf(stderr, "hdsm repl: append #%u rejected: %s\n", m.seq,
+                     ex.what());
+        return;
+      }
+      repl_last_index_.store(m.seq);
+    } else if (m.seq > last + 1) {
+      // A gap is impossible while appends are synchronous; refuse the ack
+      // rather than replay out of order.
+      std::fprintf(stderr, "hdsm repl: log gap (have %u, got %u)\n", last,
+                   m.seq);
+      return;
+    }
+    // m.seq <= last: a retransmit of a replayed record — re-ack only.
+  }
+  SessionShell::SendHandle h = shell_->handle(0, kReplSessionRank);
+  if (!h.valid) return;
+  shell_->send(h, std::move(ack));
+}
+
+void ShardedHome::replay_record(const LogRecord& r) {
+  switch (r.kind) {
+    case LogRecord::Kind::Event: {
+      if (r.shard >= shards_.size()) {
+        throw std::runtime_error("LogRecord: shard out of range");
+      }
+      Shard& sh = *shards_[r.shard];
+      std::unique_lock<std::mutex> lock(sh.mutex);
+      if (!r.master_payload.empty()) {
+        // The primary's image bytes for a master event: apply them first so
+        // replies the replay packs from this image carry identical bytes.
+        sh.codec.apply(r.master_payload, r.master_sender);
+      }
+      if (r.event.kind == CoherenceEvent::Kind::PeerAttached) {
+        // Track the rank like attach_endpoint would: refresh_flags walks
+        // this set, and a post-failover resume re-inserts idempotently.
+        sh.ranks.insert(r.event.rank);
+      }
+      // The replay drives the same executor as live traffic; its sends find
+      // no session (invalid handles) and drop, which is the point — only a
+      // promoted standby externalizes.
+      process_event(sh, lock, r.event);
+      break;
+    }
+    case LogRecord::Kind::SetBarrierCount:
+      for (const auto& shp : shards_) {
+        std::lock_guard<std::mutex> lk(shp->mutex);
+        shp->core.set_barrier_count(r.index, r.value);
+      }
+      break;
+    case LogRecord::Kind::BindLock:
+      for (const auto& shp : shards_) {
+        std::lock_guard<std::mutex> lk(shp->mutex);
+        shp->core.bind_lock(r.index, r.value);
+      }
+      break;
+    case LogRecord::Kind::NoteRedirected: {
+      if (r.shard >= shards_.size()) {
+        throw std::runtime_error("LogRecord: shard out of range");
+      }
+      Shard& sh = *shards_[r.shard];
+      std::lock_guard<std::mutex> lk(sh.mutex);
+      sh.core.note_redirected(r.index, r.value);
+      break;
+    }
+  }
+}
+
+// ---- replication: failover -------------------------------------------------
+
+void ShardedHome::resume_endpoint(std::uint32_t rank, std::uint32_t shard,
+                                  msg::EndpointPtr ep) {
+  if (rank == kMasterRank) {
+    throw std::invalid_argument("rank 0 is the master thread at home");
+  }
+  if (shard >= opts_.num_shards) {
+    throw std::out_of_range("shard " + std::to_string(shard) + " of " +
+                            std::to_string(opts_.num_shards));
+  }
+  Shard& sh = *shards_[shard];
+  // Reap whatever session the rank had here.  If one was still live, its
+  // final on_closed runs now and detaches the peer — retire_session waits
+  // for it — so the peer_active check below sees the settled state.
+  shell_->retire_session(shard, rank);
+  std::unique_lock<std::mutex> lock(sh.mutex);
+  if (stopped_.load()) throw std::logic_error("attach after stop()");
+  shell_->install_session(shard, rank,
+                          std::shared_ptr<msg::Endpoint>(std::move(ep)));
+  sh.ranks.insert(rank);
+  if (!sh.core.peer_active(rank)) {
+    // The core saw this rank leave (or never saw it): a plain attach is the
+    // right protocol-level event, exactly as attach_endpoint.
+    std::vector<idx::UpdateRun> seed;
+    if (shard == 0) seed = SyncEngine::full_image_runs(space_.table());
+    process_event(sh, lock,
+                  CoherenceEvent::peer_attached(rank, std::move(seed)));
+  }
+  // Active peer (the failover case): the replayed core never observed the
+  // rank's transport die, so NO peer event fires.  A PeerDetached here
+  // would reclaim the rank's locks mid-episode — a waiter could then be
+  // granted before the rank's in-flight unlock retransmits, losing its
+  // update (docs/REPLICATION.md).  The reply cache answers whatever the
+  // rank retransmits through the new transport.
+  shell_->start_session(shard, rank);
+}
+
+void ShardedHome::promote(std::uint32_t fence_epoch) {
+  obs::SpanScope span(telemetry_.get(), obs::SpanKind::Failover, fence_epoch);
+  // Fence first: any append still racing in from the deposed primary is
+  // rejected before this core diverges from the replicated log.
+  repl_fence_epoch_.store(fence_epoch);
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::unique_lock<std::mutex> lock(sh.mutex);
+    std::vector<CoherenceAction> actions;
+    sh.core.reset_master(actions);
+    drain(sh, lock, {}, std::move(actions));
+  }
+  start();
 }
 
 // ---- pending-shard bitmask -------------------------------------------------
@@ -349,6 +558,9 @@ void ShardedHome::drain(Shard& sh, std::unique_lock<std::mutex>& lock,
       CoherenceEvent ev = std::move(queue.front());
       queue.erase(queue.begin());
       actions = sh.core.step(ev);
+      // Log-before-reply (docs/REPLICATION.md): the record must be durable
+      // at the standby before any of this event's sends flush below.
+      if (opts_.replication != nullptr) replicate(sh, ev);
       continue;
     }
     // The batch's state transitions are complete: publish this shard's
@@ -357,6 +569,13 @@ void ShardedHome::drain(Shard& sh, std::unique_lock<std::mutex>& lock,
     // pending-shards mask the remote must drain (docs/SHARDING.md).
     refresh_flags(sh);
     if (sends.empty()) return;
+    if (fenced_.load()) {
+      // Deposed primary: a newer epoch is serving.  Never externalize
+      // another frame — the remotes' retransmits are answered by the new
+      // primary's replicated reply caches (docs/REPLICATION.md).
+      sends.clear();
+      return;
+    }
     const std::uint32_t epoch = epoch_mirror_.load();
     for (PendingSend& ps : sends) {
       ps.message.map_epoch = epoch;
@@ -524,6 +743,13 @@ std::chrono::nanoseconds ShardedHome::migrate_region(std::uint32_t region,
   if (region >= std::max(opts_.num_locks, opts_.num_barriers)) {
     throw std::out_of_range("region out of range: " + std::to_string(region));
   }
+  if (opts_.replication != nullptr) {
+    // The export/import handoff mutates two cores outside step(); until the
+    // handoff itself is a log record, migration under replication would
+    // silently diverge the standby (docs/REPLICATION.md).
+    throw std::logic_error(
+        "migrate_region is not supported while replication is enabled");
+  }
   std::uint32_t src = 0;
   {
     std::unique_lock<std::mutex> map_lock(map_mutex_);
@@ -650,6 +876,11 @@ void ShardedHome::set_barrier_count(std::uint32_t index, std::uint32_t count) {
     std::lock_guard<std::mutex> lk(shp->mutex);
     shp->core.set_barrier_count(index, count);
   }
+  LogRecord r;
+  r.kind = LogRecord::Kind::SetBarrierCount;
+  r.index = index;
+  r.value = count;
+  replicate_record(r);
 }
 
 void ShardedHome::bind_lock(std::uint32_t index, const std::string& field) {
@@ -659,6 +890,11 @@ void ShardedHome::bind_lock(std::uint32_t index, const std::string& field) {
     std::lock_guard<std::mutex> lk(shp->mutex);
     shp->core.bind_lock(index, row);
   }
+  LogRecord r;
+  r.kind = LogRecord::Kind::BindLock;
+  r.index = index;
+  r.value = row;
+  replicate_record(r);
 }
 
 }  // namespace hdsm::dsm

@@ -42,6 +42,7 @@
 
 #include "dsm/coherence_core.hpp"
 #include "dsm/global_space.hpp"
+#include "dsm/replication.hpp"
 #include "dsm/session_shell.hpp"
 #include "dsm/shard_map.hpp"
 #include "dsm/stats.hpp"
@@ -69,6 +70,12 @@ struct ShardedHomeOptions {
   /// Transport shell (docs/TRANSPORT.md).  lanes == 0 resolves to one
   /// reactor lane per shard (capped), preserving per-shard serialization.
   ShellOptions shell;
+  /// Primary/standby replication client (docs/REPLICATION.md); not owned.
+  /// When set, every event each shard applies is appended to the standby's
+  /// log — synchronously, before the event's sends externalize — and a
+  /// Deposed append fences this home (outgoing sends are suppressed).
+  /// Null keeps the unreplicated path byte-identical.
+  ReplicationClient* replication = nullptr;
 };
 
 class ShardedHome {
@@ -94,6 +101,46 @@ class ShardedHome {
   /// Attach `rank`'s session to shard `shard` over an external endpoint.
   void attach_endpoint(std::uint32_t rank, std::uint32_t shard,
                        msg::EndpointPtr ep);
+
+  /// Failover re-attach (docs/REPLICATION.md): install a new transport for
+  /// a rank whose peer state is still active — a promoted standby replayed
+  /// the rank mid-session and never observed its transport die, so no
+  /// PeerAttached event fires (detaching first would reclaim its locks and
+  /// open recovery races that lose updates).  Falls back to the normal
+  /// attach_endpoint when the rank is not active here.
+  void resume_endpoint(std::uint32_t rank, std::uint32_t shard,
+                       msg::EndpointPtr ep);
+
+  // -- Standby-side replication service (docs/REPLICATION.md) --
+
+  /// Session rank reserved for the primary→standby replication link (never
+  /// a valid remote rank; its close is a no-op detach).
+  static constexpr std::uint32_t kReplSessionRank = 0xffffffffu;
+
+  /// Install the replication link into the shell: ReplAppend frames arrive
+  /// through it, replay through the shard cores, and are acked back.  The
+  /// standby stays passive (start() not called) until promote().
+  void attach_replication(msg::EndpointPtr ep);
+
+  /// Promote this standby to primary: fence every older-epoch primary
+  /// (appends from epochs below `fence_epoch` are rejected), reset the dead
+  /// primary's master state in every shard core, and start serving.  After
+  /// this, remotes re-attach via resume_endpoint and their retransmitted
+  /// in-flight requests are answered from the replicated reply caches.
+  void promote(std::uint32_t fence_epoch);
+
+  /// True once a Deposed append fenced this home (split-brain safety: all
+  /// outgoing sends are suppressed).
+  bool fenced() const noexcept { return fenced_.load(); }
+  /// Fence this home by hand: every send from now on is dropped.  This is
+  /// the first step of modelling a primary crash — a dead coordinator's
+  /// replies must not escape, and its teardown must not externalize
+  /// anything the standby did not log.
+  void fence() noexcept { fenced_.store(true); }
+  /// Highest log index replayed by this standby.
+  std::uint32_t replicated_log_index() const noexcept {
+    return repl_last_index_.load();
+  }
 
   void start();
   void stop();
@@ -205,6 +252,19 @@ class ShardedHome {
   void bounce(Shard& sh, std::unique_lock<std::mutex>& lock,
               std::uint32_t rank, const msg::Message& m);
 
+  /// Append one event to the replication log (docs/REPLICATION.md): called
+  /// under the shard lock right after the core stepped it, so the record is
+  /// durable at the standby before any of the event's sends flush.  Master
+  /// events additionally pack their runs' image bytes into the record.
+  void replicate(Shard& sh, const CoherenceEvent& e);
+  /// Ship a non-event record (config transition / bounce horizon).
+  void replicate_record(const LogRecord& r);
+  void dispatch_append(const LogRecord& r);
+  /// Standby side: dedup by log index, replay, ack (reject with the fence
+  /// epoch once promoted).
+  void handle_repl_append(msg::Message m);
+  void replay_record(const LogRecord& r);
+
   /// Recompute this shard's bit in every session rank's pending mask.
   /// Call under the shard lock after a batch of state transitions.
   void refresh_flags(Shard& sh);
@@ -234,6 +294,14 @@ class ShardedHome {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+
+  // -- Replication state (docs/REPLICATION.md) --
+  /// Highest log index replayed (standby side; one link, so one counter).
+  std::atomic<std::uint32_t> repl_last_index_{0};
+  /// Appends carrying an epoch below this are rejected (set by promote()).
+  std::atomic<std::uint32_t> repl_fence_epoch_{0};
+  /// Set when an append came back Deposed: suppress every outgoing send.
+  std::atomic<bool> fenced_{false};
 
   /// Declared last: its threads call back into the shards above, and
   /// stop() must quiesce it before anything else unwinds.

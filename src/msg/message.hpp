@@ -51,6 +51,15 @@ enum class MsgType : std::uint8_t {
   /// like every other request.
   PendingPull,
   PendingReply,
+  /// Primary→standby state-machine replication (docs/REPLICATION.md,
+  /// docs/PROTOCOL.md §9): the payload is one serialized dsm::LogRecord,
+  /// `seq` the per-shard log index, `sync_id` the shard, `aux` the
+  /// sender's primaryship epoch.  The standby replays the record through
+  /// its own core and answers ReplAck echoing seq/sync_id; an ack with
+  /// `aux` != 0 tells the sender it has been deposed (a newer epoch was
+  /// promoted) and must stop externalizing actions.
+  ReplAppend,
+  ReplAck,
 };
 
 const char* msg_type_name(MsgType t) noexcept;

@@ -19,6 +19,8 @@ const char* span_kind_name(SpanKind k) noexcept {
     case SpanKind::Scrape: return "scrape";
     case SpanKind::ReactorWake: return "reactor_wake";
     case SpanKind::ReactorFlush: return "reactor_flush";
+    case SpanKind::ReplAppend: return "repl_append";
+    case SpanKind::Failover: return "failover";
     case SpanKind::kCount: break;
   }
   return "unknown";

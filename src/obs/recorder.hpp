@@ -45,6 +45,8 @@ enum class SpanKind : std::uint8_t {
   Scrape,        ///< MetricsPull round trip / aggregation
   ReactorWake,   ///< one reactor io-thread wakeup's event processing
   ReactorFlush,  ///< one coalesced outbound flush sweep (id = io index)
+  ReplAppend,    ///< one log append round trip to the standby (id = shard)
+  Failover,      ///< standby promotion: fence + master reset + start
   kCount
 };
 

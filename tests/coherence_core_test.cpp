@@ -11,9 +11,12 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <map>
 #include <numeric>
+#include <optional>
 #include <random>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "dsm/coherence_core.hpp"
@@ -673,6 +676,192 @@ TEST(CoherenceCoreSchedules, AllShardMigrationInterleavingsConverge) {
   // 4 causally-valid remote orders × C(6,2) migration placements: the DFS
   // must reach every one of them.
   EXPECT_EQ(schedules, 60);
+}
+
+// ---- replicated pair: primary crash at every causally-valid step -----------
+
+namespace {
+
+/// A primary/standby core pair under the synchronous log discipline of
+/// docs/REPLICATION.md, with the wire modeled as in LockScheduleSim: the
+/// master and two remotes acquire/release mutex 0.  Every event the
+/// primary steps is replayed on the standby before its replies deliver
+/// (log-before-reply); `crash_and_promote` kills the primary at the
+/// current step — optionally losing the replies of the very last event,
+/// the in-flight window a real crash exposes — resets the dead master's
+/// state on the standby, re-delivers each remote's outstanding retransmit,
+/// and the workload finishes against the promoted standby.
+struct ReplicatedLockSim {
+  CoreHarness primary{4, 2};
+  CoreHarness standby{4, 2};
+  bool crashed = false;
+  std::array<int, 3> pc{};       // agent progress: 0 acquire, 1 release, 2 done
+  std::array<int, 3> replies{};  // DELIVERED replies per remote agent
+  std::array<std::optional<msg::Message>, 3> outstanding;  // unanswered reqs
+
+  ReplicatedLockSim() {
+    for (std::uint32_t r : {1u, 2u}) {
+      primary.attach(r);
+      standby.attach(r);  // the replicated attach events
+    }
+  }
+
+  CoreHarness& serving() { return crashed ? standby : primary; }
+
+  void deliver(const std::vector<Action>& actions) {
+    for (const Action& a : actions) {
+      if (a.kind == Action::Kind::Send &&
+          (a.message.type == msg::MsgType::LockGrant ||
+           a.message.type == msg::MsgType::UnlockAck)) {
+        ++replies[a.rank];
+        outstanding[a.rank].reset();
+      }
+    }
+  }
+
+  bool enabled(int agent) const {
+    if (pc[agent] >= 2) return false;
+    if (agent == 0) {
+      return pc[0] == 0 ||
+             (crashed ? standby.core.master_holds(0)
+                      : primary.core.master_holds(0));
+    }
+    return pc[agent] == 0 || replies[agent] >= 1;
+  }
+
+  /// Fire one agent step on the serving core.  Pre-crash, the event also
+  /// replays on the standby (the synchronous append); `lose_replies`
+  /// models a crash right after the append, before the send flush.
+  void fire(int agent, bool lose_replies = false) {
+    std::vector<Action> actions;
+    if (agent == 0) {
+      const Event e = pc[0] == 0 ? Event::master_lock(0)
+                                 : Event::master_unlock(0, {});
+      actions = serving().step(e);
+      if (!crashed) standby.step(e);
+    } else {
+      const auto rank = static_cast<std::uint32_t>(agent);
+      msg::Message m =
+          pc[agent] == 0
+              ? make_msg(msg::MsgType::LockRequest, rank, 1)
+              : make_msg(msg::MsgType::UnlockRequest, rank, 2, 0,
+                         fake_payload({{0, 0, 1}}));
+      outstanding[agent] = m;
+      actions = serving().step(Event::msg_received(rank, msg::Message(m)));
+      if (!crashed) {
+        standby.step(Event::msg_received(rank, std::move(m)));
+      }
+    }
+    ++pc[agent];
+    if (!lose_replies) deliver(actions);
+  }
+
+  void crash_and_promote() {
+    ASSERT_FALSE(crashed);
+    crashed = true;
+    // The dead primary's master does not survive: release its lock, drop
+    // it from the waiter queue (its state machine restarts from scratch).
+    std::vector<Action> actions;
+    standby.core.reset_master(actions);
+    for (const Action& a : actions) {
+      if (a.kind == Action::Kind::Trace) {
+        standby.log.append(a.trace.kind, a.trace.rank, a.trace.sync_id,
+                           a.trace.blocks, a.trace.bytes, a.trace.req);
+      }
+    }
+    pc[0] = 0;
+    // Each remote's retry layer retransmits whatever it never saw answered;
+    // the replicated reply cache (or waiter state) must answer each exactly
+    // once.
+    for (int agent : {1, 2}) {
+      if (!outstanding[agent].has_value()) continue;
+      const auto rank = static_cast<std::uint32_t>(agent);
+      deliver(standby.step(
+          Event::msg_received(rank, msg::Message(*outstanding[agent]))));
+    }
+  }
+
+  bool done() const { return pc[0] == 2 && pc[1] == 2 && pc[2] == 2; }
+
+  /// Drive the remaining steps round-robin on the promoted standby, then
+  /// assert the takeover bar: workload complete, mutex free, each unlock's
+  /// updates applied exactly once, and a seamless standby trace.
+  void finish_and_check() {
+    for (int guard = 0; guard < 64 && !done(); ++guard) {
+      for (int agent : {1, 2, 0}) {
+        if (enabled(agent)) fire(agent);
+      }
+    }
+    ASSERT_TRUE(done()) << "takeover wedged the workload";
+    EXPECT_EQ(standby.core.lock_holder(0), -1);
+    EXPECT_EQ(replies[1], 2);
+    EXPECT_EQ(replies[2], 2);
+    // One apply per remote unlock, whether it replayed pre-crash or
+    // executed post-promotion; a retransmitted unlock must hit the
+    // replicated dedup horizon, never the codec.
+    EXPECT_EQ(standby.codec.apply_calls, 2);
+    std::map<std::pair<std::uint32_t, std::uint64_t>, int> applied;
+    for (const auto& ev : standby.log.snapshot()) {
+      if (ev.kind != dsm::TraceEvent::Kind::UpdatesApplied || ev.req == 0) {
+        continue;
+      }
+      const int times = ++applied[std::make_pair(ev.rank, ev.req)];
+      EXPECT_EQ(times, 1) << "rank " << ev.rank << " request #" << ev.req
+                          << " applied twice across the failover";
+    }
+    const auto err = dsm::validate_trace(standby.log.snapshot());
+    ASSERT_FALSE(err.has_value()) << *err;
+  }
+};
+
+/// Enumerate every causally-valid interleaving of the workload (the same
+/// DFS as dfs_lock_schedules, against the replicated pair, no crash).
+void collect_replicated_schedules(std::vector<int>& path,
+                                  std::vector<std::vector<int>>& maximal) {
+  ReplicatedLockSim sim;
+  for (const int agent : path) {
+    ASSERT_TRUE(sim.enabled(agent));
+    sim.fire(agent);
+  }
+  bool any = false;
+  for (int agent = 0; agent < 3; ++agent) {
+    if (!sim.enabled(agent)) continue;
+    any = true;
+    path.push_back(agent);
+    collect_replicated_schedules(path, maximal);
+    path.pop_back();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  if (!any) maximal.push_back(path);
+}
+
+}  // namespace
+
+TEST(CoherenceCoreSchedules, PrimaryCrashAtEveryStepFailsOverExactlyOnce) {
+  std::vector<int> path;
+  std::vector<std::vector<int>> schedules;
+  collect_replicated_schedules(path, schedules);
+  ASSERT_GE(schedules.size(), 20u);
+
+  int runs = 0;
+  for (const std::vector<int>& schedule : schedules) {
+    for (std::size_t crash_at = 0; crash_at <= schedule.size(); ++crash_at) {
+      // lost = the crash window between the append and the send flush: the
+      // last event IS in the standby's log but its replies never left.
+      for (const bool lost : {false, true}) {
+        ReplicatedLockSim sim;
+        for (std::size_t i = 0; i < crash_at; ++i) {
+          ASSERT_TRUE(sim.enabled(schedule[i]));
+          sim.fire(schedule[i], lost && i + 1 == crash_at);
+        }
+        sim.crash_and_promote();
+        sim.finish_and_check();
+        if (::testing::Test::HasFatalFailure()) return;
+        ++runs;
+      }
+    }
+  }
+  EXPECT_GE(runs, 250);
 }
 
 // ---- recovery-window bound (the granted_gen growth fix) --------------------

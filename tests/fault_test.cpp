@@ -17,6 +17,7 @@
 #include "dsm/update.hpp"
 #include "msg/faulty.hpp"
 #include "msg/tcp.hpp"
+#include "test_time.hpp"
 
 namespace dsm = hdsm::dsm;
 namespace tags = hdsm::tags;
@@ -73,12 +74,13 @@ bool wait_for_trace(const dsm::TraceLog& log, Pred pred) {
 }
 
 /// Tight schedule so fault tests finish in milliseconds, with enough
-/// retries to ride out high loss rates.
+/// retries to ride out high loss rates.  HDSM_TEST_TIME_SCALE stretches
+/// each wait for slow (sanitized) runs — see tests/test_time.hpp.
 dsm::RetryPolicy fast_retry() {
   dsm::RetryPolicy p;
-  p.timeout = 25ms;
+  p.timeout = hdsm::test::scaled(25ms);
   p.backoff = 1.5;
-  p.max_timeout = 200ms;
+  p.max_timeout = hdsm::test::scaled(200ms);
   p.max_retries = 12;
   return p;
 }

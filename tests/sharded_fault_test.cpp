@@ -20,6 +20,8 @@
 #include "dsm/sharded_cluster.hpp"
 #include "dsm/trace.hpp"
 #include "msg/faulty.hpp"
+#include "replicated_harness.hpp"
+#include "test_time.hpp"
 
 namespace dsm = hdsm::dsm;
 namespace tags = hdsm::tags;
@@ -39,9 +41,9 @@ tags::TypePtr gthv() {
 
 dsm::RetryPolicy fast_retry() {
   dsm::RetryPolicy p;
-  p.timeout = 25ms;
+  p.timeout = hdsm::test::scaled(25ms);
   p.backoff = 1.5;
-  p.max_timeout = 200ms;
+  p.max_timeout = hdsm::test::scaled(200ms);
   p.max_retries = 12;
   return p;
 }
@@ -215,6 +217,49 @@ TEST(ShardedFaults, MigrationUnderCombinedFaults) {
   f.send.duplicate = 0.25;
   f.recv.drop = 0.15;
   converge_sharded(f, 4, 2, 10, /*migrate=*/true);
+}
+
+// ---- failover under faults (docs/REPLICATION.md) ---------------------------
+//
+// The primary is killed mid-run with the fault layer active on every
+// session, so the handover window sees dropped grants, duplicated
+// retransmits, and reordered frames.  The harness validates the standby's
+// trace end to end (the replayed prefix and the post-promotion suffix must
+// form one coherent history) and asserts exactly-once application across
+// the epoch bump.
+
+TEST(ShardedFaults, FailoverHandoverUnderDrop) {
+  msg::FaultOptions f;
+  f.send.drop = 0.2;
+  f.recv.drop = 0.2;
+  hdsm::test::converge_replicated(&f, 2, 2, 10, /*failover=*/true);
+}
+
+TEST(ShardedFaults, FailoverHandoverUnderDuplication) {
+  msg::FaultOptions f;
+  f.send.duplicate = 1.0;  // every frame twice, including across the bump
+  f.recv.duplicate = 0.5;
+  hdsm::test::converge_replicated(&f, 2, 2, 10, /*failover=*/true);
+}
+
+TEST(ShardedFaults, FailoverHandoverUnderReorder) {
+  msg::FaultOptions f;
+  f.send.reorder = 0.3;
+  f.send.reorder_window = 3;
+  hdsm::test::converge_replicated(&f, 2, 2, 10, /*failover=*/true);
+}
+
+TEST(ShardedFaults, FailoverHandoverUnderCombinedFaultsAndReset) {
+  // Sessions also die of their own accord (reset) before and after the
+  // failover, so redials exercise both the resume path at the promoted
+  // standby and the re-attach path at whichever home is serving.
+  msg::FaultOptions f;
+  f.seed = 23;
+  f.send.drop = 0.1;
+  f.send.duplicate = 0.2;
+  f.recv.drop = 0.1;
+  f.send.reset_after = 40;
+  hdsm::test::converge_replicated(&f, 2, 2, 10, /*failover=*/true);
 }
 
 TEST(ShardedFaults, SessionResetRecoversThroughReconnect) {

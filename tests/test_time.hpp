@@ -1,0 +1,34 @@
+// Wall-clock scaling for the timer-racing suites (fault_test,
+// sharded_fault_test, replication_test).  Those suites run real retry
+// timers against a tight budget (25 ms base timeout); sanitizer runtimes
+// multiply every step's CPU cost, and an oversubscribed `ctest -j` can
+// starve a home long enough to exhaust a remote's budget — a scheduler
+// artifact, not a protocol failure.  Instead of serializing whole suites
+// there, CI sets HDSM_TEST_TIME_SCALE (see tests/CMakeLists.txt) and the
+// suites stretch each retry wait by that factor: same schedule shape, same
+// budget, more wall clock per attempt.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+
+namespace hdsm::test {
+
+/// HDSM_TEST_TIME_SCALE as a multiplier; unset, unparsable, or < 1 → 1.0.
+inline double time_scale() {
+  static const double scale = [] {
+    const char* s = std::getenv("HDSM_TEST_TIME_SCALE");
+    if (s == nullptr) return 1.0;
+    const double v = std::atof(s);
+    return v >= 1.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+inline std::chrono::milliseconds scaled(std::chrono::milliseconds base) {
+  return std::chrono::milliseconds(
+      static_cast<long long>(static_cast<double>(base.count()) *
+                             time_scale()));
+}
+
+}  // namespace hdsm::test
