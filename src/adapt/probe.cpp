@@ -12,7 +12,8 @@ Probe::Probe(double alpha)
       plan_hit_rate_(alpha),
       identity_rate_(alpha),
       density_(alpha),
-      bytes_per_episode_(alpha) {}
+      bytes_per_episode_(alpha),
+      objects_per_episode_(alpha) {}
 
 void Probe::observe(const Signal& s) {
   ++episodes_;
@@ -44,6 +45,11 @@ void Probe::observe(const Signal& s) {
     if (s.bytes_packed != 0)
       pack_cost_.update(half / static_cast<double>(s.bytes_packed));
     bytes_per_episode_.update(static_cast<double>(s.bytes_packed));
+  }
+  // Object-mode episodes only (a zero count means a page-granularity
+  // episode, which must not drag the object model toward zero).
+  if (s.objects != 0) {
+    objects_per_episode_.update(static_cast<double>(s.objects));
   }
 
   if (s.has_apply()) {

@@ -14,6 +14,7 @@
 //   identity_rate       fraction of applies from an identical-rep sender
 //   density             diffed bytes / (dirty pages * page size)
 //   bytes_per_episode   mean payload bytes moved per episode
+//   objects_per_episode mean dirty objects shipped per object-mode episode
 //
 // All models are deterministic functions of the Signal sequence (fixed
 // alpha, no clocks, no randomness) so a recorded signal trace replays to
@@ -76,6 +77,9 @@ class Probe {
   double identity_rate() const { return identity_rate_.value(); }
   double density() const { return density_.value(); }
   double bytes_per_episode() const { return bytes_per_episode_.value(); }
+  double objects_per_episode() const { return objects_per_episode_.value(); }
+
+  bool has_object_model() const { return objects_per_episode_.seeded(); }
 
   bool has_seq_model() const { return seq_cost_.seeded(); }
   bool has_par_model() const { return par_cost_.seeded(); }
@@ -94,6 +98,7 @@ class Probe {
   Ewma identity_rate_;
   Ewma density_;
   Ewma bytes_per_episode_;
+  Ewma objects_per_episode_;
   std::uint64_t episodes_ = 0;
 };
 

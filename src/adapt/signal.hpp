@@ -22,6 +22,8 @@ struct Signal {
   std::uint64_t pack_ns = 0;       ///< wall time spent packing the payload
   std::uint64_t runs = 0;          ///< update runs produced this episode
   std::uint64_t bytes_packed = 0;  ///< payload bytes produced
+  std::uint64_t objects = 0;       ///< dirty objects shipped (object mode;
+                                   ///< 0 = page-granularity episode)
 
   // ---- apply side (unpack + convert) ----
   std::uint64_t unpack_ns = 0;        ///< wall time spent validating/decoding

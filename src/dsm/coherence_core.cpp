@@ -980,6 +980,23 @@ CoherenceCore::RegionState CoherenceCore::export_region(
     b = BarrierState{};
   }
   for (auto& [rank, peer] : peers_) {
+    // Strict entry consistency (object mode): the pending runs guarded by
+    // this region's bound rows live only here — move them into the state
+    // blob so they chase the region instead of rotting at this shard.
+    if (cfg_.scoped_pending && !st.bound_rows.empty() &&
+        !peer.pending.empty()) {
+      std::vector<idx::UpdateRun> guarded;
+      std::vector<idx::UpdateRun> rest;
+      for (const idx::UpdateRun& run : peer.pending) {
+        const bool hit = std::find(st.bound_rows.begin(), st.bound_rows.end(),
+                                   run.row) != st.bound_rows.end();
+        (hit ? guarded : rest).push_back(run);
+      }
+      if (!guarded.empty()) {
+        st.pending[rank] = std::move(guarded);
+        peer.pending = std::move(rest);
+      }
+    }
     const auto git = peer.granted_gen.find(region);
     if (git != peer.granted_gen.end()) {
       st.granted_gen[rank] = git->second;
@@ -1088,6 +1105,9 @@ void CoherenceCore::import_region(RegionState st,
   }
   for (auto& [rank, orig_seq, reply] : st.replies) {
     redirect_replies_[{rank, orig_seq}] = std::move(reply);
+  }
+  for (auto& [rank, runs] : st.pending) {
+    merge_runs(peers_[rank].pending, runs);
   }
   ++stats_.region_migrations;
   if (reevaluate_barrier) {

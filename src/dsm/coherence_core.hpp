@@ -141,6 +141,14 @@ struct CoherenceConfig {
   /// into the cluster view as rank 0, so scrape replies include the home
   /// even when obs recording is off.
   obs::Telemetry* telemetry = nullptr;
+  /// Strict entry consistency (object mode, docs/OBJECTS.md): every mutex
+  /// is bound and every row is guarded by exactly one mutex, so the pending
+  /// runs guarded by a region live only at the shard owning it.  With this
+  /// set, export_region carries each peer's guarded pending runs in
+  /// RegionState::pending and import_region merges them back — without it a
+  /// migration would leak the region's batched updates at the old shard.
+  /// Off (the default) is byte-identical to the page-mode protocol.
+  bool scoped_pending = false;
 };
 
 class CoherenceCore {
@@ -260,6 +268,12 @@ class CoherenceCore {
     /// (docs/SHARDING.md).
     std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
         peer_seqs;
+    /// Scoped pending (CoherenceConfig::scoped_pending only): rank -> the
+    /// pending runs guarded by this region's bound rows at the exporting
+    /// shard.  Under strict entry consistency those runs exist nowhere
+    /// else, so they must travel with the region; the importer merges them
+    /// into its own peers' pending sets.  Empty in page mode.
+    std::map<std::uint32_t, std::vector<idx::UpdateRun>> pending;
   };
 
   /// Strip region `region` out of this core: resets its lock and barrier

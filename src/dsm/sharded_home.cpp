@@ -70,6 +70,11 @@ CoherenceConfig shard_core_config(const ShardedHomeOptions& opts,
   // Shard 0 anchors the cluster scrape: remotes MetricsPull it, and its
   // aggregator keeps their snapshots for cluster_telemetry().
   cfg.telemetry = shard == 0 ? telemetry : nullptr;
+  // Object mode (docs/OBJECTS.md): pending sets are strictly scoped to the
+  // shard owning their guarding region, so they must travel with it.
+  cfg.scoped_pending =
+      opts.run_source != nullptr ||
+      (opts.scoped_pending && opts.row_region != nullptr);
   return cfg;
 }
 
@@ -197,20 +202,41 @@ void ShardedHome::attach_endpoint(std::uint32_t rank, std::uint32_t shard,
     // shared across shards, so one full-image grant (from whichever shard
     // answers the remote's first acquire — shard 0 by convention) is
     // enough.  Other shards start the rank with an empty pending set.
+    // (Object mode scopes the seed per shard instead — see initial_seed.)
     // The event runs between install and start, so no message can observe
     // a half-attached peer.
-    std::vector<idx::UpdateRun> seed;
-    if (shard == 0) seed = SyncEngine::full_image_runs(space_.table());
     process_event(sh, lock,
-                  CoherenceEvent::peer_attached(rank, std::move(seed)));
+                  CoherenceEvent::peer_attached(rank, initial_seed(shard)));
     shell_->start_session(shard, rank);
   }
+}
+
+std::vector<idx::UpdateRun> ShardedHome::initial_seed(
+    std::uint32_t shard) const {
+  if (!opts_.row_region) {
+    if (shard != 0) return {};
+    return SyncEngine::full_image_runs(space_.table());
+  }
+  // Object mode: a row's pending may only live at the shard owning its
+  // guarding region (strict entry consistency), so each shard seeds exactly
+  // the rows whose region it owns — the rank's first acquire of each region
+  // then carries that region's slice of the initial image.  Unguarded rows
+  // ride with shard 0 (only their barrier flushes would ship them anyway).
+  std::vector<idx::UpdateRun> seed;
+  for (idx::UpdateRun& run : SyncEngine::full_image_runs(space_.table())) {
+    const std::uint32_t region = opts_.row_region(run.row);
+    const std::uint32_t owner = region == kAllRegions ? 0 : owner_of(region);
+    if (owner == shard) seed.push_back(run);
+  }
+  return seed;
 }
 
 void ShardedHome::start() {
   if (telemetry_ != nullptr) telemetry_->set_thread_label("master");
   if (started_.exchange(true)) return;
-  space_.region().begin_tracking();
+  // Object mode never arms page-twin tracking: writes are tracked by the
+  // ObjectSpace dirty sets, not mprotect faults (docs/OBJECTS.md).
+  if (!opts_.run_source) space_.region().begin_tracking();
 }
 
 void ShardedHome::stop() {
@@ -451,10 +477,8 @@ void ShardedHome::resume_endpoint(std::uint32_t rank, std::uint32_t shard,
   if (!sh.core.peer_active(rank)) {
     // The core saw this rank leave (or never saw it): a plain attach is the
     // right protocol-level event, exactly as attach_endpoint.
-    std::vector<idx::UpdateRun> seed;
-    if (shard == 0) seed = SyncEngine::full_image_runs(space_.table());
     process_event(sh, lock,
-                  CoherenceEvent::peer_attached(rank, std::move(seed)));
+                  CoherenceEvent::peer_attached(rank, initial_seed(shard)));
   }
   // Active peer (the failover case): the replayed core never observed the
   // rank's transport die, so NO peer event fires.  A PeerDetached here
@@ -484,6 +508,7 @@ void ShardedHome::promote(std::uint32_t fence_epoch) {
 
 void ShardedHome::refresh_flags(Shard& sh) {
   if (opts_.num_shards <= 1) return;
+  if (scoped()) return;  // mask_for is pinned to 0 under scoped pending
   const std::uint32_t bit = 1u << sh.index;
   for (std::uint32_t rank : sh.ranks) {
     if (rank >= kMaxTrackedRanks) continue;
@@ -499,6 +524,12 @@ std::uint32_t ShardedHome::mask_for(std::uint32_t rank) const {
   // One shard ⇒ the grant itself carried everything pending; a zero mask
   // keeps the wire byte-identical to the single-home HomeNode.
   if (opts_.num_shards <= 1) return 0;
+  // Scoped pending (strict entry consistency): every row's pending lives
+  // only at the shard owning its guarding region and ships on that
+  // region's own grants, so there is never a sibling shard to drain
+  // (docs/OBJECTS.md).  Draining would also race: an unscoped PendingPull
+  // packs rows whose guarding locks the puller does not hold.
+  if (scoped()) return 0;
   if (rank >= kMaxTrackedRanks) {
     // Untracked rank: conservatively claim every shard may hold pending.
     return opts_.num_shards >= 32 ? 0xffffffffu
@@ -670,7 +701,16 @@ void ShardedHome::unlock(std::uint32_t index) {
     std::vector<idx::UpdateRun> runs;
     {
       std::lock_guard<std::mutex> eng(engine_mutex_);
-      runs = engine_.collect_runs();
+      if (opts_.run_source) {
+        ObjectRuns obj = opts_.run_source(index);
+        if (obj.objects != 0) {
+          ++data_stats_.object_episodes;
+          data_stats_.objects_shipped += obj.objects;
+        }
+        runs = std::move(obj.runs);
+      } else {
+        runs = engine_.collect_runs();
+      }
     }
     process_event(sh, lk, CoherenceEvent::master_unlock(index, std::move(runs)));
     return;
@@ -697,7 +737,16 @@ void ShardedHome::barrier(std::uint32_t index) {
     std::vector<idx::UpdateRun> runs;
     {
       std::lock_guard<std::mutex> eng(engine_mutex_);
-      runs = engine_.collect_runs();
+      if (opts_.run_source) {
+        ObjectRuns obj = opts_.run_source(kAllRegions);
+        if (obj.objects != 0) {
+          ++data_stats_.object_episodes;
+          data_stats_.objects_shipped += obj.objects;
+        }
+        runs = std::move(obj.runs);
+      } else {
+        runs = engine_.collect_runs();
+      }
     }
     process_event(sh, lk,
                   CoherenceEvent::master_barrier(index, std::move(runs)));

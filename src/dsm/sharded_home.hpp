@@ -33,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,30 @@ struct ShardedHomeOptions {
   /// Deposed append fences this home (outgoing sends are suppressed).
   /// Null keeps the unreplicated path byte-identical.
   ReplicationClient* replication = nullptr;
+
+  // -- Object-granularity sharing mode (hdsm::obj, docs/OBJECTS.md) --
+
+  /// When set, the master's unlock/barrier episodes collect their update
+  /// runs from this source instead of diffing the tracked region: unlock
+  /// passes the released region, barrier passes kAllRegions.  Page-twin
+  /// tracking is never armed (no mprotect, no SIGSEGV, no page diffing) and
+  /// every shard core runs with scoped_pending so pending sets migrate with
+  /// their regions.  Null = the page-mode path, byte-identical to before.
+  std::function<ObjectRuns(std::uint32_t region)> run_source;
+  /// Object mode only: maps an index-table row to the region whose mutex
+  /// guards it (kAllRegions = unguarded).  Used to scope each shard's
+  /// initial full-image seed to the rows its regions guard — under strict
+  /// entry consistency a row's pending must only ever live at the shard
+  /// owning its guarding region.  Unguarded rows seed at shard 0.
+  std::function<std::uint32_t(std::uint32_t row)> row_region;
+  /// Opt a *page-mode* home into the scoped-pending regime (requires
+  /// row_region and locks bound to every guarded row, like object mode
+  /// does implicitly).  Under scoping, every master-image access for a
+  /// region serializes through its DSM lock or its owning shard — the
+  /// only data-race-free configuration when concurrent ranks write
+  /// overlapping rows (e.g. the Zipfian KV workload, docs/OBJECTS.md).
+  /// Ignored when run_source is set (object mode is always scoped).
+  bool scoped_pending = false;
 };
 
 class ShardedHome {
@@ -265,12 +290,27 @@ class ShardedHome {
   void handle_repl_append(msg::Message m);
   void replay_record(const LogRecord& r);
 
+  /// The full-image pending runs shard `shard` seeds a fresh rank with.
+  /// Page mode: shard 0 seeds everything, the rest seed empty.  Object mode
+  /// (row_region set): each shard seeds exactly the rows guarded by the
+  /// regions it currently owns — under strict entry consistency a row's
+  /// pending may only live at its guarding region's owner.  Takes
+  /// map_mutex_ inside; call with at most the shard's own mutex held.
+  std::vector<idx::UpdateRun> initial_seed(std::uint32_t shard) const;
+
   /// Recompute this shard's bit in every session rank's pending mask.
   /// Call under the shard lock after a batch of state transitions.
   void refresh_flags(Shard& sh);
   /// The pending-shards bitmask shipped in grant/release aux fields.
   /// Always 0 with one shard (single-home parity).
   std::uint32_t mask_for(std::uint32_t rank) const;
+  /// True when this home runs the scoped-pending regime — object mode, or
+  /// a page-mode home that opted in via ShardedHomeOptions::scoped_pending.
+  /// Mirrors the shard cores' CoherenceConfig::scoped_pending.
+  bool scoped() const {
+    return opts_.run_source != nullptr ||
+           (opts_.scoped_pending && opts_.row_region != nullptr);
+  }
 
   ShardedHomeOptions opts_;
   GlobalSpace space_;

@@ -70,7 +70,9 @@ ShardedRemote::ShardedRemote(tags::TypePtr gthv,
   for (std::uint32_t s = 0; s < sessions_.size(); ++s) {
     send_hello(s, /*resume=*/false);
   }
-  space_.region().begin_tracking();
+  // Object mode (docs/OBJECTS.md): dirty objects are tracked by the
+  // ObjectSpace, not mprotect faults — page-twin tracking never arms.
+  if (!opts_.run_source) space_.region().begin_tracking();
 }
 
 ShardedRemote::ShardedRemote(tags::TypePtr gthv,
@@ -302,6 +304,17 @@ void ShardedRemote::drain_pending(std::uint32_t mask) {
   }
 }
 
+std::vector<std::byte> ShardedRemote::collect_episode(std::uint32_t region) {
+  // Page mode diffs the tracked region; object mode asks the ObjectSpace
+  // for exactly the dirty objects' runs (scoped to `region` on unlock,
+  // everything on barrier/join) and stages the object count so the pack
+  // episode's adaptive Signal and the object ShareStats counters see it.
+  if (!opts_.run_source) return engine_.collect_payload();
+  ObjectRuns obj = opts_.run_source(region);
+  engine_.stage_episode_objects(obj.objects);
+  return engine_.pack_payload(obj.runs);
+}
+
 void ShardedRemote::lock(std::uint32_t index) {
   obs::SpanScope episode(telemetry_.get(), obs::SpanKind::Episode, index);
   msg::Message req;
@@ -327,7 +340,7 @@ void ShardedRemote::unlock(std::uint32_t index) {
   req.sync_id = index;
   // Collect exactly once: retransmits and redirected re-issues must carry
   // the same payload, not a fresh (empty) one.
-  req.payload = engine_.collect_payload();
+  req.payload = collect_episode(index);
   routed_rpc(std::move(req), msg::MsgType::UnlockAck);
   ++stats_.unlocks;
 }
@@ -337,7 +350,7 @@ void ShardedRemote::barrier(std::uint32_t index) {
   msg::Message enter;
   enter.type = msg::MsgType::BarrierEnter;
   enter.sync_id = index;
-  enter.payload = engine_.collect_payload();
+  enter.payload = collect_episode(kAllRegions);
   const msg::Message release =
       routed_rpc(std::move(enter), msg::MsgType::BarrierRelease);
   engine_.apply_payload_bulk(release.payload, release.sender);
@@ -354,7 +367,7 @@ void ShardedRemote::join() {
   // an empty JoinRequest so each directory slice retires this rank.
   msg::Message req;
   req.type = msg::MsgType::JoinRequest;
-  req.payload = engine_.collect_payload();
+  req.payload = collect_episode(kAllRegions);
   rpc(0, std::move(req), msg::MsgType::JoinAck, /*allow_redirect=*/false);
   for (std::uint32_t s = 1; s < sessions_.size(); ++s) {
     msg::Message leave;
@@ -364,7 +377,7 @@ void ShardedRemote::join() {
     leave.payload = encode_update_blocks({});
     rpc(s, std::move(leave), msg::MsgType::JoinAck, /*allow_redirect=*/false);
   }
-  space_.region().end_tracking();
+  if (space_.region().tracking()) space_.region().end_tracking();
   joined_ = true;
 }
 

@@ -49,6 +49,14 @@ struct ShardedRemoteOptions {
   std::function<msg::EndpointPtr(std::uint32_t shard)> reconnect;
   std::uint32_t max_reconnects = 3;  ///< reconnect budget per session
   obs::ObsOptions obs;
+
+  /// Object-granularity sharing mode (hdsm::obj, docs/OBJECTS.md): when
+  /// set, unlock/barrier/join collect their update runs from this source
+  /// instead of diffing the page-twin machinery — unlock passes the
+  /// released region, barrier and join pass kAllRegions — and write
+  /// tracking is never armed (no mprotect, no faults, no page diffs).
+  /// Null = the page-mode path, byte-identical to before.
+  std::function<ObjectRuns(std::uint32_t region)> run_source;
 };
 
 class ShardedRemote {
@@ -106,6 +114,9 @@ class ShardedRemote {
   /// Drain every shard flagged in `mask` (and any shard a PendingReply
   /// flags in turn) via PendingPull — part of the acquire.
   void drain_pending(std::uint32_t mask);
+  /// One release episode's payload: page mode diffs the tracked region,
+  /// object mode packs the run_source's dirty-object runs for `region`.
+  std::vector<std::byte> collect_episode(std::uint32_t region);
   void send_hello(std::uint32_t shard, bool resume);
   bool try_reconnect(std::uint32_t shard);
   void detach_self();

@@ -65,6 +65,10 @@ std::string ShareStats::to_string() const {
        << " pending_pulls=" << pending_pulls
        << " migrations=" << region_migrations;
   }
+  if (object_episodes != 0) {
+    os << " object_episodes=" << object_episodes
+       << " objects_shipped=" << objects_shipped;
+  }
   return os.str();
 }
 

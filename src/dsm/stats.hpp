@@ -56,7 +56,9 @@ namespace hdsm::dsm {
   X(fastpath_blocks)               \
   X(wrong_shard_redirects)         \
   X(pending_pulls)                 \
-  X(region_migrations)
+  X(region_migrations)             \
+  X(object_episodes)               \
+  X(objects_shipped)
 
 struct ShareStats {
   // -- Eq.-1 cost buckets, all in nanoseconds of CPU-side work --
@@ -110,6 +112,12 @@ struct ShareStats {
                                     ///  served (PendingPull requests)
   std::uint64_t region_migrations = 0;  ///< count: regions imported by this
                                         ///  shard (ownership handoffs)
+
+  // -- Object-granularity sharing mode (hdsm::obj, docs/OBJECTS.md) --
+  std::uint64_t object_episodes = 0;  ///< count: pack episodes that shipped
+                                      ///  at object granularity
+  std::uint64_t objects_shipped = 0;  ///< count: dirty objects shipped
+                                      ///  across those episodes
 
   std::uint64_t share_ns() const noexcept {
     return index_ns + tag_ns + pack_ns + unpack_ns + conv_ns;

@@ -373,11 +373,21 @@ std::vector<std::byte> SyncEngine::pack_payload(
   stats_.pack_ns += pack_ns;
   obs_phase(obs::SpanKind::Pack, pack_ns, runs.size());
 
+  // Object-granularity episode accounting (docs/OBJECTS.md): non-zero only
+  // when the object shell staged a dirty-object count for this pack.
+  const std::uint64_t episode_objects = staged_objects_;
+  staged_objects_ = 0;
+  if (episode_objects != 0) {
+    ++stats_.object_episodes;
+    stats_.objects_shipped += episode_objects;
+  }
+
   if (tuner_ != nullptr && !runs.empty()) {
     adapt::Signal s;
     s.pack_ns = pack_ns;
     s.runs = runs.size();
     s.bytes_packed = out.size();
+    s.objects = episode_objects;
     sample_episode(s);
   }
   return out;

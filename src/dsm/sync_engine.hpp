@@ -84,6 +84,19 @@ struct SyncOptions {
 /// Historic name (DSD = the paper's distributed-shared-data layer).
 using DsdOptions = SyncOptions;
 
+/// Update runs produced by the object-granularity path (docs/OBJECTS.md):
+/// the element runs covering exactly the dirty objects, plus how many
+/// objects those runs cover — the per-episode object count the adaptive
+/// tuner folds into its cost models (adapt::Signal::objects).
+struct ObjectRuns {
+  std::vector<idx::UpdateRun> runs;
+  std::uint64_t objects = 0;
+};
+
+/// Pseudo-region passed to an object-mode run source when the episode is
+/// not scoped to one region (barrier flush, join): "collect everything".
+inline constexpr std::uint32_t kAllRegions = 0xffffffffu;
+
 class SyncEngine {
  public:
   // Constructor/destructor out of line: plan-cache member types are
@@ -168,6 +181,15 @@ class SyncEngine {
   /// The live tuner (null unless SyncOptions::adaptive).
   const adapt::Tuner* tuner() const noexcept { return tuner_.get(); }
 
+  /// Object-granularity episodes (docs/OBJECTS.md): the shell stages the
+  /// number of dirty objects the next pack_payload call ships; the pack
+  /// episode's adapt::Signal carries it as `objects` and the per-node
+  /// ShareStats object counters advance.  Consumed (reset to zero) by that
+  /// pack; a no-op for the page-mode path, which never stages.
+  void stage_episode_objects(std::uint64_t objects) noexcept {
+    staged_objects_ = objects;
+  }
+
   /// The parallelism collect/apply can reach under current options
   /// (resolves conv_threads = 0 to the auto value).
   unsigned effective_lanes() const noexcept;
@@ -221,6 +243,7 @@ class SyncEngine {
   TraceLog* trace_ = nullptr;            ///< decision-event sink (optional)
   std::uint32_t trace_rank_ = 0;
   obs::Telemetry* obs_ = nullptr;        ///< telemetry sink (optional)
+  std::uint64_t staged_objects_ = 0;     ///< see stage_episode_objects
 };
 
 /// Merge `add` into the sorted, disjoint run set `into` (row-major order,

@@ -42,6 +42,12 @@ struct Reactor::Impl {
   struct IoSignal {
     std::mutex mu;
     std::vector<std::shared_ptr<Peer>> ready;
+    /// Set (under `mu`) once the io threads are joined.  `ready` entries
+    /// own their Peer, the Peer owns its endpoint, and the endpoint's
+    /// ready-callback owns this signal — a cycle no destructor runs for.
+    /// stop() clears the vector and closes the funnel so a late callback
+    /// cannot re-park a peer in it.
+    bool closed = false;
     int evfd = -1;
 
     IoSignal() { evfd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC); }
@@ -311,6 +317,10 @@ struct Reactor::Impl {
       if (!sp->ready.exchange(true, std::memory_order_acq_rel)) {
         {
           std::lock_guard<std::mutex> lk(sig->mu);
+          // After stop() the funnel is closed: parking the peer here would
+          // re-create the endpoint→callback→signal→peer ownership cycle the
+          // shutdown path just broke, and nothing will ever drain it.
+          if (sig->closed) return;
           sig->ready.push_back(std::move(sp));
         }
         sig->wake();
@@ -417,6 +427,11 @@ struct Reactor::Impl {
     for (auto& io : ios_) io->signal->wake();
     for (auto& io : ios_) {
       if (io->thr.joinable()) io->thr.join();
+    }
+    for (auto& io : ios_) {
+      std::lock_guard<std::mutex> lk(io->signal->mu);
+      io->signal->closed = true;
+      io->signal->ready.clear();
     }
     for (auto& ln : lanes_) wake_lane(*ln);
     for (auto& ln : lanes_) {

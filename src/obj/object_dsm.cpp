@@ -1,0 +1,98 @@
+#include "obj/object_dsm.hpp"
+
+#include <thread>
+#include <utility>
+
+namespace hdsm::obj {
+
+namespace {
+
+// Bind every region's lock to that region's stripe fields so grants ship
+// only the acquired region's guarded rows (bind_lock appends, dedup-checked
+// — multi-class regions accumulate all their stripes on one lock).
+void bind_regions(dsm::ShardedHome& home, const ObjectLayout& layout) {
+  for (std::uint32_t r = 0; r < layout.num_regions(); ++r) {
+    for (std::uint32_t c = 0; c < layout.num_classes(); ++c) {
+      home.bind_lock(r, layout.field_name(c, r));
+    }
+  }
+}
+
+}  // namespace
+
+ObjectHome::ObjectHome(ObjectLayoutPtr layout,
+                       const plat::PlatformDesc& platform,
+                       dsm::ShardedHomeOptions opts)
+    : layout_(std::move(layout)) {
+  opts.num_locks = layout_->num_regions();
+  opts.num_barriers = layout_->num_regions();
+  // Safe to capture `this` before objects_ exists: run_source only fires
+  // inside unlock/barrier episodes, long after construction completes.
+  opts.run_source = [this](std::uint32_t region) {
+    return objects_->take_dirty(region);
+  };
+  opts.row_region = [layout = layout_](std::uint32_t row) {
+    return layout->region_of_row(row);
+  };
+  home_ = std::make_unique<dsm::ShardedHome>(layout_->gthv(), platform,
+                                             std::move(opts));
+  objects_ = std::make_unique<ObjectSpace>(home_->space(), layout_);
+  bind_regions(*home_, *layout_);
+}
+
+ObjectRemote::ObjectRemote(ObjectLayoutPtr layout,
+                           const plat::PlatformDesc& platform,
+                           std::uint32_t rank,
+                           std::vector<msg::EndpointPtr> endpoints,
+                           dsm::ShardedRemoteOptions opts)
+    : layout_(std::move(layout)) {
+  opts.run_source = [this](std::uint32_t region) {
+    return objects_->take_dirty(region);
+  };
+  remote_ = std::make_unique<dsm::ShardedRemote>(
+      layout_->gthv(), platform, rank, std::move(endpoints), std::move(opts));
+  objects_ = std::make_unique<ObjectSpace>(remote_->space(), layout_);
+}
+
+ObjectCluster::ObjectCluster(
+    ObjectLayoutPtr layout, const plat::PlatformDesc& home_platform,
+    const std::vector<const plat::PlatformDesc*>& remote_platforms,
+    dsm::ShardedHomeOptions opts, WrapFn wrap,
+    dsm::ShardedRemoteOptions remote_opts)
+    : layout_(std::move(layout)) {
+  remote_opts.dsd = opts.dsd;
+  home_ = std::make_unique<ObjectHome>(layout_, home_platform, std::move(opts));
+  for (std::size_t i = 0; i < remote_platforms.size(); ++i) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(i + 1);
+    std::vector<msg::EndpointPtr> eps = home_->node().attach(rank);
+    if (wrap) {
+      for (std::uint32_t s = 0; s < eps.size(); ++s) {
+        eps[s] = wrap(rank, s, std::move(eps[s]));
+      }
+    }
+    remotes_.push_back(std::make_unique<ObjectRemote>(
+        layout_, *remote_platforms[i], rank, std::move(eps), remote_opts));
+  }
+}
+
+void ObjectCluster::run(const std::function<void(ObjectHome&)>& master_fn,
+                        const std::function<void(ObjectRemote&)>& remote_fn) {
+  home_->node().start();
+  std::vector<std::thread> threads;
+  threads.reserve(remotes_.size());
+  for (auto& remote : remotes_) {
+    threads.emplace_back([&remote, &remote_fn] { remote_fn(*remote); });
+  }
+  master_fn(*home_);
+  for (std::thread& t : threads) t.join();
+}
+
+dsm::ShareStats ObjectCluster::total_stats() const {
+  dsm::ShareStats total = home_->node().stats();
+  for (const auto& remote : remotes_) {
+    total += remote->node().stats();
+  }
+  return total;
+}
+
+}  // namespace hdsm::obj

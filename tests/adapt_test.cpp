@@ -90,6 +90,38 @@ TEST(Probe, FieldGroupsFoldIndependently) {
   EXPECT_DOUBLE_EQ(p.density(), 0.5);
 }
 
+TEST(Probe, ObjectEpisodesFoldWithoutPageDrag) {
+  adapt::Probe p(0.5);
+  EXPECT_FALSE(p.has_object_model());
+
+  // A page-granularity episode (objects == 0) must not seed the object
+  // model...
+  adapt::Signal page;
+  page.dirty_pages = 2;
+  page.diff_ns = 100;
+  page.diffed_bytes = 100;
+  page.page_size = 4096;
+  p.observe(page);
+  EXPECT_FALSE(p.has_object_model());
+
+  // ...an object-mode episode seeds it...
+  adapt::Signal objs;
+  objs.objects = 8;
+  p.observe(objs);
+  EXPECT_TRUE(p.has_object_model());
+  EXPECT_DOUBLE_EQ(p.objects_per_episode(), 8.0);
+
+  // ...later object episodes smooth it (alpha 0.5)...
+  objs.objects = 16;
+  p.observe(objs);
+  EXPECT_DOUBLE_EQ(p.objects_per_episode(), 12.0);
+
+  // ...and interleaved page episodes leave it untouched instead of
+  // dragging the mean toward zero.
+  p.observe(page);
+  EXPECT_DOUBLE_EQ(p.objects_per_episode(), 12.0);
+}
+
 TEST(Tuner, WarmupFreezesAllDecisions) {
   adapt::TunerConfig cfg;
   cfg.warmup = 5;

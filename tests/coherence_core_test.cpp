@@ -75,12 +75,14 @@ struct CoreHarness {
   dsm::CoherenceCore core;
   dsm::TraceLog log;
 
-  explicit CoreHarness(std::uint32_t locks = 4, std::uint32_t barriers = 2)
+  explicit CoreHarness(std::uint32_t locks = 4, std::uint32_t barriers = 2,
+                       bool scoped = false)
       : core(
             [&] {
               dsm::CoherenceConfig cfg;
               cfg.num_locks = locks;
               cfg.num_barriers = barriers;
+              cfg.scoped_pending = scoped;
               // layout_runs stays empty: Hello shape negotiation is the
               // data plane's concern, not these protocol tests'.
               return cfg;
@@ -676,6 +678,184 @@ TEST(CoherenceCoreSchedules, AllShardMigrationInterleavingsConverge) {
   // 4 causally-valid remote orders × C(6,2) migration placements: the DFS
   // must reach every one of them.
   EXPECT_EQ(schedules, 60);
+}
+
+// ---- object mode: scoped grants + pending travel at every interleaving -----
+
+namespace {
+
+std::vector<idx::UpdateRun> decode_runs(const std::vector<std::byte>& p) {
+  std::vector<idx::UpdateRun> runs(p.size() / sizeof(idx::UpdateRun));
+  if (!runs.empty()) std::memcpy(runs.data(), p.data(), p.size());
+  return runs;
+}
+
+/// The object-granularity twin of ShardedLockSim (docs/OBJECTS.md): two
+/// shards running scoped-pending cores with mutex 0 bound to row 0 and
+/// mutex 1 to row 1 — each row standing for one (class, region) object
+/// stripe.  Remote 1 works objects guarded by region 0, remote 2 objects
+/// guarded by region 1, and a migration agent hands region 0 between the
+/// shards.  The DFS drives every interleaving and each one must keep the
+/// strict-entry-consistency bars: a grant ships ONLY its bound row's
+/// pending runs (never another region's objects), the initial pending for
+/// region 0 is delivered exactly once no matter how many handoffs precede
+/// the grant (it travels in RegionState::pending), and every exported
+/// pending run belongs to the exported region's bound row.
+struct ObjectLockSim {
+  static constexpr int kMigrations = 2;
+
+  std::array<CoreHarness, 2> h{CoreHarness{2, 2, /*scoped=*/true},
+                               CoreHarness{2, 2, /*scoped=*/true}};
+  int owner = 0;                 // shard currently owning region 0
+  int migs = 0;
+  std::array<int, 2> pc{};       // per remote: 0 = lock, 1 = unlock, 2 = done
+  std::array<int, 2> replies{};
+  std::array<int, 2> cached{};   // remote 1's cached owner of region 0
+  std::array<std::uint32_t, 2> seq{};
+  std::vector<idx::UpdateRun> grant0_runs;  // pending delivered on mutex 0
+
+  ObjectLockSim() {
+    for (CoreHarness& shard : h) {
+      shard.core.bind_lock(0, 0);
+      shard.core.bind_lock(1, 1);
+    }
+    // Scoped initial seeds, as the sharded attach does in object mode:
+    // each shard's attach carries only the pending of the rows its
+    // regions guard.  Region 0 starts at shard 0, region 1 lives on
+    // shard 1 for good.
+    for (std::uint32_t rank : {1u, 2u}) {
+      h[0].attach(rank, {{0, 0, 4}});
+      h[1].attach(rank, {{1, 0, 4}});
+    }
+  }
+
+  void observe(CoreHarness& shard, const std::vector<Action>& actions) {
+    for (const Action& a : actions) {
+      if (a.kind == Action::Kind::Trace) {
+        shard.log.append(a.trace.kind, a.trace.rank, a.trace.sync_id,
+                         a.trace.blocks, a.trace.bytes, a.trace.req);
+      }
+      if (a.kind != Action::Kind::Send) continue;
+      if (a.message.type == msg::MsgType::LockGrant ||
+          a.message.type == msg::MsgType::UnlockAck) {
+        ++replies[a.rank - 1];
+      }
+      if (a.message.type == msg::MsgType::LockGrant) {
+        // The scoping bar: nothing outside the granted region's bound row
+        // may ride the grant, whichever shard issues it.
+        for (const idx::UpdateRun& run : decode_runs(a.message.payload)) {
+          EXPECT_EQ(run.row, a.message.sync_id)
+              << "grant of mutex " << a.message.sync_id
+              << " shipped row " << run.row;
+          if (a.message.sync_id == 0) grant0_runs.push_back(run);
+        }
+      }
+    }
+  }
+
+  void fire_remote(int i) {
+    const auto rank = static_cast<std::uint32_t>(i + 1);
+    const auto mutex = static_cast<std::uint32_t>(i);
+    const int at = i == 0 ? owner : 1;  // region 1 never moves off shard 1
+    if (i == 0 && cached[0] != owner) {
+      ++seq[0];  // the bounced stale-map attempt burns a seq (WrongShard)
+      cached[0] = owner;
+    }
+    msg::Message m =
+        pc[i] == 0
+            ? make_msg(msg::MsgType::LockRequest, rank, ++seq[i], mutex)
+            : make_msg(msg::MsgType::UnlockRequest, rank, ++seq[i], mutex,
+                       fake_payload({{mutex, 0, 2}}));
+    observe(h[at], h[at].core.step(Event::msg_received(rank, std::move(m))));
+    ++pc[i];
+  }
+
+  void fire_migration() {
+    std::vector<Action> out;
+    dsm::CoherenceCore::RegionState st = h[owner].core.export_region(0, out);
+    observe(h[owner], out);
+    // Pending travels scoped: every run riding the export belongs to the
+    // exported region's bound row.
+    for (const auto& [rank, runs] : st.pending) {
+      for (const idx::UpdateRun& run : runs) {
+        EXPECT_EQ(run.row, 0u) << "export of region 0 carried row "
+                               << run.row << " for rank " << rank;
+      }
+    }
+    out.clear();
+    h[1 - owner].core.import_region(std::move(st), out);
+    observe(h[1 - owner], out);
+    owner = 1 - owner;
+    ++migs;
+  }
+
+  // Agents 0..1 are the remotes, agent 2 the migration driver.
+  bool enabled(int agent) const {
+    if (agent == 2) return migs < kMigrations;
+    if (pc[agent] >= 2) return false;
+    return pc[agent] == 0 || replies[agent] >= 1;
+  }
+
+  void fire(int agent) { agent == 2 ? fire_migration() : fire_remote(agent); }
+
+  bool done() const {
+    return pc[0] == 2 && pc[1] == 2 && migs == kMigrations;
+  }
+};
+
+void dfs_object_schedules(std::vector<int>& path, int& schedules) {
+  ObjectLockSim sim;
+  for (const int agent : path) {
+    ASSERT_TRUE(sim.enabled(agent));
+    sim.fire(agent);
+  }
+  bool any = false;
+  for (int agent = 0; agent < 3; ++agent) {
+    if (!sim.enabled(agent)) continue;
+    any = true;
+    path.push_back(agent);
+    dfs_object_schedules(path, schedules);
+    path.pop_back();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  if (any) return;
+  ASSERT_TRUE(sim.done()) << "schedule deadlocked after " << path.size()
+                          << " steps";
+  EXPECT_EQ(sim.replies[0], 2);
+  EXPECT_EQ(sim.replies[1], 2);
+  EXPECT_EQ(sim.h[0].core.lock_holder(0), -1);
+  EXPECT_EQ(sim.h[1].core.lock_holder(0), -1);
+  EXPECT_EQ(sim.h[1].core.lock_holder(1), -1);
+  // Remote 1's grant delivered region 0's initial pending exactly once —
+  // the run survived every preceding handoff, and no handoff duplicated
+  // it.
+  ASSERT_EQ(sim.grant0_runs.size(), 1u);
+  EXPECT_EQ(sim.grant0_runs[0].row, 0u);
+  EXPECT_EQ(sim.grant0_runs[0].first_elem, 0u);
+  EXPECT_EQ(sim.grant0_runs[0].count, 4u);
+  // Each unlock's runs applied exactly once, at whichever shard executed
+  // it.
+  EXPECT_EQ(sim.h[0].codec.apply_calls + sim.h[1].codec.apply_calls, 2);
+  EXPECT_EQ(sim.h[0].stats.region_migrations +
+                sim.h[1].stats.region_migrations,
+            static_cast<std::uint64_t>(ObjectLockSim::kMigrations));
+  for (CoreHarness& shard : sim.h) {
+    const auto err = dsm::validate_trace(shard.log.snapshot());
+    ASSERT_FALSE(err.has_value()) << *err;
+  }
+  ++schedules;
+}
+
+}  // namespace
+
+TEST(CoherenceCoreSchedules, AllObjectModeInterleavingsStayScoped) {
+  std::vector<int> path;
+  int schedules = 0;
+  dfs_object_schedules(path, schedules);
+  // The two remotes touch disjoint regions, so every merge of the three
+  // agents' step sequences (2 + 2 + 2 steps) is causally valid:
+  // 6! / (2! 2! 2!) = 90 distinct schedules, each replayed and validated.
+  EXPECT_EQ(schedules, 90);
 }
 
 // ---- replicated pair: primary crash at every causally-valid step -----------

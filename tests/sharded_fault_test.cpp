@@ -20,6 +20,7 @@
 #include "dsm/sharded_cluster.hpp"
 #include "dsm/trace.hpp"
 #include "msg/faulty.hpp"
+#include "obj/object_dsm.hpp"
 #include "replicated_harness.hpp"
 #include "test_time.hpp"
 
@@ -27,6 +28,7 @@ namespace dsm = hdsm::dsm;
 namespace tags = hdsm::tags;
 namespace plat = hdsm::plat;
 namespace msg = hdsm::msg;
+namespace obj = hdsm::obj;
 
 using namespace std::chrono_literals;
 
@@ -65,6 +67,29 @@ std::vector<std::int64_t> expected_array(std::uint32_t num_remotes, int ops) {
     for (const auto& [idx, delta] : ops_of(r, ops)) e[idx] += delta;
   }
   return e;
+}
+
+/// Per-shard protocol validity, plus the cross-shard exactly-once bar:
+/// a request's updates must be applied at exactly one shard, ever — a
+/// (rank, seq) pair appearing in two shard logs means a duplicate
+/// re-executed after a migration.
+void validate_shard_traces(const std::vector<dsm::TraceLog>& logs) {
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> applied;
+  for (std::uint32_t s = 0; s < logs.size(); ++s) {
+    const auto snap = logs[s].snapshot();
+    const auto err = dsm::validate_trace(snap);
+    EXPECT_FALSE(err.has_value()) << "shard " << s << ": " << *err;
+    for (const auto& ev : snap) {
+      if (ev.kind != dsm::TraceEvent::Kind::UpdatesApplied || ev.req == 0) {
+        continue;
+      }
+      const auto [it, fresh] = applied.emplace(
+          std::make_pair(ev.rank, ev.req), s);
+      EXPECT_TRUE(fresh) << "rank " << ev.rank << " request #" << ev.req
+                         << " applied at shard " << it->second
+                         << " and again at shard " << s;
+    }
+  }
 }
 
 /// Run `num_remotes` remotes against `num_shards` home shards with every
@@ -140,26 +165,7 @@ void converge_sharded(const msg::FaultOptions& fault, std::uint32_t num_shards,
       }
     }
   }
-  // Per-shard protocol validity, plus the cross-shard exactly-once bar:
-  // a request's updates must be applied at exactly one shard, ever — a
-  // (rank, seq) pair appearing in two shard logs means a duplicate
-  // re-executed after a migration.
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> applied;
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    const auto snap = logs[s].snapshot();
-    const auto err = dsm::validate_trace(snap);
-    EXPECT_FALSE(err.has_value()) << "shard " << s << ": " << *err;
-    for (const auto& ev : snap) {
-      if (ev.kind != dsm::TraceEvent::Kind::UpdatesApplied || ev.req == 0) {
-        continue;
-      }
-      const auto [it, fresh] = applied.emplace(
-          std::make_pair(ev.rank, ev.req), s);
-      EXPECT_TRUE(fresh) << "rank " << ev.rank << " request #" << ev.req
-                         << " applied at shard " << it->second
-                         << " and again at shard " << s;
-    }
-  }
+  validate_shard_traces(logs);
   if (migrate) {
     EXPECT_GE(cluster.home().stats().region_migrations, 1u);
   }
@@ -260,6 +266,182 @@ TEST(ShardedFaults, FailoverHandoverUnderCombinedFaultsAndReset) {
   f.recv.drop = 0.1;
   f.send.reset_after = 40;
   hdsm::test::converge_replicated(&f, 2, 2, 10, /*failover=*/true);
+}
+
+// ---- object-granularity fault schedules (docs/OBJECTS.md) ------------------
+//
+// The same fault matrix replayed against an ObjectCluster: the unit of
+// coherence is an object, episodes ship dirty-object runs with no page
+// machinery armed, and the acceptance bar is unchanged — the master image
+// converges to the fault-free replay, every shard trace validates, and no
+// (rank, request) pair is applied twice across shards.  Strict entry
+// consistency must survive the faults too: zero page faults diffed, zero
+// pending pulls, every shipped byte attributed to an object episode.
+
+namespace {
+
+obj::ObjectLayoutPtr obj_layout() {
+  obj::ObjectLayoutConfig lc;
+  lc.num_regions = 8;
+  lc.classes.push_back({"O", tags::t_longlong(), 1, kElems});
+  return std::make_shared<const obj::ObjectLayout>(std::move(lc));
+}
+
+/// Object-mode twin of converge_sharded: the same per-rank op streams, but
+/// each op locks the mutex guarding its object's hashed region instead of
+/// one global mutex, so the schedule exercises cross-region interleavings
+/// the page harness never sees.
+void converge_objects(const msg::FaultOptions& fault, std::uint32_t num_shards,
+                      std::uint32_t num_remotes, int ops, bool migrate) {
+  obj::ObjectLayoutPtr layout = obj_layout();
+  std::vector<dsm::TraceLog> logs(num_shards);
+  dsm::ShardedHomeOptions opts;
+  opts.num_shards = num_shards;
+  for (auto& l : logs) opts.shard_traces.push_back(&l);
+  dsm::ShardedRemoteOptions ropts;
+  ropts.retry = fast_retry();
+  std::vector<const plat::PlatformDesc*> platforms(num_remotes,
+                                                   &plat::linux_ia32());
+  obj::ObjectCluster cluster(
+      layout, plat::linux_ia32(), platforms, opts,
+      [&fault](std::uint32_t rank, std::uint32_t shard, msg::EndpointPtr ep) {
+        msg::FaultOptions per_session = fault;
+        per_session.seed = fault.seed + rank * 64 + shard;
+        return msg::make_faulty(std::move(ep), per_session);
+      },
+      ropts);
+
+  std::atomic<bool> done{false};
+  std::thread migrator;
+  if (migrate) {
+    migrator = std::thread([&] {
+      std::uint32_t dst = 1 % num_shards;
+      while (!done.load()) {
+        cluster.home().node().migrate_region(0, dst);
+        dst = (dst + 1) % num_shards;
+        std::this_thread::sleep_for(500us);
+      }
+    });
+  }
+
+  cluster.run(
+      [&](obj::ObjectHome& home) {
+        home.node().set_barrier_count(0, num_remotes + 1);
+        home.barrier(0);
+        home.wait_all_joined();
+      },
+      [&](obj::ObjectRemote& remote) {
+        auto acc = remote.accessor<std::int64_t>(0);
+        for (const auto& [idx, delta] : ops_of(remote.rank(), ops)) {
+          const std::uint32_t region = layout->region_of(0, idx);
+          remote.lock(region);
+          acc.set(idx, acc.get(idx) + delta);
+          remote.unlock(region);
+        }
+        remote.barrier(0);
+        remote.join();
+      });
+  done.store(true);
+  if (migrator.joinable()) migrator.join();
+
+  const std::vector<std::int64_t> expected = expected_array(num_remotes, ops);
+  auto acc = cluster.home().accessor<std::int64_t>(0);
+  for (std::uint64_t i = 0; i < kElems; ++i) {
+    EXPECT_EQ(acc.get(i), expected[i]) << "object " << i;
+  }
+  validate_shard_traces(logs);
+
+  // Strict entry consistency held through the faults: the page machinery
+  // never fired, and everything shipped was an object episode.
+  const dsm::ShareStats stats = cluster.total_stats();
+  EXPECT_EQ(stats.dirty_pages, 0u);
+  EXPECT_EQ(stats.pending_pulls, 0u);
+  EXPECT_GT(stats.object_episodes, 0u);
+  EXPECT_GE(stats.objects_shipped, stats.object_episodes);
+  if (migrate) {
+    EXPECT_GE(cluster.home().node().stats().region_migrations, 1u);
+  }
+}
+
+}  // namespace
+
+TEST(ObjectFaults, ConvergesUnderDrop) {
+  msg::FaultOptions f;
+  f.send.drop = 0.2;
+  f.recv.drop = 0.2;
+  converge_objects(f, 2, 2, 10, /*migrate=*/false);
+}
+
+TEST(ObjectFaults, ConvergesUnderDuplication) {
+  msg::FaultOptions f;
+  f.send.duplicate = 1.0;  // every frame sent twice, on every session
+  f.recv.duplicate = 0.5;
+  converge_objects(f, 2, 2, 10, /*migrate=*/false);
+}
+
+TEST(ObjectFaults, ConvergesUnderReorder) {
+  msg::FaultOptions f;
+  f.send.reorder = 0.3;
+  f.send.reorder_window = 3;
+  converge_objects(f, 2, 2, 10, /*migrate=*/false);
+}
+
+TEST(ObjectFaults, MigrationUnderCombinedFaults) {
+  msg::FaultOptions f;
+  f.seed = 31;
+  f.send.drop = 0.15;
+  f.send.duplicate = 0.25;
+  f.recv.drop = 0.15;
+  converge_objects(f, 4, 2, 10, /*migrate=*/true);
+}
+
+TEST(ObjectFaults, SessionResetRecoversThroughReconnect) {
+  // The object-mode twin of the page-mode reset test below: the transport
+  // of the shard owning the hot object dies mid-run, the remote re-dials
+  // through the per-shard reconnect hook, and the dirty-object pipeline
+  // resumes with the dedup horizon intact.
+  obj::ObjectLayoutPtr layout = obj_layout();
+  std::vector<dsm::TraceLog> logs(2);
+  dsm::ShardedHomeOptions opts;
+  opts.num_shards = 2;
+  opts.shard_traces = {&logs[0], &logs[1]};
+  obj::ObjectHome home(layout, plat::linux_ia32(), opts);
+
+  // Pick the object whose region lives on shard 0 — the doomed session.
+  const std::uint64_t idx = 0;
+  const std::uint32_t region = layout->region_of(0, idx);
+  const std::uint32_t shard = home.node().shard_of(region);
+
+  dsm::ShardedRemoteOptions ropts;
+  ropts.retry = fast_retry();
+  ropts.reconnect = [&home](std::uint32_t s) {
+    auto [home_side, remote_side] = msg::make_channel_pair();
+    home.node().attach_endpoint(1, s, std::move(home_side));
+    return std::move(remote_side);
+  };
+  std::vector<msg::EndpointPtr> eps = home.node().attach(1);
+  msg::FaultOptions f;
+  f.send.reset_after = 9;  // dies partway through the workload
+  eps[shard] = msg::make_faulty(std::move(eps[shard]), f);
+  obj::ObjectRemote remote(layout, plat::linux_ia32(), 1, std::move(eps),
+                           ropts);
+  home.node().start();
+
+  constexpr int kOps = 12;
+  auto acc = remote.accessor<std::int64_t>(0);
+  for (int i = 0; i < kOps; ++i) {
+    remote.lock(region);
+    acc.set(idx, acc.get(idx) + 1);
+    remote.unlock(region);
+  }
+  remote.join();
+  home.wait_all_joined();
+
+  EXPECT_EQ(remote.node().stats().reconnects, 1u);
+  EXPECT_EQ(home.accessor<std::int64_t>(0).get(idx), kOps);
+  validate_shard_traces(logs);
+  EXPECT_EQ(home.node().stats().dirty_pages, 0u);
+  home.node().stop();
 }
 
 TEST(ShardedFaults, SessionResetRecoversThroughReconnect) {

@@ -18,6 +18,7 @@
 #include "dsm/trace.hpp"
 #include "dsm/update.hpp"
 #include "msg/message.hpp"
+#include "obj/object_space.hpp"
 #include "sched/shard_balance.hpp"
 
 namespace dsm = hdsm::dsm;
@@ -129,6 +130,26 @@ TEST(ShardMap, GoldenHashValuesArePinned) {
   for (std::uint32_t r = 0; r < 64; ++r) {
     EXPECT_EQ(dsm::ShardMap::hash_shard(r, 1), 0u);
   }
+}
+
+TEST(ShardMap, GoldenObjectIdRegionPlacementsArePinned) {
+  // The object-granularity layer (hdsm::obj, docs/OBJECTS.md) stripes
+  // 64-bit object ids over regions with the 64-bit twin of hash_shard:
+  // FNV-1a over the id's eight little-endian bytes, xor-folded, mod
+  // num_regions.  Same never-std::hash rule, same reason — an object's
+  // region (and through the region, its shard) is wire-protocol state.
+  // The object id namespace is ((class + 1) << 48) | index.
+  const auto id = [](std::uint32_t cls, std::uint64_t index) {
+    return (static_cast<std::uint64_t>(cls + 1) << 48) | index;
+  };
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(0, 0), 2), 0u);
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(0, 4), 2), 1u);
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(0, 0), 4), 2u);
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(0, 100), 16), 7u);
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(1, 0), 16), 5u);
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(0, 0), 64), 46u);
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(0, 999999), 64), 57u);
+  EXPECT_EQ(hdsm::obj::ObjectLayout::hash_region(id(2, 123456), 64), 46u);
 }
 
 TEST(ShardMap, OverridesBumpEpochAndRoundTrip) {
