@@ -63,7 +63,7 @@ void round_trip(benchmark::State& state, bool binary) {
   for (auto _ : state) {
     // Strided writes -> many runs -> many tags.
     for (std::uint64_t i = 0; i < (1 << 14); i += 32) a.set(i, ++v);
-    const auto payload = dsm::encode_update_blocks(se.collect_updates());
+    const auto payload = se.collect_payload();
     re.apply_payload(payload, summary);
   }
   sender.region().end_tracking();

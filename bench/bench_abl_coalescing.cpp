@@ -11,6 +11,7 @@
 
 #include "dsm/global_space.hpp"
 #include "dsm/sync_engine.hpp"
+#include "dsm/update.hpp"
 
 namespace dsm = hdsm::dsm;
 namespace tags = hdsm::tags;
@@ -47,7 +48,8 @@ void run(benchmark::State& state, bool coalesce, bool strided) {
   std::uint64_t tags_generated = 0, bytes = 0, blocks = 0;
   for (auto _ : state) {
     write_pattern(g, n, strided);
-    const auto out = engine.collect_updates();
+    const auto payload = engine.collect_payload();
+    const auto out = dsm::decode_update_blocks(payload);
     blocks += out.size();
     for (const auto& b : out) bytes += b.data.size() + b.tag.size();
     tags_generated = stats.tags_generated;

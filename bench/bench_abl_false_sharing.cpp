@@ -13,6 +13,7 @@
 #include "baseline/page_dsm.hpp"
 #include "dsm/global_space.hpp"
 #include "dsm/sync_engine.hpp"
+#include "dsm/update.hpp"
 
 namespace dsm = hdsm::dsm;
 namespace base = hdsm::base;
@@ -50,8 +51,9 @@ void BM_HierarchicalElementUpdates(benchmark::State& state) {
     ++salt;
     writer_pass(static_cast<int>(salt % 2), salt,
                 [&a](std::uint64_t i, std::int32_t v) { a.set(i, v); });
-    const auto blocks = engine.collect_updates();
-    for (const auto& b : blocks) bytes += b.data.size();
+    const auto payload = engine.collect_payload();
+    for (const auto& b : dsm::decode_update_blocks(payload))
+      bytes += b.data.size();
   }
   g.region().end_tracking();
   state.counters["wire_bytes_per_sync"] =

@@ -171,7 +171,7 @@ void BM_CollectDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_CollectDiff)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
-void pack_bench(benchmark::State& state, bool zero_copy) {
+void BM_PackZeroCopy(benchmark::State& state) {
   dsm::GlobalSpace g(gthv(big_elems()), plat::linux_ia32());
   dsm::ShareStats stats;
   dsm::SyncEngine engine(g, lanes(1), stats);
@@ -182,23 +182,12 @@ void pack_bench(benchmark::State& state, bool zero_copy) {
 
   std::uint64_t bytes = 0;
   for (auto _ : state) {
-    std::vector<std::byte> wire =
-        zero_copy ? engine.pack_payload(runs)
-                  : dsm::encode_update_blocks(engine.pack_runs(runs));
+    std::vector<std::byte> wire = engine.pack_payload(runs);
     benchmark::DoNotOptimize(wire.data());
     bytes += wire.size();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
   state.counters["runs"] = static_cast<double>(runs.size());
-}
-
-void BM_PackLegacyTwoCopy(benchmark::State& state) {
-  pack_bench(state, /*zero_copy=*/false);
-}
-BENCHMARK(BM_PackLegacyTwoCopy)->Unit(benchmark::kMillisecond);
-
-void BM_PackZeroCopy(benchmark::State& state) {
-  pack_bench(state, /*zero_copy=*/true);
 }
 BENCHMARK(BM_PackZeroCopy)->Unit(benchmark::kMillisecond);
 

@@ -15,6 +15,10 @@
 //   density             diffed bytes / (dirty pages * page size)
 //   bytes_per_episode   mean payload bytes moved per episode
 //   objects_per_episode mean dirty objects shipped per object-mode episode
+//   encode_ns_per_byte  codec encode cost per raw element byte
+//   codec_ratio         wire data bytes / raw data bytes with codec engaged
+//   link_ns_per_byte    measured wire cost per frame byte on this link
+//   raw_bytes_per_episode  mean raw element bytes per pack episode
 //
 // All models are deterministic functions of the Signal sequence (fixed
 // alpha, no clocks, no randomness) so a recorded signal trace replays to
@@ -78,11 +82,21 @@ class Probe {
   double density() const { return density_.value(); }
   double bytes_per_episode() const { return bytes_per_episode_.value(); }
   double objects_per_episode() const { return objects_per_episode_.value(); }
+  double encode_ns_per_byte() const { return encode_cost_.value(); }
+  double codec_ratio() const { return codec_ratio_.value(); }
+  double link_ns_per_byte() const { return link_cost_.value(); }
+  double raw_bytes_per_episode() const {
+    return raw_bytes_per_episode_.value();
+  }
 
   bool has_object_model() const { return objects_per_episode_.seeded(); }
 
   bool has_seq_model() const { return seq_cost_.seeded(); }
   bool has_par_model() const { return par_cost_.seeded(); }
+  bool has_codec_model() const {
+    return encode_cost_.seeded() && codec_ratio_.seeded();
+  }
+  bool has_link_model() const { return link_cost_.seeded(); }
 
   /// Episodes observed so far (collect + apply both count).
   std::uint64_t episodes() const { return episodes_; }
@@ -99,6 +113,10 @@ class Probe {
   Ewma density_;
   Ewma bytes_per_episode_;
   Ewma objects_per_episode_;
+  Ewma encode_cost_;
+  Ewma codec_ratio_;
+  Ewma link_cost_;
+  Ewma raw_bytes_per_episode_;
   std::uint64_t episodes_ = 0;
 };
 

@@ -24,6 +24,16 @@ struct Signal {
   std::uint64_t bytes_packed = 0;  ///< payload bytes produced
   std::uint64_t objects = 0;       ///< dirty objects shipped (object mode;
                                    ///< 0 = page-granularity episode)
+  std::uint64_t encode_ns = 0;     ///< wall time spent in codec encode calls
+  std::uint64_t bytes_raw = 0;     ///< raw element bytes this pack episode
+                                   ///  (pre-codec; 0 = codec not measured)
+  std::uint64_t bytes_coded = 0;   ///< element data bytes actually on the
+                                   ///  wire (compressed where it won)
+  bool codec_on = false;           ///< was the codec engaged this episode?
+
+  // ---- link (wire) side ----
+  std::uint64_t wire_ns = 0;       ///< wall time a payload send blocked for
+  std::uint64_t wire_bytes = 0;    ///< frame bytes that send carried
 
   // ---- apply side (unpack + convert) ----
   std::uint64_t unpack_ns = 0;        ///< wall time spent validating/decoding
@@ -41,6 +51,7 @@ struct Signal {
 
   bool has_collect() const { return diff_ns != 0 || dirty_pages != 0; }
   bool has_apply() const { return blocks != 0; }
+  bool has_wire() const { return wire_bytes != 0 && wire_ns != 0; }
 };
 
 }  // namespace hdsm::adapt

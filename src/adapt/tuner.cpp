@@ -13,6 +13,7 @@ int knob_index(std::uint32_t bit) {
     case Decision::kLanes: return 2;
     case Decision::kGrain: return 3;
     case Decision::kSlack: return 4;
+    case Decision::kCodec: return 5;
   }
   return 0;
 }
@@ -55,6 +56,8 @@ void Tuner::apply_pins() {
   if (cfg_.pin_merge_slack >= 0)
     cur_.merge_slack = std::min(static_cast<std::size_t>(cfg_.pin_merge_slack),
                                 cfg_.max_merge_slack);
+  if (cfg_.enable_codec && cfg_.pin_codec >= 0)
+    cur_.compress = cfg_.pin_codec != 0;
 }
 
 bool Tuner::frozen(std::uint32_t knob_bit) const {
@@ -81,6 +84,7 @@ const Decision& Tuner::step(const Signal& s) {
   tune_fastpath();
   tune_lanes();
   tune_slack();
+  tune_codec();
   return cur_;
 }
 
@@ -200,6 +204,46 @@ void Tuner::tune_slack() {
   if (target != cur_.merge_slack) {
     cur_.merge_slack = target;
     mark_changed(Decision::kSlack);
+  }
+}
+
+void Tuner::tune_codec() {
+  if (!cfg_.enable_codec) return;
+  if (cfg_.pin_codec >= 0) return;
+  if (frozen(Decision::kCodec)) return;
+
+  // Bounded exploration: the encode cost and compression ratio can only be
+  // measured by running the encoder, so once raw bytes are flowing take the
+  // codec path for one dwell window to seed the model.  Deterministic —
+  // fires exactly once.
+  if (!explored_codec_ && !probe_.has_codec_model() &&
+      probe_.raw_bytes_per_episode() > 0.0) {
+    explored_codec_ = true;
+    if (!cur_.compress) {
+      cur_.compress = true;
+      mark_changed(Decision::kCodec);
+    }
+    return;
+  }
+  if (!probe_.has_codec_model()) return;
+
+  const double link = probe_.has_link_model() ? probe_.link_ns_per_byte()
+                                              : cfg_.wire_ns_per_byte;
+  const double b = probe_.raw_bytes_per_episode();
+  if (b <= 0.0 || link <= 0.0) return;
+
+  // Per episode: raw ships b bytes at the link cost; the codec pays encode
+  // time on every raw byte and ships ratio*b bytes instead.  The margin is
+  // the usual hysteresis band on both edges.
+  const double cost_raw = b * link;
+  const double cost_codec =
+      b * (probe_.encode_ns_per_byte() + probe_.codec_ratio() * link);
+  if (!cur_.compress && cost_codec < cost_raw * (1.0 - cfg_.margin)) {
+    cur_.compress = true;
+    mark_changed(Decision::kCodec);
+  } else if (cur_.compress && cost_raw < cost_codec * (1.0 - cfg_.margin)) {
+    cur_.compress = false;
+    mark_changed(Decision::kCodec);
   }
 }
 

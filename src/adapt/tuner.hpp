@@ -21,6 +21,12 @@
 //                            overhead dominates per-byte cost (bounded by
 //                            max_merge_slack; see docs/ADAPTIVITY.md for the
 //                            ownership-granularity safety argument).
+//   5. compress              predictive compression of update runs
+//                            (hdsm::codec, docs/COMPRESSION.md): engage when
+//                            encode cost + predicted wire cost at the link's
+//                            measured bandwidth beats raw wire cost.  Gated
+//                            by TunerConfig::enable_codec so sessions that
+//                            predate the knob see identical decisions.
 //
 // Hysteresis: after any knob changes, that knob is frozen for `dwell`
 // episodes, and cost-model comparisons must win by `margin` before a switch
@@ -43,6 +49,7 @@ struct Decision {
     kLanes = 1u << 2,
     kGrain = 1u << 3,
     kSlack = 1u << 4,
+    kCodec = 1u << 5,
   };
 
   double whole_page_threshold = 1.0;  ///< density >= t -> ship page whole
@@ -50,13 +57,15 @@ struct Decision {
   std::uint32_t conv_threads = 1;     ///< conversion lanes (1 = sequential)
   std::size_t parallel_grain = 64 * 1024;  ///< min batch bytes to go parallel
   std::size_t merge_slack = 0;        ///< bytes of gap to coalesce across
+  bool compress = false;              ///< run the update codec on pack
   std::uint32_t changed = 0;          ///< Changed bits for this step
 
   bool operator==(const Decision& o) const {
     return whole_page_threshold == o.whole_page_threshold &&
            identity_fastpath == o.identity_fastpath &&
            conv_threads == o.conv_threads &&
-           parallel_grain == o.parallel_grain && merge_slack == o.merge_slack;
+           parallel_grain == o.parallel_grain &&
+           merge_slack == o.merge_slack && compress == o.compress;
   }
 };
 
@@ -81,7 +90,13 @@ struct TunerConfig {
   std::size_t max_merge_slack = 64;
   // Modeled cost of moving one extra payload byte across the wire, added to
   // the measured pack cost when weighing whole-page promotion and slack.
+  // Also the codec knob's fallback link cost until a measured
+  // Signal::wire_ns/wire_bytes sample seeds the per-link model.
   double wire_ns_per_byte = 0.5;
+  // The sixth knob exists only when the shell opts in (SyncOptions::codec
+  // == Adaptive): off, tune_codec never runs and decisions are identical
+  // to a five-knob tuner fed the same signals.
+  bool enable_codec = false;
 
   // Initial knob values (what adaptive-off behavior would use).
   Decision initial;
@@ -93,6 +108,7 @@ struct TunerConfig {
   int pin_conv_threads = -1;
   long pin_parallel_grain = -1;
   long pin_merge_slack = -1;
+  int pin_codec = -1;
 };
 
 class Tuner {
@@ -115,6 +131,7 @@ class Tuner {
   void tune_fastpath();
   void tune_lanes();
   void tune_slack();
+  void tune_codec();
   bool frozen(std::uint32_t knob_bit) const;
   void mark_changed(std::uint32_t knob_bit);
 
@@ -124,8 +141,9 @@ class Tuner {
   Ewma runs_per_page_;
   std::uint64_t switches_ = 0;
   // Episode number at which each knob last changed (for dwell).
-  std::uint64_t last_change_[5] = {0, 0, 0, 0, 0};
+  std::uint64_t last_change_[6] = {0, 0, 0, 0, 0, 0};
   bool explored_parallel_ = false;  ///< one bounded exploration episode fired
+  bool explored_codec_ = false;     ///< one codec exploration episode fired
 };
 
 }  // namespace hdsm::adapt

@@ -1,0 +1,104 @@
+// Bit-level packing primitives for the predictive update codec
+// (docs/COMPRESSION.md).  MSB-first within each byte, so a packed stream
+// reads the same on every host; the writer appends to the caller's wire
+// buffer in place (no intermediate allocation), and the reader bounds-checks
+// every pull so a truncated stream throws instead of reading past the block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace hdsm::codec {
+
+/// Append bits MSB-first to a byte vector.  `align()` pads the current
+/// partial byte with zero bits; the reader checks those pad bits are still
+/// zero, so flipped padding is detected like any other corruption.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  /// Append the low `bits` bits of `value` (bits <= 64).
+  void put(std::uint64_t value, unsigned bits) {
+    while (bits > 0) {
+      const unsigned take = bits < 8u - nbits_ ? bits : 8u - nbits_;
+      const unsigned shift = bits - take;
+      const auto chunk = static_cast<std::uint32_t>(
+          (value >> shift) & ((std::uint64_t{1} << take) - 1));
+      cur_ = (cur_ << take) | chunk;
+      nbits_ += take;
+      bits -= take;
+      if (nbits_ == 8) {
+        out_.push_back(static_cast<std::byte>(cur_));
+        cur_ = 0;
+        nbits_ = 0;
+      }
+    }
+  }
+
+  /// Pad to the next byte boundary with zero bits.
+  void align() {
+    if (nbits_ != 0) {
+      out_.push_back(static_cast<std::byte>(cur_ << (8 - nbits_)));
+      cur_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+  std::uint32_t cur_ = 0;
+  unsigned nbits_ = 0;
+};
+
+/// Bounds-checked MSB-first bit reader over a borrowed byte span.
+class BitReader {
+ public:
+  BitReader(const std::byte* p, std::size_t len) : p_(p), len_(len) {}
+
+  /// Pull `bits` bits (bits <= 64); throws once the span is exhausted.
+  std::uint64_t get(unsigned bits) {
+    std::uint64_t v = 0;
+    while (bits > 0) {
+      if (nbits_ == 0) {
+        if (pos_ >= len_) {
+          throw std::runtime_error("codec: residual stream truncated");
+        }
+        cur_ = std::to_integer<std::uint32_t>(p_[pos_++]);
+        nbits_ = 8;
+      }
+      const unsigned take = bits < nbits_ ? bits : nbits_;
+      const unsigned shift = nbits_ - take;
+      v = (v << take) | ((cur_ >> shift) & ((std::uint64_t{1} << take) - 1));
+      nbits_ -= take;
+      bits -= take;
+    }
+    return v;
+  }
+
+  /// Discard to the next byte boundary; the writer pads with zeros, so a
+  /// nonzero pad bit means the block was tampered with.
+  void align() {
+    if (nbits_ != 0) {
+      if ((cur_ & ((std::uint32_t{1} << nbits_) - 1)) != 0) {
+        throw std::runtime_error("codec: nonzero padding bits");
+      }
+      nbits_ = 0;
+    }
+  }
+
+  /// Bytes consumed so far (byte-aligned positions only meaningful after
+  /// align()).
+  std::size_t byte_pos() const { return pos_; }
+  bool exhausted() const { return pos_ == len_ && nbits_ == 0; }
+
+ private:
+  const std::byte* p_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  std::uint32_t cur_ = 0;
+  unsigned nbits_ = 0;
+};
+
+}  // namespace hdsm::codec

@@ -1,0 +1,95 @@
+// hdsm::codec — predictive compression of update-run payloads
+// (docs/COMPRESSION.md, ROADMAP item 2).
+//
+// Update runs are same-type element arrays with spatially coherent numeric
+// content (matmul/LU/SOR rows, KV object fields) — exactly the shape the
+// CCSDS-123 discipline targets: predict each element from its neighbors
+// (delta or linear extrapolation over the element's integer bit pattern),
+// map the residuals to small unsigned ints (zigzag), and bit-pack them in
+// block-adaptive variable-length chunks.  IEEE floats of the same sign with
+// nearby magnitudes have nearby bit patterns, so integer prediction
+// compresses smooth float rows too — and because the codec only ever
+// reproduces the exact input bytes, it is lossless for every element kind
+// regardless of interpretation.
+//
+// Sans-I/O like the protocol cores: encode appends to a caller-owned wire
+// buffer (the one SyncEngine::pack_payload assembles — no intermediate
+// allocation or copy), decode writes into a caller-owned destination and
+// throws std::runtime_error on any malformed input (truncated, oversized,
+// trailing bytes, bad header, checksum mismatch), which is what lets a
+// corrupt compressed block reject the whole payload under the data plane's
+// two-phase validate-then-apply contract.
+//
+// Stream layout (replaces a block's raw data bytes; lengths in bytes):
+//
+//   offset  size  field
+//   0       1     magic 0xC5
+//   1       1     predictor (0 = delta, 1 = linear)
+//   2       1     element size (1, 2, 4, or 8)
+//   3       1     flags (bit 0: elements interpreted big-endian)
+//   4       8     raw byte length, big-endian (must equal count*elem_size)
+//   12      4     checksum over the raw bytes, big-endian
+//   16      es    element 0, raw bytes
+//   16+es   ...   residual chunks: per <=64-element chunk one width byte W,
+//                 then W bits per zigzagged residual MSB-first, zero-padded
+//                 to a byte boundary
+//
+// The encoder sizes both predictors first and appends nothing unless the
+// compressed form is strictly smaller than the raw bytes, so the raw-size
+// reserve a caller made for its wire buffer stays an upper bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hdsm::codec {
+
+enum class Predictor : std::uint8_t {
+  Delta = 0,   ///< pred_i = v_{i-1}
+  Linear = 1,  ///< pred_i = 2*v_{i-1} - v_{i-2} (delta for element 1)
+};
+
+/// Fixed header before element 0: magic/predictor/elem/flags + raw length +
+/// checksum.
+inline constexpr std::size_t kHeaderSize = 4 + 8 + 4;
+
+/// Runs below this raw size are never worth the header + model ramp-up;
+/// callers skip the codec for them.
+inline constexpr std::size_t kMinEncodeBytes = 64;
+
+/// Element sizes the integer predictors understand; anything else ships raw.
+constexpr bool encodable_elem_size(std::uint32_t elem_size) {
+  return elem_size == 1 || elem_size == 2 || elem_size == 4 || elem_size == 8;
+}
+
+struct EncodeResult {
+  bool encoded = false;          ///< false = nothing appended, ship raw
+  std::size_t bytes = 0;         ///< bytes appended to `out` when encoded
+  Predictor predictor = Predictor::Delta;
+};
+
+/// Checksum over the raw element bytes (word-fold multiply-mix): any
+/// single-bit flip in a decoded block changes it, which is what turns a
+/// seeded fault-injection bit flip into a deterministic decode rejection.
+std::uint32_t checksum32(const std::byte* p, std::size_t n);
+
+/// Compress one run of `raw_len` bytes (`raw_len % elem_size == 0`) and
+/// append the stream to `out`.  Appends *only* when the compressed form is
+/// strictly smaller than `raw_len`; otherwise returns `encoded = false`
+/// with `out` untouched.  Never throws on valid arguments; unencodable
+/// element sizes simply return not-encoded.
+EncodeResult encode_run(const std::byte* src, std::size_t raw_len,
+                        std::uint32_t elem_size, std::vector<std::byte>& out);
+
+/// Decompress one stream of `src_len` bytes into exactly `dst_len` raw
+/// bytes.  `elem_size` is the caller's expectation (from the run tag) and
+/// must match the stream.  Throws std::runtime_error on any malformed
+/// input: truncated or oversized stream, trailing bytes, header mismatch,
+/// residual width over the element width, nonzero padding, or checksum
+/// mismatch.  On throw the destination contents are unspecified — callers
+/// decode into scratch during the validate phase and discard on failure.
+void decode_run(const std::byte* src, std::size_t src_len, std::byte* dst,
+                std::size_t dst_len, std::uint32_t elem_size);
+
+}  // namespace hdsm::codec

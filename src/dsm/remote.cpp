@@ -142,7 +142,16 @@ msg::Message RemoteThread::rpc(msg::Message req, msg::MsgType want) {
     std::optional<msg::Message> delivered;
     try {
       if (need_send) {
-        endpoint_->send(req);
+        // Payload-bearing sends double as bandwidth probes for the codec
+        // cost model; small control messages are too noisy to be useful.
+        if (req.payload.size() >= SyncEngine::kWireProbeMinBytes) {
+          const std::uint64_t t0 = obs::ScopedTimer::now_ns();
+          endpoint_->send(req);
+          engine_.note_wire(req.wire_size(),
+                            obs::ScopedTimer::now_ns() - t0);
+        } else {
+          endpoint_->send(req);
+        }
         need_send = false;
       }
       // Wait out this attempt's (jittered) window; duplicate replies from

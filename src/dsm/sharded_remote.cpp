@@ -160,7 +160,16 @@ msg::Message ShardedRemote::rpc(std::uint32_t shard, msg::Message req,
     std::optional<msg::Message> delivered;
     try {
       if (need_send) {
-        session.endpoint->send(req);
+        // Payload-bearing sends double as bandwidth probes for the codec
+        // cost model; small control messages are too noisy to be useful.
+        if (req.payload.size() >= SyncEngine::kWireProbeMinBytes) {
+          const std::uint64_t t0 = obs::ScopedTimer::now_ns();
+          session.endpoint->send(req);
+          engine_.note_wire(req.wire_size(),
+                            obs::ScopedTimer::now_ns() - t0);
+        } else {
+          session.endpoint->send(req);
+        }
         need_send = false;
       }
       const auto deadline = std::chrono::steady_clock::now() + d.wait;

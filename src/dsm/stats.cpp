@@ -69,6 +69,15 @@ std::string ShareStats::to_string() const {
     os << " object_episodes=" << object_episodes
        << " objects_shipped=" << objects_shipped;
   }
+  if (codec_blocks != 0 || codec_skipped != 0 || codec_decoded_blocks != 0 ||
+      codec_decode_rejects != 0) {
+    os << " codec_blocks=" << codec_blocks
+       << " codec_raw_bytes=" << codec_raw_bytes
+       << " codec_wire_bytes=" << codec_wire_bytes
+       << " codec_skipped=" << codec_skipped
+       << " codec_decoded=" << codec_decoded_blocks
+       << " codec_rejects=" << codec_decode_rejects;
+  }
   return os.str();
 }
 

@@ -58,7 +58,15 @@ namespace hdsm::dsm {
   X(pending_pulls)                 \
   X(region_migrations)             \
   X(object_episodes)               \
-  X(objects_shipped)
+  X(objects_shipped)               \
+  X(codec_blocks)                  \
+  X(codec_raw_bytes)               \
+  X(codec_wire_bytes)              \
+  X(codec_skipped)                 \
+  X(codec_decoded_blocks)          \
+  X(codec_decode_rejects)          \
+  X(codec_encode_ns)               \
+  X(codec_decode_ns)
 
 struct ShareStats {
   // -- Eq.-1 cost buckets, all in nanoseconds of CPU-side work --
@@ -118,6 +126,19 @@ struct ShareStats {
                                       ///  at object granularity
   std::uint64_t objects_shipped = 0;  ///< count: dirty objects shipped
                                       ///  across those episodes
+
+  // -- Predictive update codec (hdsm::codec, docs/COMPRESSION.md) --
+  std::uint64_t codec_blocks = 0;     ///< count: blocks shipped compressed
+  std::uint64_t codec_raw_bytes = 0;  ///< bytes: raw size of those blocks
+  std::uint64_t codec_wire_bytes = 0;  ///< bytes: their compressed wire size
+  std::uint64_t codec_skipped = 0;  ///< count: blocks the encoder sized and
+                                    ///  shipped raw (compression lost)
+  std::uint64_t codec_decoded_blocks = 0;  ///< count: compressed blocks
+                                           ///  decoded on apply
+  std::uint64_t codec_decode_rejects = 0;  ///< count: payloads rejected for
+                                           ///  a malformed compressed block
+  std::uint64_t codec_encode_ns = 0;  ///< ns: codec encode (inside t_pack)
+  std::uint64_t codec_decode_ns = 0;  ///< ns: codec decode (inside t_unpack)
 
   std::uint64_t share_ns() const noexcept {
     return index_ns + tag_ns + pack_ns + unpack_ns + conv_ns;

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "codec/codec.hpp"
 #include "convert/converter.hpp"
 #include "memory/diff.hpp"
 
@@ -130,7 +131,7 @@ struct SyncEngine::SenderPlanCache {
 SyncEngine::SyncEngine(GlobalSpace& space, const SyncOptions& opts,
                        ShareStats& stats)
     : space_(space), opts_(opts), stats_(stats) {
-  if (opts_.adaptive) {
+  if (opts_.adaptive || opts_.codec == CodecMode::Adaptive) {
     adapt::TunerConfig cfg = opts_.tuner;
     cfg.page_size = mem::Region::host_page_size();
     // Lanes the machine can actually run: exploring 4-way conversion on a
@@ -143,6 +144,16 @@ SyncEngine::SyncEngine(GlobalSpace& space, const SyncOptions& opts,
     cfg.initial.conv_threads = effective_lanes();
     cfg.initial.parallel_grain = opts_.parallel_grain;
     cfg.initial.merge_slack = std::min(opts_.merge_slack, cfg.max_merge_slack);
+    cfg.enable_codec = opts_.codec == CodecMode::Adaptive;
+    if (!opts_.adaptive) {
+      // Codec-only tuner (codec == Adaptive with `adaptive` off): pin every
+      // non-codec knob to the static options so only compress can move.
+      cfg.pin_whole_page_threshold = cfg.initial.whole_page_threshold;
+      cfg.pin_identity_fastpath = cfg.initial.identity_fastpath ? 1 : 0;
+      cfg.pin_conv_threads = static_cast<int>(cfg.initial.conv_threads);
+      cfg.pin_parallel_grain = static_cast<long>(cfg.initial.parallel_grain);
+      cfg.pin_merge_slack = static_cast<long>(cfg.initial.merge_slack);
+    }
     tuner_ = std::make_unique<adapt::Tuner>(cfg);
     apply_decision(tuner_->decision());  // pins may differ from the statics
   }
@@ -170,7 +181,8 @@ void SyncEngine::sample_episode(adapt::Signal& s) {
   if (trace_ != nullptr) {
     // One event per affected subsystem, each in the same episode as (and
     // after) the ProbeSampled above — validator invariant 5.
-    if (d.changed & (adapt::Decision::kThreshold | adapt::Decision::kFastpath))
+    if (d.changed & (adapt::Decision::kThreshold | adapt::Decision::kFastpath |
+                     adapt::Decision::kCodec))
       trace_->append(TraceEvent::Kind::StrategySwitched, trace_rank_, episode);
     if (d.changed & (adapt::Decision::kLanes | adapt::Decision::kGrain))
       trace_->append(TraceEvent::Kind::LanesRetuned, trace_rank_, episode);
@@ -284,46 +296,6 @@ std::vector<idx::UpdateRun> SyncEngine::collect_runs() {
   return runs;
 }
 
-std::vector<UpdateBlock> SyncEngine::pack_runs(
-    const std::vector<idx::UpdateRun>& runs) {
-  const idx::IndexTable& table = space_.table();
-  std::vector<UpdateBlock> blocks;
-  blocks.reserve(runs.size());
-
-  StopWatch watch;
-  // t_tag: generate the tag text for every run (the paper's sprintf work).
-  std::vector<std::string> tag_texts;
-  tag_texts.reserve(runs.size());
-  for (const idx::UpdateRun& run : runs) {
-    tag_texts.push_back(
-        render_run_tag(idx::run_tag(table, run), opts_.binary_tags));
-  }
-  const std::uint64_t tag_ns = watch.lap();
-  stats_.tag_ns += tag_ns;
-  stats_.tags_generated += runs.size();
-  obs_phase(obs::SpanKind::Tag, tag_ns, runs.size());
-
-  // t_pack: copy the raw element bytes out of the image.
-  const std::byte* image = space_.region().data();
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const idx::UpdateRun& run = runs[i];
-    UpdateBlock b;
-    b.row = run.row;
-    b.first_elem = run.first_elem;
-    b.tag = std::move(tag_texts[i]);
-    const std::uint64_t off = idx::run_offset(table, run);
-    const std::uint64_t len = idx::run_byte_length(table, run);
-    b.data.assign(image + off, image + off + len);
-    stats_.update_bytes_sent += len;
-    ++stats_.updates_sent;
-    blocks.push_back(std::move(b));
-  }
-  const std::uint64_t pack_ns = watch.lap();
-  stats_.pack_ns += pack_ns;
-  obs_phase(obs::SpanKind::Pack, pack_ns, runs.size());
-  return blocks;
-}
-
 std::vector<std::byte> SyncEngine::pack_payload(
     const std::vector<idx::UpdateRun>& runs) {
   const idx::IndexTable& table = space_.table();
@@ -342,9 +314,11 @@ std::vector<std::byte> SyncEngine::pack_payload(
   obs_phase(obs::SpanKind::Tag, tag_ns, runs.size());
 
   // t_pack: gather headers, tags, and element bytes straight into one wire
-  // buffer — a single allocation and a single copy of the element data
-  // (the legacy pack_runs + encode_update_blocks path copies each run
-  // twice: image -> block vector -> payload).
+  // buffer — a single allocation and a single copy of the element data.
+  // With the codec engaged, eligible runs are encoded in place instead of
+  // copied: the encoder appends to this same buffer only when the
+  // compressed form is strictly smaller, so the raw-size reserve below
+  // stays an upper bound and the no-extra-allocation property holds.
   std::vector<std::uint64_t> offs(runs.size()), lens(runs.size());
   std::size_t total = 4;
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -353,6 +327,11 @@ std::vector<std::byte> SyncEngine::pack_payload(
     total += update_block_wire_size(tag_texts[i].size(),
                                     static_cast<std::size_t>(lens[i]));
   }
+  const bool codec_on = codec_engaged();
+  std::uint64_t encode_ns = 0;
+  std::uint64_t bytes_raw = 0;
+  std::uint64_t bytes_coded = 0;
+  std::uint64_t coded_blocks = 0;
   std::vector<std::byte> out;
   out.reserve(total);
   wire::put_u32be(out, static_cast<std::uint32_t>(runs.size()));
@@ -360,18 +339,56 @@ std::vector<std::byte> SyncEngine::pack_payload(
   for (std::size_t i = 0; i < runs.size(); ++i) {
     wire::put_u32be(out, runs[i].row);
     wire::put_u64be(out, runs[i].first_elem);
+    const std::size_t tag_len_pos = out.size();
     wire::put_u32be(out, static_cast<std::uint32_t>(tag_texts[i].size()));
+    const std::size_t data_len_pos = out.size();
     wire::put_u64be(out, lens[i]);
     const std::byte* t =
         reinterpret_cast<const std::byte*>(tag_texts[i].data());
     out.insert(out.end(), t, t + tag_texts[i].size());
-    out.insert(out.end(), image + offs[i], image + offs[i] + lens[i]);
+    bytes_raw += lens[i];
+    bool encoded = false;
+    const idx::IndexRow& row = table.rows()[runs[i].row];
+    if (codec_on && lens[i] >= codec::kMinEncodeBytes &&
+        codec::encodable_elem_size(static_cast<std::uint32_t>(row.size)) &&
+        !row.is_pointer()) {
+      const std::uint64_t t0 = obs::ScopedTimer::now_ns();
+      const codec::EncodeResult enc =
+          codec::encode_run(image + offs[i], static_cast<std::size_t>(lens[i]),
+                            static_cast<std::uint32_t>(row.size), out);
+      encode_ns += obs::ScopedTimer::now_ns() - t0;
+      if (enc.encoded) {
+        // Patch the already-written header: flag the block compressed and
+        // shrink its data length to the encoded stream.
+        wire::patch_u32be(
+            out, tag_len_pos,
+            static_cast<std::uint32_t>(tag_texts[i].size()) |
+                kCompressedTagFlag);
+        wire::patch_u64be(out, data_len_pos, enc.bytes);
+        encoded = true;
+        ++coded_blocks;
+        bytes_coded += enc.bytes;
+        stats_.codec_raw_bytes += lens[i];
+        stats_.codec_wire_bytes += enc.bytes;
+      } else {
+        ++stats_.codec_skipped;  // sized both predictors; raw was smaller
+      }
+    }
+    if (!encoded) {
+      out.insert(out.end(), image + offs[i], image + offs[i] + lens[i]);
+      bytes_coded += lens[i];
+    }
     stats_.update_bytes_sent += lens[i];
     ++stats_.updates_sent;
   }
+  stats_.codec_blocks += coded_blocks;
   const std::uint64_t pack_ns = watch.lap();
   stats_.pack_ns += pack_ns;
   obs_phase(obs::SpanKind::Pack, pack_ns, runs.size());
+  if (encode_ns != 0) {
+    stats_.codec_encode_ns += encode_ns;
+    obs_phase(obs::SpanKind::CodecEncode, encode_ns, coded_blocks);
+  }
 
   // Object-granularity episode accounting (docs/OBJECTS.md): non-zero only
   // when the object shell staged a dirty-object count for this pack.
@@ -388,16 +405,38 @@ std::vector<std::byte> SyncEngine::pack_payload(
     s.runs = runs.size();
     s.bytes_packed = out.size();
     s.objects = episode_objects;
+    s.encode_ns = encode_ns;
+    s.bytes_raw = bytes_raw;
+    s.bytes_coded = bytes_coded;
+    s.codec_on = codec_on;
     sample_episode(s);
   }
   return out;
 }
 
-std::vector<UpdateBlock> SyncEngine::collect_updates(
-    std::vector<idx::UpdateRun>* runs_out) {
-  const std::vector<idx::UpdateRun> runs = collect_runs();
-  if (runs_out != nullptr) *runs_out = runs;
-  return pack_runs(runs);
+bool SyncEngine::codec_engaged() const noexcept {
+  switch (opts_.codec) {
+    case CodecMode::Off:
+      return false;
+    case CodecMode::Forced:
+      return true;
+    case CodecMode::Adaptive:
+      // The identity/memcpy fast path bypasses the codec entirely: when
+      // the link's traffic is identical-representation memcpy, the receive
+      // side's zero-copy path matters more than wire bytes.
+      return tuner_ != nullptr && tuner_->decision().compress &&
+             !tuner_->decision().identity_fastpath;
+  }
+  return false;
+}
+
+void SyncEngine::note_wire(std::uint64_t bytes, std::uint64_t ns) {
+  if (tuner_ == nullptr || opts_.codec != CodecMode::Adaptive) return;
+  if (bytes == 0 || ns == 0) return;
+  adapt::Signal s;
+  s.wire_ns = ns;
+  s.wire_bytes = bytes;
+  sample_episode(s);
 }
 
 std::vector<std::byte> SyncEngine::collect_payload(
@@ -409,7 +448,7 @@ std::vector<std::byte> SyncEngine::collect_payload(
 
 // -- Receive side: phase 1 (validate + plan) ---------------------------------
 
-std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
+SyncEngine::ValidatedPayload SyncEngine::validate_payload(
     const std::vector<std::byte>& payload,
     const msg::PlatformSummary& sender) {
   const idx::IndexTable& table = space_.table();
@@ -419,7 +458,10 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
       decode_update_block_views(payload);
   SenderPlanCache& cache = cache_for(sender);
 
-  std::vector<BlockPlan> plans;
+  ValidatedPayload result;
+  std::vector<BlockPlan>& plans = result.plans;
+  std::uint64_t decode_ns = 0;
+  std::uint64_t decoded_blocks = 0;
   plans.reserve(views.size());
   for (const UpdateBlockView& v : views) {
     if (v.row >= table.rows().size()) {
@@ -438,6 +480,7 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
     // the element count follows from the byte length alone — the tag
     // compare and parse are pure overhead.  Bounds still checked below.
     const bool fastpath =
+        !v.compressed &&
         tuner_ != nullptr && tuner_->decision().identity_fastpath &&
         rp.valid && rp.route == conv::Route::Memcpy && !rp.is_pointer &&
         rp.elem_size == row.size && row.size != 0 &&
@@ -478,8 +521,39 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
       rp.valid = false;
       throw std::runtime_error("update block exceeds row bounds");
     }
+    const std::byte* src = v.data;
+    std::uint64_t src_len = v.data_len;
+    if (v.compressed) {
+      // Decompress into scratch during validation: the stream carries the
+      // tag's element count or it doesn't decode, and any malformed bytes
+      // (truncated, oversized, flipped) throw right here — before anything
+      // in this payload has been applied.  Row bounds were checked above,
+      // so raw_len is capped by the row's real extent (no hostile sizing).
+      if (count == 0 || !codec::encodable_elem_size(rp.elem_size)) {
+        rp.valid = false;
+        throw std::runtime_error(
+            "compressed block with unsupported element size");
+      }
+      const std::uint64_t raw_len = count * rp.elem_size;
+      auto buf = std::make_unique<std::vector<std::byte>>(
+          static_cast<std::size_t>(raw_len));
+      const std::uint64_t t0 = obs::ScopedTimer::now_ns();
+      try {
+        codec::decode_run(v.data, static_cast<std::size_t>(v.data_len),
+                          buf->data(), static_cast<std::size_t>(raw_len),
+                          rp.elem_size);
+      } catch (...) {
+        ++stats_.codec_decode_rejects;
+        throw;
+      }
+      decode_ns += obs::ScopedTimer::now_ns() - t0;
+      ++decoded_blocks;
+      src = buf->data();
+      src_len = raw_len;
+      result.scratch.push_back(std::move(buf));
+    }
     const bool len_ok =
-        fastpath ||
+        fastpath || v.compressed ||  // decode_run pinned len to the tag
         (count == 0
              ? v.data_len == 0
              : rp.elem_size != 0 && v.data_len % rp.elem_size == 0 &&
@@ -490,8 +564,8 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
     }
 
     BlockPlan p;
-    p.src = v.data;
-    p.src_len = v.data_len;
+    p.src = src;
+    p.src_len = src_len;
     p.src_elem = rp.elem_size;
     p.dst_off = row.offset + v.first_elem * row.size;
     p.dst_len = static_cast<std::uint64_t>(row.size) * count;
@@ -505,7 +579,12 @@ std::vector<SyncEngine::BlockPlan> SyncEngine::validate_payload(
     p.run.count = count;
     plans.push_back(p);
   }
-  return plans;
+  if (decoded_blocks != 0) {
+    stats_.codec_decoded_blocks += decoded_blocks;
+    stats_.codec_decode_ns += decode_ns;
+    obs_phase(obs::SpanKind::CodecDecode, decode_ns, decoded_blocks);
+  }
+  return result;
 }
 
 // -- Receive side: phase 2 (execute) -----------------------------------------
@@ -625,11 +704,13 @@ void SyncEngine::sample_apply(const std::vector<BlockPlan>& plans,
 std::vector<idx::UpdateRun> SyncEngine::apply_payload(
     const std::vector<std::byte>& payload,
     const msg::PlatformSummary& sender) {
-  // t_unpack: decode the payload, parse tags (plan cache), validate all.
+  // t_unpack: decode the payload, parse tags (plan cache), validate all
+  // (compressed blocks decompress into `validated.scratch` here).
   StopWatch watch;
   const std::uint64_t hits0 = stats_.plan_cache_hits;
   const std::uint64_t misses0 = stats_.plan_cache_misses;
-  const std::vector<BlockPlan> plans = validate_payload(payload, sender);
+  const ValidatedPayload validated = validate_payload(payload, sender);
+  const std::vector<BlockPlan>& plans = validated.plans;
   const std::uint64_t unpack_ns = watch.lap();
   stats_.unpack_ns += unpack_ns;
   obs_phase(obs::SpanKind::Unpack, unpack_ns, plans.size());
@@ -659,7 +740,8 @@ std::vector<idx::UpdateRun> SyncEngine::apply_payload_bulk(
   StopWatch watch;
   const std::uint64_t hits0 = stats_.plan_cache_hits;
   const std::uint64_t misses0 = stats_.plan_cache_misses;
-  const std::vector<BlockPlan> plans = validate_payload(payload, sender);
+  const ValidatedPayload validated = validate_payload(payload, sender);
+  const std::vector<BlockPlan>& plans = validated.plans;
   const std::uint64_t unpack_ns = watch.lap();
   stats_.unpack_ns += unpack_ns;
   obs_phase(obs::SpanKind::Unpack, unpack_ns, plans.size());

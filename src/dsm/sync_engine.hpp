@@ -34,6 +34,15 @@
 
 namespace hdsm::dsm {
 
+/// Whether pack_payload runs the predictive update codec (hdsm::codec,
+/// docs/COMPRESSION.md) over each run's element bytes.
+enum class CodecMode {
+  Off,       ///< never encode — byte-identical to the pre-codec wire
+  Forced,    ///< encode every eligible run (A/B benches, fault suites)
+  Adaptive,  ///< sixth tuner knob: engage per link when the EWMA cost
+             ///  model says encode + compressed wire beats raw wire
+};
+
 /// Knobs for the data plane (diff/tag/pack/unpack/convert pipeline),
 /// exposed for the ablation benches and the parallel-path A/B bench.
 struct SyncOptions {
@@ -79,6 +88,14 @@ struct SyncOptions {
   /// tuner's starting point for conv_threads / parallel_grain / merge_slack
   /// is seeded from the static fields above.
   adapt::TunerConfig tuner;
+
+  // -- Predictive update codec (hdsm::codec, docs/COMPRESSION.md) --
+
+  /// Compression of update-run payloads.  Off is byte-identical on the wire
+  /// to builds that predate the codec.  Adaptive constructs a tuner even
+  /// when `adaptive` is off — but with every non-codec knob pinned to the
+  /// static options, so only the compress decision moves.
+  CodecMode codec = CodecMode::Off;
 };
 
 /// Historic name (DSD = the paper's distributed-shared-data layer).
@@ -110,19 +127,14 @@ class SyncEngine {
   /// pool.
   std::vector<idx::UpdateRun> collect_runs();
 
-  /// Tag (t_tag) and pack (t_pack) runs into wire blocks, reading element
-  /// bytes from this node's image.  (Legacy two-copy path; the wire path
-  /// uses pack_payload.)
-  std::vector<UpdateBlock> pack_runs(const std::vector<idx::UpdateRun>& runs);
-
-  /// Tag and pack runs directly into one wire payload: a single allocation
-  /// and a single copy of the element bytes, byte-identical to
-  /// encode_update_blocks(pack_runs(runs)).
+  /// Tag (t_tag) and pack (t_pack) runs directly into one wire payload: a
+  /// single allocation and a single copy of the element bytes.  With the
+  /// codec off this is byte-identical to the reference
+  /// encode_update_blocks() form of the same blocks (the legacy two-copy
+  /// pack_runs path was removed once this became the only production
+  /// encoder); with the codec engaged, eligible runs are compressed in
+  /// place into the same buffer (hdsm::codec, docs/COMPRESSION.md).
   std::vector<std::byte> pack_payload(const std::vector<idx::UpdateRun>& runs);
-
-  /// collect_runs() + pack_runs() — the full MTh_unlock send side.
-  std::vector<UpdateBlock> collect_updates(
-      std::vector<idx::UpdateRun>* runs_out = nullptr);
 
   /// collect_runs() + pack_payload(): the zero-copy MTh_unlock send side.
   std::vector<std::byte> collect_payload(
@@ -194,16 +206,38 @@ class SyncEngine {
   /// (resolves conv_threads = 0 to the auto value).
   unsigned effective_lanes() const noexcept;
 
+  /// Feed one timed payload send into the per-link cost model (the codec
+  /// knob's measured wire bandwidth).  No-op unless codec == Adaptive.
+  /// Call from the thread that owns this engine, like everything else here.
+  void note_wire(std::uint64_t bytes, std::uint64_t ns);
+
+  /// Sends below this size are too latency-dominated to say anything about
+  /// bandwidth; callers skip timing them for note_wire.
+  static constexpr std::size_t kWireProbeMinBytes = 4096;
+
+  /// Is the codec currently encoding (Forced, or Adaptive with the tuner's
+  /// compress decision on)?  For tests and benches.
+  bool codec_engaged() const noexcept;
+
  private:
   struct BlockPlan;
   struct RowPlan;
   struct SenderPlanCache;
 
+  /// Phase-1 output: the planned writes plus the scratch buffers that back
+  /// plans decoded from compressed blocks (BlockPlan::src points into a
+  /// scratch vector for those; inner buffers never move once created).
+  struct ValidatedPayload {
+    std::vector<BlockPlan> plans;
+    std::vector<std::unique_ptr<std::vector<std::byte>>> scratch;
+  };
+
   /// Phase 1: decode + validate `payload`, resolving each block to a fully
-  /// planned write.  Throws without side effects on any malformed block.
-  std::vector<BlockPlan> validate_payload(
-      const std::vector<std::byte>& payload,
-      const msg::PlatformSummary& sender);
+  /// planned write (decompressing compressed blocks into scratch).  Throws
+  /// without side effects on any malformed block — including a truncated or
+  /// corrupt compressed stream, which therefore rejects the whole payload.
+  ValidatedPayload validate_payload(const std::vector<std::byte>& payload,
+                                    const msg::PlatformSummary& sender);
   /// Phase 2: execute validated plans (sequential or on the pool).
   /// Returns the number of lanes the batch actually ran on (1 = sequential).
   unsigned execute_plans(const std::vector<BlockPlan>& plans,

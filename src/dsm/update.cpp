@@ -18,6 +18,20 @@ void put_u64be(std::vector<std::byte>& out, std::uint64_t v) {
   put_u32be(out, static_cast<std::uint32_t>(v));
 }
 
+void patch_u32be(std::vector<std::byte>& buf, std::size_t pos,
+                 std::uint32_t v) {
+  buf[pos] = static_cast<std::byte>(v >> 24);
+  buf[pos + 1] = static_cast<std::byte>(v >> 16);
+  buf[pos + 2] = static_cast<std::byte>(v >> 8);
+  buf[pos + 3] = static_cast<std::byte>(v);
+}
+
+void patch_u64be(std::vector<std::byte>& buf, std::size_t pos,
+                 std::uint64_t v) {
+  patch_u32be(buf, pos, static_cast<std::uint32_t>(v >> 32));
+  patch_u32be(buf, pos + 4, static_cast<std::uint32_t>(v));
+}
+
 }  // namespace wire
 
 namespace {
@@ -101,7 +115,9 @@ std::vector<UpdateBlockView> decode_update_block_views(
     UpdateBlockView b;
     b.row = r.u32();
     b.first_elem = r.u64();
-    const std::uint32_t tag_len = r.u32();
+    const std::uint32_t tag_field = r.u32();
+    b.compressed = (tag_field & kCompressedTagFlag) != 0;
+    const std::uint32_t tag_len = tag_field & ~kCompressedTagFlag;
     b.data_len = r.u64();
     b.tag = std::string_view(
         reinterpret_cast<const char*>(r.view(tag_len)), tag_len);
@@ -121,6 +137,12 @@ std::vector<UpdateBlock> decode_update_blocks(
   std::vector<UpdateBlock> blocks;
   blocks.reserve(views.size());
   for (const UpdateBlockView& v : views) {
+    if (v.compressed) {
+      // The copying decoder is the reference/test form of the wire; it has
+      // no tag context to size a decompression, so compressed blocks only
+      // travel through SyncEngine's validate path.
+      throw std::runtime_error("update block is compressed");
+    }
     UpdateBlock b;
     b.row = v.row;
     b.first_elem = v.first_elem;

@@ -25,6 +25,13 @@ struct UpdateBlock {
   std::vector<std::byte> data;   ///< raw bytes, sender representation
 };
 
+/// High bit of a block's tag_len field on the wire: set when the block's
+/// data bytes are a compressed stream (hdsm::codec, docs/COMPRESSION.md §2b
+/// of PROTOCOL.md) instead of raw element bytes.  Tags can never approach
+/// 2^31 bytes, so the bit was always zero on legacy wires — a codec-off
+/// sender is byte-identical to one that predates the flag.
+inline constexpr std::uint32_t kCompressedTagFlag = 0x80000000u;
+
 /// A decoded block that *borrows* its tag and data from the payload buffer
 /// instead of copying them — the zero-copy unpack path.  Valid only while
 /// the payload vector it was decoded from is alive and unmodified.
@@ -33,7 +40,9 @@ struct UpdateBlockView {
   std::uint64_t first_elem = 0;
   std::string_view tag;          ///< borrowed from the payload
   const std::byte* data = nullptr;  ///< borrowed from the payload
-  std::uint64_t data_len = 0;
+  std::uint64_t data_len = 0;    ///< wire bytes (compressed length when
+                                 ///  `compressed`; raw length otherwise)
+  bool compressed = false;       ///< kCompressedTagFlag was set on the wire
 };
 
 /// Serialize blocks into a message payload (header fields network order;
@@ -57,6 +66,12 @@ std::vector<UpdateBlockView> decode_update_block_views(
 namespace wire {
 void put_u32be(std::vector<std::byte>& out, std::uint32_t v);
 void put_u64be(std::vector<std::byte>& out, std::uint64_t v);
+/// Overwrite an already-written big-endian field in place — how the packer
+/// patches a block's tag_len/data_len after the codec shrank its data.
+void patch_u32be(std::vector<std::byte>& buf, std::size_t pos,
+                 std::uint32_t v);
+void patch_u64be(std::vector<std::byte>& buf, std::size_t pos,
+                 std::uint64_t v);
 }  // namespace wire
 
 /// Wire size of one block with `tag_len` tag bytes and `data_len` data

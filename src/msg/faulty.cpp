@@ -40,7 +40,9 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
       : inner_(std::move(inner)),
         opts_(opts),
         send_rng_(opts.seed),
-        recv_rng_(opts.seed ^ 0x9e3779b97f4a7c15ull) {}
+        corrupt_send_rng_(opts.seed ^ 0xda942042e4dd58b5ull),
+        recv_rng_(opts.seed ^ 0x9e3779b97f4a7c15ull),
+        corrupt_recv_rng_(opts.seed ^ 0x2545f4914f6cdd1dull) {}
 
   ~FaultyEndpointImpl() override { close(); }
 
@@ -50,6 +52,12 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
     ++send_ops_;
     const Draws d = draw(send_rng_, opts_.send);
     if (kind_eligible(opts_.send, m.type)) {
+      // The bits flip once on the wire; a duplicate or a reordered delivery
+      // carries the same mangled payload.
+      Message mangled;
+      const Message& wire =
+          corrupt_message(m, opts_.send, corrupt_send_rng_, mangled) ? mangled
+                                                                     : m;
       if (d.drop) {
         bump([](FaultCounters& c) { ++c.dropped; });
       } else {
@@ -59,14 +67,14 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
         }
         if (d.reorder && opts_.send.reorder_window > 0) {
           bump([](FaultCounters& c) { ++c.reordered; });
-          held_.push_back({m, 0,
+          held_.push_back({wire, 0,
                            std::chrono::steady_clock::now() +
                                opts_.send.reorder_hold_ms});
         } else {
-          inner_->send(m);
+          inner_->send(wire);
           if (d.duplicate) {
             bump([](FaultCounters& c) { ++c.duplicated; });
-            inner_->send(m);
+            inner_->send(wire);
           }
         }
       }
@@ -148,6 +156,10 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
         bump([](FaultCounters& c) { ++c.delayed; });
         std::this_thread::sleep_for(opts_.recv.delay_ms);
       }
+      Message mangled;
+      if (corrupt_message(m, opts_.recv, corrupt_recv_rng_, mangled)) {
+        m = std::move(mangled);
+      }
       if (d.duplicate) {
         bump([](FaultCounters& c) { ++c.duplicated; });
         pending_.push_back(m);
@@ -191,6 +203,30 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
   void bump(Fn fn) {
     std::lock_guard<std::mutex> lock(counters_mutex_);
     fn(counters_);
+  }
+
+  /// Maybe flip `spec.corrupt_bits` payload bits.  Returns true and fills
+  /// `out` with the mutated copy when corruption hit; otherwise leaves `out`
+  /// untouched.  Uses its own RNG stream (one probability draw per eligible
+  /// message, position draws only on a hit) so existing drop/dup/delay/
+  /// reorder schedules replay bit-for-bit when corruption is enabled.
+  bool corrupt_message(const Message& m, const FaultSpec& spec,
+                       std::mt19937_64& rng, Message& out) {
+    if (spec.corrupt <= 0.0) return false;
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    const bool hit = u(rng) < spec.corrupt;
+    if (!hit || m.payload.empty()) return false;
+    out = m;
+    std::uniform_int_distribution<std::size_t> pos(0,
+                                                   out.payload.size() * 8 - 1);
+    const std::uint32_t flips = spec.corrupt_bits == 0 ? 1 : spec.corrupt_bits;
+    for (std::uint32_t i = 0; i < flips; ++i) {
+      const std::size_t b = pos(rng);
+      out.payload[b / 8] ^=
+          std::byte{static_cast<unsigned char>(1u << (b % 8))};
+    }
+    bump([](FaultCounters& c) { ++c.corrupted; });
+    return true;
   }
 
   void maybe_reset(const FaultSpec& spec, std::uint64_t ops) {
@@ -270,6 +306,10 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
       bump([](FaultCounters& c) { ++c.delayed; });
       std::this_thread::sleep_for(opts_.recv.delay_ms);
     }
+    Message mangled;
+    if (corrupt_message(m, opts_.recv, corrupt_recv_rng_, mangled)) {
+      m = std::move(mangled);
+    }
     if (d.duplicate) {
       bump([](FaultCounters& c) { ++c.duplicated; });
       pending_.push_back(m);
@@ -283,11 +323,13 @@ class FaultyEndpointImpl final : public FaultyEndpoint {
 
   std::mutex send_mutex_;
   std::mt19937_64 send_rng_;
+  std::mt19937_64 corrupt_send_rng_;  ///< guarded by send_mutex_
   std::uint64_t send_ops_ = 0;
   std::deque<Held> held_;
 
   std::mutex recv_mutex_;
   std::mt19937_64 recv_rng_;
+  std::mt19937_64 corrupt_recv_rng_;  ///< guarded by recv_mutex_
   std::uint64_t recv_ops_ = 0;
   std::deque<Message> pending_;
 

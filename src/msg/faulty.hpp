@@ -48,6 +48,14 @@ struct FaultSpec {
   /// direction (0 = never): the Nth+1 operation throws ChannelClosed and
   /// closes the inner endpoint, so the peer observes EOF.
   std::uint64_t reset_after = 0;
+  /// P(payload bit-flip): `corrupt_bits` random bits of a non-empty payload
+  /// are flipped in transit.  Framing and header fields stay intact — this
+  /// models data corruption that checksums/validation must catch, not a
+  /// broken stream.  Corruption draws come from a dedicated RNG stream, so
+  /// enabling it does not reshuffle the drop/dup/delay/reorder schedule of
+  /// an existing seed.
+  double corrupt = 0.0;
+  std::uint32_t corrupt_bits = 1;
   /// Restrict faults to these message kinds (empty = all kinds eligible).
   /// Reset ignores this filter: a connection dies under whatever traffic.
   std::vector<MsgType> only;
@@ -66,9 +74,10 @@ struct FaultCounters {
   std::uint64_t delayed = 0;
   std::uint64_t reordered = 0;
   std::uint64_t resets = 0;
+  std::uint64_t corrupted = 0;
 
   std::uint64_t total() const noexcept {
-    return dropped + duplicated + delayed + reordered + resets;
+    return dropped + duplicated + delayed + reordered + resets + corrupted;
   }
 };
 

@@ -1,0 +1,26 @@
+// Bandwidth throttling for transport endpoints.
+//
+// ThrottledEndpoint decorates any Endpoint and models a bounded-bandwidth
+// link: every send() pays the frame's serialization delay at the configured
+// rate before the bytes reach the inner transport.  Back-to-back sends
+// queue behind each other (a shared link clock, not per-call sleeps), so a
+// burst of frames drains at exactly `bytes_per_sec` in aggregate.
+//
+// This is how benches simulate slow links for the codec cost model
+// (docs/COMPRESSION.md): the wire time a caller measures around send() is
+// dominated by the modeled serialization delay, so per-link bandwidth
+// probes see the throttled rate.
+#pragma once
+
+#include <cstdint>
+
+#include "msg/endpoint.hpp"
+
+namespace hdsm::msg {
+
+/// Wrap `inner` with a send-side bandwidth cap of `bytes_per_sec` (> 0).
+/// The wrapper owns the inner endpoint.  Receive is not throttled: in a
+/// star topology each direction is paid for once, on the sender's side.
+EndpointPtr make_throttled(EndpointPtr inner, std::uint64_t bytes_per_sec);
+
+}  // namespace hdsm::msg

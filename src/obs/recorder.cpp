@@ -21,6 +21,8 @@ const char* span_kind_name(SpanKind k) noexcept {
     case SpanKind::ReactorFlush: return "reactor_flush";
     case SpanKind::ReplAppend: return "repl_append";
     case SpanKind::Failover: return "failover";
+    case SpanKind::CodecEncode: return "codec_encode";
+    case SpanKind::CodecDecode: return "codec_decode";
     case SpanKind::kCount: break;
   }
   return "unknown";

@@ -47,6 +47,8 @@ enum class SpanKind : std::uint8_t {
   ReactorFlush,  ///< one coalesced outbound flush sweep (id = io index)
   ReplAppend,    ///< one log append round trip to the standby (id = shard)
   Failover,      ///< standby promotion: fence + master reset + start
+  CodecEncode,   ///< codec encode inside a pack episode (id = blocks)
+  CodecDecode,   ///< codec decode inside a validate pass (id = blocks)
   kCount
 };
 

@@ -155,6 +155,85 @@ TEST(Tuner, PinnedKnobsNeverMove) {
   }
 }
 
+TEST(Tuner, CodecKnobGatedByEnableFlag) {
+  // Sessions that never opt in (codec != Adaptive) must see the exact
+  // pre-codec five-knob decision trace: no exploration, no kCodec bit.
+  adapt::Tuner t(fast_cfg());
+  adapt::Signal s;
+  s.pack_ns = 1000;
+  s.runs = 4;
+  s.bytes_packed = 100000;
+  s.bytes_raw = 100000;
+  for (int i = 0; i < 50; ++i) {
+    const adapt::Decision& d = t.step(s);
+    EXPECT_FALSE(d.compress);
+    EXPECT_EQ(d.changed & adapt::Decision::kCodec, 0u);
+  }
+}
+
+TEST(Tuner, CodecExploresOnceThenFollowsTheCostModel) {
+  adapt::TunerConfig cfg = fast_cfg();
+  cfg.enable_codec = true;
+  adapt::Tuner t(cfg);
+
+  // Raw pack episodes: the encode cost and ratio can only be measured by
+  // running the encoder, so the tuner flips the knob on once to explore.
+  adapt::Signal raw;
+  raw.pack_ns = 1000;
+  raw.runs = 4;
+  raw.bytes_packed = 100000;
+  raw.bytes_raw = 100000;
+  bool explored = false;
+  for (int i = 0; i < 10 && !explored; ++i) explored = t.step(raw).compress;
+  EXPECT_TRUE(explored);
+
+  // Codec episodes over a slow measured link (100 ns/B) with cheap encode
+  // (1 ns/B) and 4x compression: the codec wins, the knob stays engaged.
+  adapt::Signal coded = raw;
+  coded.codec_on = true;
+  coded.encode_ns = 100000;
+  coded.bytes_coded = 25000;
+  coded.wire_ns = 2500000;
+  coded.wire_bytes = 25000;
+  for (int i = 0; i < 20; ++i) t.step(coded);
+  EXPECT_TRUE(t.decision().compress);
+
+  // The link speeds up to 0.1 ns/B: shipping raw beats paying the encoder,
+  // so the knob releases once the EWMA catches up.
+  adapt::Signal fast = coded;
+  fast.wire_ns = 2500;
+  for (int i = 0; i < 200; ++i) t.step(fast);
+  EXPECT_FALSE(t.decision().compress);
+}
+
+TEST(Tuner, CodecPinNeverMoves) {
+  adapt::TunerConfig cfg = fast_cfg();
+  cfg.enable_codec = true;
+  cfg.pin_codec = 0;
+  adapt::Tuner off(cfg);
+  // Even a link slow enough to make compression a runaway win can't move a
+  // pinned knob.
+  adapt::Signal coded;
+  coded.pack_ns = 1000;
+  coded.runs = 4;
+  coded.bytes_packed = 100000;
+  coded.bytes_raw = 100000;
+  coded.codec_on = true;
+  coded.encode_ns = 100000;
+  coded.bytes_coded = 25000;
+  coded.wire_ns = 10000000;
+  coded.wire_bytes = 25000;
+  for (int i = 0; i < 50; ++i) {
+    const adapt::Decision& d = off.step(coded);
+    EXPECT_FALSE(d.compress);
+    EXPECT_EQ(d.changed & adapt::Decision::kCodec, 0u);
+  }
+
+  cfg.pin_codec = 1;
+  adapt::Tuner on(cfg);
+  EXPECT_TRUE(on.decision().compress);
+}
+
 TEST(Tuner, NoFlappingOnOscillatingSignal) {
   // Identity traffic alternating every episode: the EWMA hovers around
   // 0.5, so without hysteresis the fast path would toggle constantly.

@@ -163,12 +163,12 @@ TEST(SyncEngine, PackThenApplyHeterogeneous) {
   for (int i = 5; i < 15; ++i) a.set(i, i * 1000 - 7);
   auto d = sender.view<double>("D");
   d.set(2, 6.25);
-  const auto blocks = se.collect_updates();
+  const auto payload = se.collect_payload();
   sender.region().end_tracking();
+  const auto blocks = dsm::decode_update_blocks(payload);
   ASSERT_EQ(blocks.size(), 2u);
   EXPECT_EQ(blocks[0].tag, "(4,10)");
 
-  const auto payload = dsm::encode_update_blocks(blocks);
   re.apply_payload(payload,
                    msg::PlatformSummary::of(plat::solaris_sparc32()));
   auto ra = receiver.view<std::int32_t>("A");
@@ -188,10 +188,9 @@ TEST(SyncEngine, BinaryTagsOption) {
   dsm::SyncEngine se(sender, opts, ss), re(receiver, opts, rs);
   sender.region().begin_tracking();
   sender.view<std::int32_t>("A").set(1, 11);
-  const auto blocks = se.collect_updates();
+  const auto payload = se.collect_payload();
   sender.region().end_tracking();
-  re.apply_payload(dsm::encode_update_blocks(blocks),
-                   msg::PlatformSummary::of(plat::linux_ia32()));
+  re.apply_payload(payload, msg::PlatformSummary::of(plat::linux_ia32()));
   EXPECT_EQ(receiver.view<std::int32_t>("A").get(1), 11);
 }
 

@@ -122,7 +122,7 @@ std::vector<std::int64_t> expected_array(std::uint32_t num_remotes, int ops) {
 /// check the master image matches the fault-free expectation and the
 /// protocol trace validates.
 void converge_under(const msg::FaultOptions& fault, std::uint32_t num_remotes,
-                    int ops) {
+                    int ops, dsm::CodecMode codec = dsm::CodecMode::Off) {
   dsm::TraceLog log;
   dsm::HomeOptions hopts;
   hopts.trace = &log;
@@ -135,6 +135,7 @@ void converge_under(const msg::FaultOptions& fault, std::uint32_t num_remotes,
     per_remote.seed = fault.seed + r;  // distinct schedules per remote
     dsm::RemoteOptions ropts;
     ropts.retry = fast_retry();
+    ropts.dsd.codec = codec;
     remotes.push_back(std::make_unique<dsm::RemoteThread>(
         gthv(), plat::linux_ia32(), r,
         msg::make_faulty(home.attach(r), per_remote), ropts));
@@ -293,6 +294,52 @@ TEST(FaultyEndpoint, KindFilterSparesOtherTraffic) {
   EXPECT_EQ(faulty->counters().dropped, 1u);
 }
 
+TEST(FaultyEndpoint, CorruptFlipsPayloadBits) {
+  auto [a, b] = msg::make_channel_pair();
+  msg::FaultOptions opts;
+  opts.send.corrupt = 1.0;
+  opts.send.corrupt_bits = 3;
+  auto faulty = msg::make_faulty(std::move(a), opts);
+
+  msg::Message with_payload = tagged(1);
+  with_payload.payload.assign(256, std::byte{0});
+  faulty->send(with_payload);
+  const msg::Message got = b->recv();
+  EXPECT_NE(got.payload, with_payload.payload);
+  EXPECT_EQ(got.payload.size(), with_payload.payload.size());
+  EXPECT_EQ(faulty->counters().corrupted, 1u);
+
+  // Payload-less messages have no bits to flip and pass untouched.
+  faulty->send(tagged(2));
+  EXPECT_EQ(b->recv().sync_id, 2u);
+  EXPECT_EQ(faulty->counters().corrupted, 1u);
+}
+
+TEST(FaultyEndpoint, CorruptionDoesNotReshuffleExistingSchedule) {
+  // The corruption knob draws from its own RNG stream: enabling it must
+  // leave a seed's drop schedule bit-for-bit identical.
+  const auto delivered_with = [](double corrupt) {
+    auto [a, b] = msg::make_channel_pair();
+    msg::FaultOptions opts;
+    opts.seed = 77;
+    opts.send.drop = 0.5;
+    opts.send.corrupt = corrupt;
+    auto faulty = msg::make_faulty(std::move(a), opts);
+    for (int i = 0; i < 64; ++i) {
+      msg::Message m = tagged(i);
+      m.payload.assign(32, std::byte{0xab});
+      faulty->send(m);
+    }
+    std::vector<std::uint32_t> ids;
+    msg::Message m;
+    while (b->recv_for(m, std::chrono::milliseconds(0))) {
+      ids.push_back(m.sync_id);
+    }
+    return ids;
+  };
+  EXPECT_EQ(delivered_with(0.0), delivered_with(1.0));
+}
+
 // ---- protocol recovery over in-process channels ----------------------------
 
 TEST(Reliability, ConvergesUnderDrop) {
@@ -335,6 +382,80 @@ TEST(Reliability, ConvergesUnderCombinedFaults) {
   f.recv.drop = 0.15;
   f.recv.duplicate = 0.25;
   converge_under(f, 3, 10);
+}
+
+TEST(Reliability, ConvergesUnderCombinedFaultsWithCodecForced) {
+  // The full fault gauntlet with every update payload compressed: drops,
+  // duplicates, delays, and reorders must not interact with the codec —
+  // compressed payloads retransmit, dedup, and apply exactly like raw ones.
+  msg::FaultOptions f;
+  f.send.drop = 0.15;
+  f.send.duplicate = 0.25;
+  f.send.delay = 0.2;
+  f.send.delay_ms = 1ms;
+  f.send.reorder = 0.2;
+  f.recv.drop = 0.15;
+  f.recv.duplicate = 0.25;
+  converge_under(f, 3, 10, dsm::CodecMode::Forced);
+}
+
+TEST(Reliability, CorruptPayloadRejectedDetachedAndClusterProgresses) {
+  // Remote 1's update payloads are bit-flipped on the wire.  With the codec
+  // forced on, the compressed block's checksum turns the flip into a
+  // deterministic whole-payload rejection: the home detaches the corrupting
+  // peer (never applying the mangled bytes) and the rest of the cluster
+  // keeps working.
+  dsm::TraceLog log;
+  dsm::HomeOptions hopts;
+  hopts.trace = &log;
+  dsm::HomeNode home(gthv(), plat::linux_ia32(), hopts);
+  msg::FaultOptions f;
+  f.seed = 3;
+  f.send.corrupt = 1.0;
+  f.send.corrupt_bits = 1;
+  f.send.only = {msg::MsgType::UnlockRequest};
+  dsm::RetryPolicy retry;
+  retry.timeout = hdsm::test::scaled(25ms);
+  retry.backoff = 1.0;
+  retry.max_retries = 3;
+  dsm::RemoteOptions doomed_opts;
+  doomed_opts.retry = retry;
+  doomed_opts.dsd.codec = dsm::CodecMode::Forced;
+  dsm::RemoteThread doomed(gthv(), plat::linux_ia32(), 1,
+                           msg::make_faulty(home.attach(1), f), doomed_opts);
+  dsm::RemoteThread healthy(gthv(), plat::linux_ia32(), 2, home.attach(2));
+  home.start();
+
+  doomed.lock(0);
+  // A long smooth run, so the payload carries a compressed block and the
+  // flip lands somewhere validation or the checksum must catch.
+  auto da = doomed.space().view<std::int64_t>("A");
+  for (std::uint64_t i = 0; i < kElems; ++i) {
+    da.set(i, static_cast<std::int64_t>(i) * 11 + 5);
+  }
+  EXPECT_THROW(doomed.unlock(0), dsm::HomeUnreachable);
+  EXPECT_TRUE(doomed.detached());
+
+  // None of the doomed remote's mangled updates reached the master image.
+  for (std::uint64_t i = 0; i < kElems; ++i) {
+    EXPECT_EQ(home.space().view<std::int64_t>("A").get(i), 0)
+        << "element " << i;
+  }
+
+  // The home reclaimed the mutex on detach; the healthy remote progresses.
+  healthy.lock(0);
+  auto a = healthy.space().view<std::int64_t>("A");
+  a.set(1, 222);
+  healthy.unlock(0);
+  healthy.join();
+  home.lock(0);
+  home.unlock(0);
+  home.wait_all_joined();
+
+  EXPECT_EQ(home.space().view<std::int64_t>("A").get(1), 222);
+  const auto err = dsm::validate_trace(log.snapshot());
+  EXPECT_FALSE(err.has_value()) << *err;
+  home.stop();
 }
 
 TEST(Reliability, DuplicatedRequestsApplyExactlyOnce) {

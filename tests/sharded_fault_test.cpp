@@ -97,13 +97,15 @@ void validate_shard_traces(const std::vector<dsm::TraceLog>& logs) {
 /// When `migrate`, a driver thread keeps handing mutex 0 between shards
 /// for the whole run.  Converges, validates every shard trace.
 void converge_sharded(const msg::FaultOptions& fault, std::uint32_t num_shards,
-                      std::uint32_t num_remotes, int ops, bool migrate) {
+                      std::uint32_t num_remotes, int ops, bool migrate,
+                      dsm::CodecMode codec = dsm::CodecMode::Off) {
   std::vector<dsm::TraceLog> logs(num_shards);
   dsm::ShardedHomeOptions opts;
   opts.num_shards = num_shards;
   for (auto& l : logs) opts.shard_traces.push_back(&l);
   dsm::ShardedRemoteOptions ropts;
   ropts.retry = fast_retry();
+  ropts.dsd.codec = codec;
   std::vector<const plat::PlatformDesc*> platforms(num_remotes,
                                                    &plat::linux_ia32());
   dsm::ShardedCluster cluster(
@@ -196,6 +198,20 @@ TEST(ShardedFaults, ConvergesUnderCombinedFaultsFourShards) {
   f.recv.drop = 0.1;
   f.recv.duplicate = 0.2;
   converge_sharded(f, 4, 3, 8, /*migrate=*/false);
+}
+
+TEST(ShardedFaults, ConvergesUnderCombinedFaultsWithCodecForced) {
+  // Same gauntlet with every update payload compressed: directory-based
+  // coherence across shards must retransmit, dedup, and apply compressed
+  // payloads exactly like raw ones.
+  msg::FaultOptions f;
+  f.send.drop = 0.1;
+  f.send.duplicate = 0.2;
+  f.send.delay = 0.2;
+  f.send.delay_ms = 1ms;
+  f.recv.drop = 0.1;
+  f.recv.duplicate = 0.2;
+  converge_sharded(f, 2, 2, 8, /*migrate=*/false, dsm::CodecMode::Forced);
 }
 
 TEST(ShardedFaults, MigrationUnderDropLosesNoGrantsOrUpdates) {

@@ -1,0 +1,84 @@
+# Protocol docs drift checker: docs/PROTOCOL.md is the normative wire
+# description, so every MsgType enumerator and every Message frame-header
+# field declared in src/msg/message.hpp must be mentioned there.  Catches
+# the classic failure mode of adding a message type or header field and
+# forgetting the spec (the compressed-payload flag nearly shipped that
+# way).
+#
+# Invoked as:
+#   cmake -DREPO_DIR=<repo root> -P check_protocol_tables.cmake
+
+if(NOT DEFINED REPO_DIR)
+  message(FATAL_ERROR "check_protocol_tables: pass -DREPO_DIR=<repo root>")
+endif()
+
+set(header "${REPO_DIR}/src/msg/message.hpp")
+set(doc "${REPO_DIR}/docs/PROTOCOL.md")
+foreach(f IN ITEMS "${header}" "${doc}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "check_protocol_tables: missing ${f}")
+  endif()
+endforeach()
+
+file(READ "${header}" src)
+file(READ "${doc}" spec)
+
+# --- MsgType enumerators ---------------------------------------------------
+string(REGEX MATCH "enum class MsgType[^{]*{([^}]*)}" _ "${src}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "check_protocol_tables: no MsgType enum in ${header}")
+endif()
+set(enum_body "${CMAKE_MATCH_1}")
+# Drop // comments so prose identifiers inside them don't count as
+# enumerators.
+string(REGEX REPLACE "//[^\n]*" "" enum_body "${enum_body}")
+string(REGEX MATCHALL "[A-Za-z_][A-Za-z0-9_]*" enumerators "${enum_body}")
+
+set(missing "")
+foreach(name IN LISTS enumerators)
+  if(NOT spec MATCHES "${name}")
+    list(APPEND missing "MsgType::${name}")
+  endif()
+endforeach()
+
+# --- Frame-header fields ---------------------------------------------------
+# Every data member of msg::Message is a wire field and must appear in the
+# frame table (or surrounding prose) of PROTOCOL.md.
+string(REGEX MATCH "struct Message {(.*)wire_size" _ "${src}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "check_protocol_tables: no Message struct in ${header}")
+endif()
+set(struct_body "${CMAKE_MATCH_1}")
+string(REGEX REPLACE "//[^\n]*" "" struct_body "${struct_body}")
+# Member declarations: "<type> <name> = ...;" or "<type> <name>;" — the
+# member name is the last identifier before '=' or ';'.
+string(REGEX MATCHALL "[A-Za-z_][A-Za-z0-9_]*[ \t]*[=;]" decls "${struct_body}")
+set(fields "")
+foreach(d IN LISTS decls)
+  string(REGEX REPLACE "[ \t]*[=;]$" "" name "${d}")
+  # Enumerator initializers (Hello, Little, ...) start uppercase; members
+  # are lower_snake_case.
+  if(name MATCHES "^[a-z]")
+    list(APPEND fields "${name}")
+  endif()
+endforeach()
+list(REMOVE_DUPLICATES fields)
+
+foreach(name IN LISTS fields)
+  if(NOT spec MATCHES "${name}")
+    list(APPEND missing "Message::${name}")
+  endif()
+endforeach()
+
+if(missing)
+  list(JOIN missing ", " missing_str)
+  message(FATAL_ERROR
+          "check_protocol_tables: docs/PROTOCOL.md does not mention: "
+          "${missing_str}.  Update the frame table / MsgType table to keep "
+          "the spec normative.")
+endif()
+
+list(LENGTH enumerators n_types)
+list(LENGTH fields n_fields)
+message(STATUS "check_protocol_tables: ok (${n_types} message types, "
+        "${n_fields} header fields all documented)")
